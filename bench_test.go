@@ -1,0 +1,143 @@
+// Benchmarks regenerating every table and figure in the paper's evaluation
+// plus the DESIGN.md ablations. Each benchmark runs the corresponding
+// experiment and reports its headline numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The underlying experiment code is in
+// internal/experiment; cmd/ffbench prints the full tables.
+package fastflex_test
+
+import (
+	"testing"
+	"time"
+
+	"fastflex/internal/experiment"
+)
+
+// benchDuration keeps the per-iteration simulations tractable; the shapes
+// are stable from ~60 simulated seconds on (cmd/ffbench runs the full 120s).
+const benchDuration = 60 * time.Second
+
+func fig3(b *testing.B, d experiment.Defense, mutate func(*experiment.Figure3Config)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Figure3Config{Defense: d, Duration: benchDuration}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r := experiment.Figure3(cfg)
+		b.ReportMetric(r.AttackMean, "attack-mean")
+		b.ReportMetric(r.FractionDegraded, "degraded-frac")
+		b.ReportMetric(float64(r.Rolls), "rolls")
+	}
+}
+
+// BenchmarkFigure3FastFlex regenerates the FastFlex arm of Figure 3.
+func BenchmarkFigure3FastFlex(b *testing.B) { fig3(b, experiment.DefenseFastFlex, nil) }
+
+// BenchmarkFigure3Baseline regenerates the baseline (30s centralized TE)
+// arm of Figure 3.
+func BenchmarkFigure3Baseline(b *testing.B) { fig3(b, experiment.DefenseBaseline, nil) }
+
+// BenchmarkFigure3Undefended regenerates the undefended floor.
+func BenchmarkFigure3Undefended(b *testing.B) { fig3(b, experiment.DefenseNone, nil) }
+
+// BenchmarkTable1Analyzer regenerates the Figure-1(a) module resource table.
+func BenchmarkTable1Analyzer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiment.Table1Analyzer()
+		b.ReportMetric(float64(len(r.Table.Rows)), "modules")
+	}
+}
+
+// BenchmarkFigure1Merge regenerates the Figure-1(b) merged dataflow graph.
+func BenchmarkFigure1Merge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.Figure1Merge()
+	}
+}
+
+// BenchmarkFigure1Place regenerates the Figure-1(c) placement.
+func BenchmarkFigure1Place(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.Figure1Place()
+	}
+}
+
+// BenchmarkFigure2Modes regenerates the Figure-2 multimode progression.
+func BenchmarkFigure2Modes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.Figure2Modes()
+	}
+}
+
+// BenchmarkFigure1dScale regenerates the Figure-1(d) dynamic-scaling step.
+func BenchmarkFigure1dScale(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.Figure1dScale()
+	}
+}
+
+// BenchmarkAblationModeLatency regenerates ablation A1.
+func BenchmarkAblationModeLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationModeLatency()
+	}
+}
+
+// BenchmarkAblationSharing regenerates ablation A2.
+func BenchmarkAblationSharing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationSharing()
+	}
+}
+
+// BenchmarkAblationPlacement regenerates ablation A3.
+func BenchmarkAblationPlacement(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationPlacement()
+	}
+}
+
+// BenchmarkAblationRepurpose regenerates ablation A4.
+func BenchmarkAblationRepurpose(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationRepurpose()
+	}
+}
+
+// BenchmarkAblationFEC regenerates ablation A5.
+func BenchmarkAblationFEC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationFEC()
+	}
+}
+
+// BenchmarkAblationPinning regenerates ablation A6 (pin-normal-flows vs
+// reroute-all, the §4.2 step-3 design choice).
+func BenchmarkAblationPinning(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationPinning()
+	}
+}
+
+// BenchmarkAblationStability regenerates ablation A7 (pulsing attacker vs
+// hysteresis).
+func BenchmarkAblationStability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.AblationStability()
+	}
+}

@@ -1,0 +1,77 @@
+// Command ffbench regenerates every table and figure from the paper plus
+// the ablations in DESIGN.md, printing each result as text (and optionally
+// CSV). This is the harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ffbench                  # run everything (the full Figure 3 takes ~1min)
+//	ffbench -run fig3        # one experiment by id
+//	ffbench -list            # list experiment ids
+//	ffbench -csv             # also emit CSV blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fastflex/internal/experiment"
+)
+
+type entry struct {
+	id   string
+	desc string
+	run  func() *experiment.Result
+}
+
+func registry() []entry {
+	return []entry{
+		{"table1", "Figure 1(a): analyzer module resource table", experiment.Table1Analyzer},
+		{"fig1merge", "Figure 1(b): merged dataflow graph with sharing", experiment.Figure1Merge},
+		{"fig1place", "Figure 1(c): placement onto topologies", experiment.Figure1Place},
+		{"fig2", "Figure 2: multimode progression", experiment.Figure2Modes},
+		{"fig1d", "Figure 1(d): dynamic scaling at runtime", experiment.Figure1dScale},
+		{"fig3", "Figure 3: FastFlex vs baseline under rolling LFA", func() *experiment.Result {
+			return experiment.Figure3Compare(experiment.Figure3Config{})
+		}},
+		{"a1", "A1: mode-change latency vs diameter", experiment.AblationModeLatency},
+		{"a2", "A2: PPM sharing", experiment.AblationSharing},
+		{"a3", "A3: placement policies", experiment.AblationPlacement},
+		{"a4", "A4: repurposing disruption vs fast reroute", experiment.AblationRepurpose},
+		{"a5", "A5: FEC for state transfer", experiment.AblationFEC},
+		{"a6", "A6: pinning normal flows", experiment.AblationPinning},
+		{"a7", "A7: stability under pulsing attacks", experiment.AblationStability},
+	}
+}
+
+func main() {
+	runID := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	csv := flag.Bool("csv", false, "also print CSV blocks")
+	flag.Parse()
+
+	entries := registry()
+	if *list {
+		for _, e := range entries {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range entries {
+		if *runID != "" && !strings.EqualFold(*runID, e.id) {
+			continue
+		}
+		ran++
+		res := e.run()
+		fmt.Println(res.String())
+		if *csv && res.Table != nil {
+			fmt.Println(res.Table.CSV())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ffbench: unknown experiment %q (try -list)\n", *runID)
+		os.Exit(2)
+	}
+}

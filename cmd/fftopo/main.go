@@ -1,0 +1,97 @@
+// Command fftopo inspects the pieces of a FastFlex deployment without
+// running traffic: the topology, the analyzer's dataflow decomposition, the
+// merged graph, and the scheduler's placement.
+//
+// Usage:
+//
+//	fftopo -topo figure2          # topology + placement report
+//	fftopo -topo fattree -k 4
+//	fftopo -modules               # analyzer module table only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastflex/internal/core"
+	"fastflex/internal/dataplane"
+	"fastflex/internal/experiment"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+func main() {
+	topoName := flag.String("topo", "figure2", "topology: figure2 | fattree | linear | ring")
+	k := flag.Int("k", 4, "fat-tree arity / linear & ring size")
+	modules := flag.Bool("modules", false, "print only the analyzer module table")
+	flag.Parse()
+
+	if *modules {
+		fmt.Println(experiment.Table1Analyzer().String())
+		return
+	}
+
+	var g *topo.Graph
+	var protected []packet.Addr
+	switch *topoName {
+	case "figure2":
+		f := topo.NewFigure2()
+		f.AttachUsers(4)
+		for _, s := range f.AttachServers(2) {
+			protected = append(protected, packet.HostAddr(int(s)))
+		}
+		g = f.G
+	case "fattree":
+		ft := topo.NewFatTree(*k)
+		for i, e := range ft.Edges {
+			h := ft.G.AttachHost(e, fmt.Sprintf("h%d", i), topo.DefaultHostBPS, topo.DefaultHostDelay)
+			if i == 0 {
+				protected = append(protected, packet.HostAddr(int(h)))
+			}
+		}
+		g = ft.G
+	case "linear":
+		g = topo.NewLinear(*k)
+		protected = append(protected, packet.HostAddr(int(
+			g.AttachHost(topo.NodeID(*k-1), "victim", topo.DefaultHostBPS, topo.DefaultHostDelay))))
+		g.AttachHost(0, "src", topo.DefaultHostBPS, topo.DefaultHostDelay)
+	case "ring":
+		g = topo.NewRing(*k)
+		protected = append(protected, packet.HostAddr(int(
+			g.AttachHost(topo.NodeID(*k/2), "victim", topo.DefaultHostBPS, topo.DefaultHostDelay))))
+		g.AttachHost(0, "src", topo.DefaultHostBPS, topo.DefaultHostDelay)
+	default:
+		fmt.Fprintf(os.Stderr, "fftopo: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("topology %s: %d switches, %d hosts, %d directed links, diameter %d\n",
+		*topoName, len(g.Switches()), len(g.Hosts()), len(g.Links), g.Diameter())
+	for _, l := range g.Links {
+		if l.ID%2 == 0 && g.Nodes[l.From].Kind == topo.Switch && g.Nodes[l.To].Kind == topo.Switch {
+			fmt.Printf("  %s — %s  %.0f Mbps, %.1f ms\n",
+				g.Nodes[l.From].Name, g.Nodes[l.To].Name, l.BitsPerSec/1e6, float64(l.DelayNS)/1e6)
+		}
+	}
+
+	cfg := core.Config{Protected: protected}
+	cfg.Net = netsim.DefaultConfig()
+	fab, err := core.New(g, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fftopo: deploying fabric: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(fab.Report())
+	fmt.Println()
+	fmt.Println("per-switch pipelines:")
+	for _, sw := range g.Switches() {
+		s := fab.Net.Switch(sw)
+		fmt.Printf("  %s (used %v of %v):\n", g.Nodes[sw].Name, s.Used(), dataplane.TofinoLike())
+		for _, prog := range s.Programs() {
+			fmt.Printf("    [%3d] %-18s %v\n", prog.Priority, prog.PPM.Name(), prog.PPM.Resources())
+		}
+	}
+}

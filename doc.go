@@ -1,0 +1,16 @@
+// Package fastflex is a from-scratch Go reproduction of "Architecting
+// Programmable Data Plane Defenses into the Network with FastFlex"
+// (Xing, Wu, Chen — HotNets '19).
+//
+// The implementation lives under internal/: the discrete-event network
+// simulator (eventsim, topo, packet, netsim), the multimode dataplane
+// (dataplane), the defense boosters of the paper's case study (booster),
+// the program analyzer and scheduler of Figure 1 (ppm, place), the
+// distributed mode-change protocol (mode), dynamic scaling with FEC state
+// transfer (state), the adversaries (attack), the centralized-TE baseline
+// (control), and the fabric API tying it together (core).
+//
+// Run the quickstart example, the ffsim/ffbench/fftopo tools, or the
+// benchmarks in bench_test.go to regenerate every figure and table of the
+// paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package fastflex

@@ -1,0 +1,3 @@
+module fastflex
+
+go 1.22

@@ -1,0 +1,53 @@
+package attack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCrossfireBudgetLimitsFlows(t *testing.T) {
+	rig := newLFARig(t, 40)
+	// 20 Mbps budget at 1 Mbps per (bot,server) selection unit
+	// (0.5 Mbps × 2 flows) → about 20 selected keys.
+	a := NewCrossfire(rig.n, CrossfireConfig{
+		Bots: rig.bots, Servers: rig.srvAddr,
+		BotRateBps: 0.5e6, FlowsPerBot: 2, TargetBps: 20e6,
+	})
+	a.Launch()
+	rig.n.Run(2 * time.Second)
+	// ActiveBotFlows counts individual sources: keys × FlowsPerBot.
+	if a.ActiveBotFlows < 30 || a.ActiveBotFlows > 50 {
+		t.Fatalf("active flows = %d, want ≈40 (20 keys × 2 flows)", a.ActiveBotFlows)
+	}
+	// The selection spreads across bots rather than concentrating.
+	bots := map[int]bool{}
+	for key := range a.sources {
+		bots[int(key.bot)] = true
+	}
+	if len(bots) < 10 {
+		t.Fatalf("selection concentrated on %d bots", len(bots))
+	}
+}
+
+func TestCrossfireTwoTargets(t *testing.T) {
+	rig := newLFARig(t, 40)
+	a := NewCrossfire(rig.n, CrossfireConfig{
+		Bots: rig.bots, Servers: rig.srvAddr,
+		BotRateBps: 1.5e6, FlowsPerBot: 2, TargetLinks: 2,
+	})
+	a.Launch()
+	rig.n.Run(4 * time.Second)
+	targets := a.Targets()
+	if len(targets) != 2 {
+		t.Fatalf("targets = %v, want 2", targets)
+	}
+	if targets[0] == targets[1] {
+		t.Fatal("duplicate targets")
+	}
+	// Both designed critical links should be under pressure.
+	loadA := rig.n.LinkLoad(rig.f.CriticalLinkA)
+	loadB := rig.n.LinkLoad(rig.f.CriticalLinkB)
+	if loadA < 0.7 || loadB < 0.7 {
+		t.Fatalf("two-target attack loads: A=%.2f B=%.2f, want both high", loadA, loadB)
+	}
+}

@@ -1,0 +1,138 @@
+package booster
+
+import (
+	"fmt"
+	"sort"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// ACLAction is the disposition of a matching access-control rule.
+type ACLAction uint8
+
+// ACL actions.
+const (
+	ACLPermit ACLAction = iota
+	ACLDeny
+	// ACLTag marks matching traffic SuspicionLow instead of dropping it,
+	// feeding downstream mitigation.
+	ACLTag
+)
+
+func (a ACLAction) String() string {
+	switch a {
+	case ACLPermit:
+		return "permit"
+	case ACLDeny:
+		return "deny"
+	case ACLTag:
+		return "tag"
+	}
+	return "unknown"
+}
+
+// ACLRule is one TCAM-style match-action entry. Zero-valued fields are
+// wildcards; Priority orders matching (higher wins; ties broken by lower
+// rule ID, i.e. installation order).
+type ACLRule struct {
+	Src, Dst         packet.Addr // exact match when nonzero
+	Proto            packet.Proto
+	DstPort, SrcPort uint16
+	Action           ACLAction
+	Priority         int
+}
+
+func (r ACLRule) matches(p *packet.Packet) bool {
+	if r.Src != 0 && r.Src != p.Src {
+		return false
+	}
+	if r.Dst != 0 && r.Dst != p.Dst {
+		return false
+	}
+	if r.Proto != 0 && r.Proto != p.Proto {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != p.DstPort {
+		return false
+	}
+	if r.SrcPort != 0 && r.SrcPort != p.SrcPort {
+		return false
+	}
+	return true
+}
+
+// AccessControl is the Poise-style in-network access control booster [56]:
+// the network is the last line of defense against compromised endpoints, so
+// policy is enforced in the switch regardless of what hosts claim. Rules
+// live in TCAM and evaluate in priority order; the default is permit.
+type AccessControl struct {
+	self  topo.NodeID
+	rules []ACLRule
+	cap   int
+
+	Denied  uint64
+	Tagged  uint64
+	Matched uint64
+}
+
+// NewAccessControl builds the booster with a TCAM capacity (default 256
+// rules when capacity ≤ 0).
+func NewAccessControl(self topo.NodeID, capacity int) *AccessControl {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &AccessControl{self: self, cap: capacity}
+}
+
+// Name implements PPM.
+func (a *AccessControl) Name() string { return fmt.Sprintf("acl@%d", a.self) }
+
+// Resources implements PPM: the rule TCAM dominates.
+func (a *AccessControl) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 1, SRAMKB: 8, TCAM: a.cap, ALUs: 1}
+}
+
+// AddRule installs a rule; it fails when the TCAM is full.
+func (a *AccessControl) AddRule(r ACLRule) error {
+	if len(a.rules) >= a.cap {
+		return fmt.Errorf("booster: ACL TCAM full (%d rules)", a.cap)
+	}
+	a.rules = append(a.rules, r)
+	sort.SliceStable(a.rules, func(i, j int) bool {
+		return a.rules[i].Priority > a.rules[j].Priority
+	})
+	return nil
+}
+
+// RuleCount returns the number of installed rules.
+func (a *AccessControl) RuleCount() int { return len(a.rules) }
+
+// Process implements PPM.
+func (a *AccessControl) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Proto != packet.ProtoTCP && p.Proto != packet.ProtoUDP {
+		return dataplane.Continue
+	}
+	for _, r := range a.rules {
+		if !r.matches(p) {
+			continue
+		}
+		a.Matched++
+		switch r.Action {
+		case ACLDeny:
+			a.Denied++
+			return dataplane.Drop
+		case ACLTag:
+			a.Tagged++
+			if p.Suspicion < SuspicionLow {
+				p.Suspicion = SuspicionLow
+			}
+			return dataplane.Continue
+		default:
+			return dataplane.Continue // explicit permit short-circuits
+		}
+	}
+	return dataplane.Continue
+}

@@ -1,0 +1,297 @@
+package booster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+)
+
+// --- Hop-count filter ---
+
+func hcfPkt(src int, ttl uint8) *packet.Packet {
+	return &packet.Packet{Src: packet.HostAddr(src), Dst: packet.HostAddr(99),
+		TTL: ttl, Proto: packet.ProtoTCP, SrcPort: 1, DstPort: 80}
+}
+
+func TestHCFLearnsAndFilters(t *testing.T) {
+	f := NewHopCountFilter(0, HCFConfig{LearnFor: time.Second})
+	// Learning phase: source 1 is 3 hops away (TTL 64-3=61).
+	for i := 0; i < 5; i++ {
+		if v := f.Process(mkCtx(time.Duration(i)*100*time.Millisecond, hcfPkt(1, 61), 0, 0)); v != dataplane.Continue {
+			t.Fatal("learning phase dropped traffic")
+		}
+	}
+	if f.Learned != 1 {
+		t.Fatalf("learned = %d", f.Learned)
+	}
+	// Legit packet after learning: same hop count, passes.
+	if v := f.Process(mkCtx(2*time.Second, hcfPkt(1, 61), 0, 0)); v != dataplane.Continue {
+		t.Fatal("legit packet dropped")
+	}
+	// Spoofed packet claiming source 1 but arriving with a different hop
+	// count (spoofer is elsewhere in the topology).
+	ctx := mkCtx(2*time.Second, hcfPkt(1, 58), 0, 0)
+	if v := f.Process(ctx); v != dataplane.Drop {
+		t.Fatal("spoofed packet not dropped")
+	}
+	if ctx.Pkt.Suspicion != SuspicionHigh {
+		t.Fatal("spoofed packet not tagged")
+	}
+	if f.Mismatches != 1 || f.Dropped != 1 {
+		t.Fatalf("counters: mismatches=%d dropped=%d", f.Mismatches, f.Dropped)
+	}
+}
+
+func TestHCFInitialTTLInference(t *testing.T) {
+	f := NewHopCountFilter(0, HCFConfig{})
+	// 3 hops from initial TTL 64, 128 and 255 must all infer 3.
+	for _, ttl := range []uint8{61, 125, 252} {
+		if got := hopsFromTTL(ttl); got != 3 {
+			t.Fatalf("hopsFromTTL(%d) = %d, want 3", ttl, got)
+		}
+	}
+	_ = f
+}
+
+func TestHCFToleranceAndTagOnly(t *testing.T) {
+	f := NewHopCountFilter(0, HCFConfig{Tolerance: 2, TagOnly: true, LearnFor: time.Second})
+	f.Process(mkCtx(0, hcfPkt(1, 61), 0, 0)) // learn 3 hops
+	// Within tolerance: 5 hops (TTL 59).
+	if v := f.Process(mkCtx(2*time.Second, hcfPkt(1, 59), 0, 0)); v != dataplane.Continue {
+		t.Fatal("within-tolerance packet dropped")
+	}
+	if f.Mismatches != 0 {
+		t.Fatal("tolerance not applied")
+	}
+	// Outside tolerance, Enforce=false: tagged but not dropped.
+	ctx := mkCtx(2*time.Second, hcfPkt(1, 50), 0, 0)
+	if v := f.Process(ctx); v != dataplane.Continue {
+		t.Fatal("tag-only mode dropped packet")
+	}
+	if ctx.Pkt.Suspicion != SuspicionHigh || f.Mismatches != 1 {
+		t.Fatal("tag-only mode did not tag")
+	}
+}
+
+func TestHCFLearningWindowCloses(t *testing.T) {
+	f := NewHopCountFilter(0, HCFConfig{LearnFor: time.Second})
+	f.Process(mkCtx(0, hcfPkt(1, 61), 0, 0))
+	// New source after the window: not learned, not filtered.
+	f.Process(mkCtx(3*time.Second, hcfPkt(2, 60), 0, 0))
+	if f.Learned != 1 {
+		t.Fatalf("learned = %d after window closed", f.Learned)
+	}
+	if v := f.Process(mkCtx(4*time.Second, hcfPkt(2, 55), 0, 0)); v != dataplane.Continue {
+		t.Fatal("unknown source filtered")
+	}
+}
+
+func TestHCFLocalOriginSkipped(t *testing.T) {
+	f := NewHopCountFilter(0, HCFConfig{})
+	if v := f.Process(mkCtx(0, hcfPkt(1, 61), -1, 0)); v != dataplane.Continue {
+		t.Fatal("locally originated packet processed")
+	}
+	if f.Learned != 0 {
+		t.Fatal("learned from local origin")
+	}
+}
+
+func TestHCFSnapshotRestore(t *testing.T) {
+	f := NewHopCountFilter(0, HCFConfig{LearnFor: time.Second})
+	for i := 0; i < 5; i++ {
+		f.Process(mkCtx(0, hcfPkt(i, uint8(60+i)), 0, 0))
+	}
+	snap := f.Snapshot()
+	if len(snap) != 25 {
+		t.Fatalf("snapshot length = %d", len(snap))
+	}
+	if !bytes.Equal(snap, f.Snapshot()) {
+		t.Fatal("snapshot not deterministic")
+	}
+	g := NewHopCountFilter(1, HCFConfig{})
+	if err := g.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if g.Learned != 5 {
+		t.Fatalf("restored learned = %d", g.Learned)
+	}
+	// Restored table filters the same way.
+	if v := g.Process(mkCtx(time.Minute, hcfPkt(0, 50), 0, 0)); v != dataplane.Drop {
+		t.Fatal("restored table does not filter")
+	}
+	if err := g.Restore([]byte{1, 2, 3}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+// --- Access control ---
+
+func TestACLDeny(t *testing.T) {
+	a := NewAccessControl(0, 16)
+	if err := a.AddRule(ACLRule{Dst: packet.HostAddr(9), DstPort: 22, Action: ACLDeny}); err != nil {
+		t.Fatal(err)
+	}
+	ssh := &packet.Packet{Src: packet.HostAddr(1), Dst: packet.HostAddr(9),
+		Proto: packet.ProtoTCP, SrcPort: 1000, DstPort: 22}
+	if v := a.Process(mkCtx(0, ssh, 0, 0)); v != dataplane.Drop {
+		t.Fatal("denied flow not dropped")
+	}
+	web := &packet.Packet{Src: packet.HostAddr(1), Dst: packet.HostAddr(9),
+		Proto: packet.ProtoTCP, SrcPort: 1000, DstPort: 80}
+	if v := a.Process(mkCtx(0, web, 0, 0)); v != dataplane.Continue {
+		t.Fatal("non-matching flow dropped")
+	}
+	if a.Denied != 1 || a.Matched != 1 {
+		t.Fatalf("counters: %d/%d", a.Denied, a.Matched)
+	}
+}
+
+func TestACLPriorityOrder(t *testing.T) {
+	a := NewAccessControl(0, 16)
+	// Low-priority deny-all to dst, high-priority permit for port 80.
+	a.AddRule(ACLRule{Dst: packet.HostAddr(9), Action: ACLDeny, Priority: 1})
+	a.AddRule(ACLRule{Dst: packet.HostAddr(9), DstPort: 80, Action: ACLPermit, Priority: 10})
+	web := &packet.Packet{Src: packet.HostAddr(1), Dst: packet.HostAddr(9),
+		Proto: packet.ProtoTCP, DstPort: 80}
+	if v := a.Process(mkCtx(0, web, 0, 0)); v != dataplane.Continue {
+		t.Fatal("high-priority permit not honored")
+	}
+	other := &packet.Packet{Src: packet.HostAddr(1), Dst: packet.HostAddr(9),
+		Proto: packet.ProtoTCP, DstPort: 443}
+	if v := a.Process(mkCtx(0, other, 0, 0)); v != dataplane.Drop {
+		t.Fatal("low-priority deny not applied")
+	}
+}
+
+func TestACLTagFeedsMitigation(t *testing.T) {
+	a := NewAccessControl(0, 16)
+	a.AddRule(ACLRule{Src: packet.HostAddr(7), Action: ACLTag})
+	p := &packet.Packet{Src: packet.HostAddr(7), Dst: packet.HostAddr(9), Proto: packet.ProtoUDP}
+	ctx := mkCtx(0, p, 0, 0)
+	if v := a.Process(ctx); v != dataplane.Continue {
+		t.Fatal("tag rule dropped packet")
+	}
+	if ctx.Pkt.Suspicion != SuspicionLow || a.Tagged != 1 {
+		t.Fatal("tag rule did not tag")
+	}
+}
+
+func TestACLCapacity(t *testing.T) {
+	a := NewAccessControl(0, 2)
+	if a.AddRule(ACLRule{Action: ACLDeny}) != nil || a.AddRule(ACLRule{Action: ACLDeny}) != nil {
+		t.Fatal("rules rejected below capacity")
+	}
+	if a.AddRule(ACLRule{Action: ACLDeny}) == nil {
+		t.Fatal("TCAM overflow accepted")
+	}
+	if a.RuleCount() != 2 {
+		t.Fatalf("rule count = %d", a.RuleCount())
+	}
+	if a.Resources().TCAM != 2 {
+		t.Fatal("TCAM footprint does not reflect capacity")
+	}
+}
+
+func TestACLIgnoresControlTraffic(t *testing.T) {
+	a := NewAccessControl(0, 4)
+	a.AddRule(ACLRule{Action: ACLDeny}) // deny everything
+	probe := &packet.Packet{Proto: packet.ProtoProbe,
+		Probe: &packet.ProbeInfo{Kind: packet.ProbeModeChange}}
+	if v := a.Process(mkCtx(0, probe, 0, 0)); v != dataplane.Continue {
+		t.Fatal("probe dropped by ACL")
+	}
+}
+
+// --- Global rate limit ---
+
+func grlPkt(victim packet.Addr, size uint16) *packet.Packet {
+	return &packet.Packet{Src: packet.HostAddr(1), Dst: victim,
+		Proto: packet.ProtoUDP, SrcPort: 5, DstPort: 9, PayloadLen: size}
+}
+
+// driveGRL pushes a constant local rate through the limiter over
+// [start, start+dur) and returns the delivered fraction.
+func driveGRL(g *GlobalRateLimit, victim packet.Addr, pps int, start, dur time.Duration) float64 {
+	sent, delivered := 0, 0
+	iv := time.Second / time.Duration(pps)
+	for now := start; now < start+dur; now += iv {
+		sent++
+		if g.Process(mkCtx(now, grlPkt(victim, 1000), 0, 0)) == dataplane.Continue {
+			delivered++
+		}
+	}
+	return float64(delivered) / float64(sent)
+}
+
+func TestGRLUnderLimitPassesAll(t *testing.T) {
+	victim := packet.HostAddr(9)
+	g := NewGlobalRateLimit(0, GRLConfig{Victim: victim, LimitBps: 10e6})
+	// ~4 Mbps local, no peers: under limit.
+	if frac := driveGRL(g, victim, 500, 0, 3*time.Second); frac < 0.999 {
+		t.Fatalf("under-limit traffic shed: %.3f delivered", frac)
+	}
+	if g.Throttling() {
+		t.Fatal("throttling under the limit")
+	}
+}
+
+func TestGRLLocalOverLimitSheds(t *testing.T) {
+	victim := packet.HostAddr(9)
+	g := NewGlobalRateLimit(0, GRLConfig{Victim: victim, LimitBps: 4e6})
+	// ~8.2 Mbps local vs 4 Mbps limit: about half must be shed.
+	frac := driveGRL(g, victim, 1000, 0, 4*time.Second)
+	if frac > 0.65 || frac < 0.35 {
+		t.Fatalf("delivered fraction %.2f, want ≈0.5", frac)
+	}
+	if g.Dropped == 0 || g.Throttled == 0 {
+		t.Fatal("no shedding recorded")
+	}
+}
+
+func TestGRLGlobalViewTriggersThrottle(t *testing.T) {
+	victim := packet.HostAddr(9)
+	var globalBytes uint64
+	g := NewGlobalRateLimit(0, GRLConfig{
+		Victim: victim, LimitBps: 8e6,
+		Global: func(time.Duration) (uint64, int) { return globalBytes, 3 },
+	})
+	// Locally only ~4 Mbps — under the limit on its own.
+	frac := driveGRL(g, victim, 500, 0, 2*time.Second)
+	if frac < 0.999 {
+		t.Fatalf("shed despite global under limit: %.3f", frac)
+	}
+	// Peers report heavy load: global estimate 2 MB per 500ms window =
+	// 32 Mbps >> 8 Mbps. The local instance must shed proportionally.
+	globalBytes = 2 << 20
+	frac = driveGRL(g, victim, 500, 2*time.Second, 2*time.Second)
+	if frac > 0.5 {
+		t.Fatalf("did not shed under global pressure: %.3f delivered", frac)
+	}
+	if !g.Throttling() {
+		t.Fatal("not throttling")
+	}
+}
+
+func TestGRLIgnoresOtherDestinations(t *testing.T) {
+	victim := packet.HostAddr(9)
+	g := NewGlobalRateLimit(0, GRLConfig{Victim: victim, LimitBps: 1e3})
+	other := packet.HostAddr(10)
+	if frac := driveGRL(g, other, 1000, 0, time.Second); frac < 0.999 {
+		t.Fatal("limited traffic to a non-victim destination")
+	}
+}
+
+func TestGRLLocalCountExported(t *testing.T) {
+	victim := packet.HostAddr(9)
+	g := NewGlobalRateLimit(0, GRLConfig{Victim: victim, LimitBps: 100e6, Window: 500 * time.Millisecond})
+	driveGRL(g, victim, 1000, 0, 1200*time.Millisecond)
+	if g.LocalCount() == 0 {
+		t.Fatal("no local count exported after full windows")
+	}
+	if g.MetricID() != 0x10 {
+		t.Fatalf("metric id = %d", g.MetricID())
+	}
+}

@@ -1,0 +1,152 @@
+package booster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// HCFConfig parameterizes the hop-count filter.
+type HCFConfig struct {
+	// Tolerance is the allowed deviation (in hops) from the learned
+	// hop count before a packet counts as spoofed (default 0: the
+	// simulator has stable paths; real deployments use 1–2).
+	Tolerance uint8
+	// LearnFor is the initial learning window during which observed hop
+	// counts are recorded without filtering (default 5s).
+	LearnFor time.Duration
+	// TableSize bounds the per-source table (default 8192 sources).
+	TableSize int
+	// TagOnly makes the filter tag mismatching packets SuspicionHigh
+	// instead of dropping them (default false: enforce by dropping).
+	TagOnly bool
+}
+
+func (c *HCFConfig) fillDefaults() {
+	if c.LearnFor == 0 {
+		c.LearnFor = 5 * time.Second
+	}
+	if c.TableSize == 0 {
+		c.TableSize = 8192
+	}
+}
+
+// HopCountFilter is the NetHCF-style spoofed-traffic filter [51]: the hop
+// count a packet traveled is inferred from its TTL (initial TTLs are
+// standardized), compared against the hop count previously learned for the
+// claimed source. Spoofed sources rarely guess the right TTL, so their
+// packets mismatch and are tagged or dropped at line rate.
+type HopCountFilter struct {
+	cfg  HCFConfig
+	self topo.NodeID
+
+	learned  map[packet.Addr]uint8
+	learnEnd time.Duration
+
+	Learned    int
+	Mismatches uint64
+	Dropped    uint64
+}
+
+// NewHopCountFilter builds the filter for one switch.
+func NewHopCountFilter(self topo.NodeID, cfg HCFConfig) *HopCountFilter {
+	cfg.fillDefaults()
+	return &HopCountFilter{cfg: cfg, self: self, learned: make(map[packet.Addr]uint8)}
+}
+
+// Name implements PPM.
+func (f *HopCountFilter) Name() string { return fmt.Sprintf("hcf@%d", f.self) }
+
+// Resources implements PPM: the per-source hop-count table dominates.
+func (f *HopCountFilter) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 2, SRAMKB: float64(f.cfg.TableSize) * 5 / 1024, TCAM: 0, ALUs: 2}
+}
+
+// hopsFromTTL infers traveled hops from the received TTL, assuming the
+// standard initial values (64, 128, 255).
+func hopsFromTTL(ttl uint8) uint8 {
+	switch {
+	case ttl <= 64:
+		return 64 - ttl
+	case ttl <= 128:
+		return 128 - ttl
+	default:
+		return 255 - ttl
+	}
+}
+
+// Process implements PPM.
+func (f *HopCountFilter) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Proto != packet.ProtoTCP && p.Proto != packet.ProtoUDP {
+		return dataplane.Continue
+	}
+	if ctx.InLink < 0 {
+		return dataplane.Continue // locally originated
+	}
+	hops := hopsFromTTL(p.TTL)
+	if f.learnEnd == 0 {
+		f.learnEnd = ctx.Now + f.cfg.LearnFor
+	}
+	known, ok := f.learned[p.Src]
+	if !ok {
+		if ctx.Now <= f.learnEnd && len(f.learned) < f.cfg.TableSize {
+			f.learned[p.Src] = hops
+			f.Learned = len(f.learned)
+		}
+		return dataplane.Continue
+	}
+	diff := int(hops) - int(known)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff <= int(f.cfg.Tolerance) {
+		return dataplane.Continue
+	}
+	f.Mismatches++
+	if p.Suspicion < SuspicionHigh {
+		p.Suspicion = SuspicionHigh
+	}
+	if !f.cfg.TagOnly {
+		f.Dropped++
+		return dataplane.Drop
+	}
+	return dataplane.Continue
+}
+
+// Snapshot implements dataplane.Stateful: the learned table migrates when
+// the switch is repurposed. The encoding is deterministic (sorted by
+// source) so replicas are byte-comparable.
+func (f *HopCountFilter) Snapshot() []byte {
+	srcs := make([]packet.Addr, 0, len(f.learned))
+	for src := range f.learned {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	buf := make([]byte, 0, len(srcs)*5)
+	for _, src := range srcs {
+		var rec [5]byte
+		binary.BigEndian.PutUint32(rec[0:4], uint32(src))
+		rec[4] = f.learned[src]
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// Restore implements dataplane.Stateful.
+func (f *HopCountFilter) Restore(data []byte) error {
+	if len(data)%5 != 0 {
+		return fmt.Errorf("booster: HCF snapshot length %d not a multiple of 5", len(data))
+	}
+	f.learned = make(map[packet.Addr]uint8, len(data)/5)
+	for off := 0; off < len(data); off += 5 {
+		f.learned[packet.Addr(binary.BigEndian.Uint32(data[off:off+4]))] = data[off+4]
+	}
+	f.Learned = len(f.learned)
+	return nil
+}

@@ -1,0 +1,389 @@
+package booster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/sketch"
+	"fastflex/internal/topo"
+)
+
+// LFAConfig parameterizes the link-flooding detector.
+type LFAConfig struct {
+	// Protected is the victim destination prefix (the public servers near
+	// the victim, in Crossfire terms). Empty means protect everything.
+	Protected []packet.Addr
+	// HighLoad is the local link utilization above which a link counts as
+	// flooded (default 0.85).
+	HighLoad float64
+	// MinFlows is how many persistent low-rate flows toward the protected
+	// prefix must be present, together with a flooded link, to raise the
+	// LFA alarm (default 8).
+	MinFlows int
+	// MinDuration is the persistence bar for a suspicious flow (default 1s).
+	MinDuration time.Duration
+	// MaxRateBps is the low-rate ceiling: flows faster than this don't
+	// match the Crossfire pattern (default 2 Mbps).
+	MaxRateBps float64
+	// EvalEvery is the detector's evaluation epoch (default 100ms).
+	EvalEvery time.Duration
+	// ClearAfter: the alarm clears after loads stay below HighLoad for
+	// this long (default 2s). This hysteresis is the stability guard of
+	// §6 against attacker-induced mode flapping.
+	ClearAfter time.Duration
+	// FlowCapacity bounds the connection table (default 4096 flows).
+	FlowCapacity int
+	// HighSuspicionAfter: flows that stay suspicious this long after
+	// being marked are escalated to SuspicionHigh and dropped (default
+	// 3×MinDuration).
+	HighSuspicionAfter time.Duration
+	// ReassertEvery: while the attack persists, the detector re-raises
+	// the alarm at this period so mode dwell timers stay refreshed
+	// network-wide even if another detector cleared prematurely (the
+	// self-stabilization discussed in §6). Default 500ms.
+	ReassertEvery time.Duration
+	// ExternalEvidence, if set, returns a monotone counter of co-located
+	// mitigation activity (e.g. the local dropper's kill count). While it
+	// keeps increasing, the attack has not subsided — it is merely being
+	// absorbed — so the alarm must not clear even though links are calm.
+	ExternalEvidence func() uint64
+	// StabilityWindow: every alarm raise within this window doubles the
+	// effective ClearAfter (capped at 16×). A pulsing attacker that
+	// re-triggers detection repeatedly therefore stretches the clear
+	// hysteresis until the modes simply stay on — the §6 defense against
+	// intentionally induced mode flapping. Default 60s; 0 disables.
+	StabilityWindow time.Duration
+}
+
+func (c *LFAConfig) fillDefaults() {
+	if c.HighLoad == 0 {
+		c.HighLoad = 0.85
+	}
+	if c.MinFlows == 0 {
+		c.MinFlows = 8
+	}
+	if c.MinDuration == 0 {
+		c.MinDuration = time.Second
+	}
+	if c.MaxRateBps == 0 {
+		c.MaxRateBps = 2e6
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 100 * time.Millisecond
+	}
+	if c.ClearAfter == 0 {
+		c.ClearAfter = 2 * time.Second
+	}
+	if c.FlowCapacity == 0 {
+		c.FlowCapacity = 4096
+	}
+	if c.HighSuspicionAfter == 0 {
+		c.HighSuspicionAfter = 3 * c.MinDuration
+	}
+	if c.ReassertEvery == 0 {
+		c.ReassertEvery = 500 * time.Millisecond
+	}
+	if c.StabilityWindow == 0 {
+		c.StabilityWindow = time.Minute
+	}
+}
+
+// LFADetector is the detection booster of the §4 case study. It watches
+// (a) local link loads and (b) persistent low-rate flows toward the
+// protected prefix, tags matching flows' packets with suspicion levels, and
+// raises/clears the LFA alarm. It is part of the always-on default mode.
+type LFADetector struct {
+	cfg   LFAConfig
+	self  topo.NodeID
+	links []topo.LinkID
+	load  func(topo.LinkID) float64
+
+	flows     *sketch.FlowTable
+	protected map[packet.Addr]bool
+	// suspSrc holds sources owning suspicious flows. Any traffic from
+	// them — including fresh flows and traceroute probes — inherits
+	// SuspicionLow, which is what routes the attacker's reconnaissance
+	// into the obfuscation booster.
+	suspSrc map[packet.Addr]uint8
+
+	lastEval     time.Duration
+	calmSince    time.Duration
+	lastAssert   time.Duration
+	lastEvidence uint64
+	attackActive bool
+	marked       bool
+	raiseTimes   []time.Duration
+
+	// Alarm receives attack start/stop events; nil is allowed.
+	Alarm AlarmFunc
+
+	// Counters.
+	Alarms     uint64
+	Clears     uint64
+	Suspicious int // flows currently marked, refreshed each eval
+}
+
+// NewLFADetector builds the detector for one switch. links are the switch's
+// outgoing switch-to-switch links; load reports a link's smoothed
+// utilization in [0,1+].
+func NewLFADetector(self topo.NodeID, links []topo.LinkID, load func(topo.LinkID) float64, cfg LFAConfig) *LFADetector {
+	cfg.fillDefaults()
+	d := &LFADetector{
+		cfg:     cfg,
+		self:    self,
+		links:   links,
+		load:    load,
+		flows:   sketch.NewFlowTable(cfg.FlowCapacity),
+		suspSrc: make(map[packet.Addr]uint8),
+	}
+	if len(cfg.Protected) > 0 {
+		d.protected = make(map[packet.Addr]bool, len(cfg.Protected))
+		for _, a := range cfg.Protected {
+			d.protected[a] = true
+		}
+	}
+	return d
+}
+
+// Name implements PPM.
+func (d *LFADetector) Name() string { return fmt.Sprintf("lfa-detect@%d", d.self) }
+
+// Resources implements PPM: link-load registers, a flow table, and
+// comparison ALUs — the footprint reported in the Figure-1(a) table.
+func (d *LFADetector) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 3, SRAMKB: float64(d.flows.Bytes()) / 1024, TCAM: 0, ALUs: 4}
+}
+
+// Active reports whether the detector currently believes an LFA is ongoing.
+func (d *LFADetector) Active() bool { return d.attackActive }
+
+// Process implements PPM.
+func (d *LFADetector) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Proto == packet.ProtoTCP || p.Proto == packet.ProtoUDP {
+		if d.protected == nil || d.protected[p.Dst] {
+			s := d.flows.Observe(p, ctx.Now)
+			if s.Suspicion > p.Suspicion {
+				p.Suspicion = s.Suspicion
+			}
+		}
+		if lvl := d.suspSrc[p.Src]; lvl > p.Suspicion {
+			p.Suspicion = lvl
+		}
+	}
+	if ctx.Now-d.lastEval >= d.cfg.EvalEvery {
+		d.lastEval = ctx.Now
+		d.evaluate(ctx)
+	}
+	return dataplane.Continue
+}
+
+// evaluate runs the epoch logic: congestion check, flow classification, and
+// alarm transitions with clear hysteresis.
+func (d *LFADetector) evaluate(ctx *dataplane.Context) {
+	congested := false
+	for _, l := range d.links {
+		if d.load(l) >= d.cfg.HighLoad {
+			congested = true
+			break
+		}
+	}
+	if d.cfg.ExternalEvidence != nil {
+		if v := d.cfg.ExternalEvidence(); v > d.lastEvidence {
+			d.lastEvidence = v
+			if d.attackActive {
+				// Mitigation is still absorbing attack traffic: the
+				// links are calm only because the defense works.
+				congested = true
+			}
+		}
+	}
+	// Marks persist while the mitigation mode is still active on this
+	// switch (another detector may still be fighting the attack); they
+	// are wiped only once the whole defense stands down locally.
+	if !d.attackActive && d.marked && !ctx.Modes.Has(ModeMitigate) {
+		d.unmarkAll()
+	}
+	// Clears can be suppressed by the mode protocol's dwell hysteresis;
+	// keep re-requesting while we are calm but the modes linger.
+	if !d.attackActive && d.Clears > 0 &&
+		(ctx.Modes.Has(ModeReroute) || ctx.Modes.Has(ModeMitigate)) &&
+		ctx.Now-d.lastAssert >= d.cfg.ReassertEvery {
+		d.lastAssert = ctx.Now
+		if d.Alarm != nil {
+			d.Alarm(ctx, Alarm{Class: AttackLFA, Active: false})
+		}
+	}
+	// While an attack is active, keep classifying (and escalating) even
+	// if mitigation has already calmed the links; otherwise escalation
+	// would stall the moment rerouting starts working.
+	suspects := 0
+	if congested || d.attackActive {
+		suspects = d.classify(ctx.Now)
+	}
+	// Calmness is only trustworthy when we are not actively suppressing
+	// the attack: while mitigation modes are engaged and the suspicious
+	// flows persist, the attacker has not stopped — rerouting has merely
+	// dispersed the load.
+	if d.attackActive && suspects >= d.cfg.MinFlows &&
+		(ctx.Modes.Has(ModeReroute) || ctx.Modes.Has(ModeMitigate)) {
+		congested = true
+	}
+	if congested {
+		d.calmSince = 0
+		if !d.attackActive && suspects >= d.cfg.MinFlows {
+			d.attackActive = true
+			d.Alarms++
+			d.lastAssert = ctx.Now
+			d.raiseTimes = append(d.raiseTimes, ctx.Now)
+			if d.Alarm != nil {
+				d.Alarm(ctx, Alarm{Class: AttackLFA, Active: true})
+			}
+		} else if d.attackActive && ctx.Now-d.lastAssert >= d.cfg.ReassertEvery {
+			// Keep the network-wide modes asserted while the attack
+			// persists (stability against premature clears).
+			d.lastAssert = ctx.Now
+			if d.Alarm != nil {
+				d.Alarm(ctx, Alarm{Class: AttackLFA, Active: true})
+			}
+		}
+		return
+	}
+	if !d.attackActive {
+		return
+	}
+	if d.calmSince == 0 {
+		d.calmSince = ctx.Now
+		return
+	}
+	if ctx.Now-d.calmSince >= d.effectiveClearAfter(ctx.Now) {
+		d.attackActive = false
+		d.calmSince = 0
+		d.Clears++
+		if !ctx.Modes.Has(ModeMitigate) {
+			d.unmarkAll()
+		}
+		if d.Alarm != nil {
+			d.Alarm(ctx, Alarm{Class: AttackLFA, Active: false})
+		}
+	}
+}
+
+// effectiveClearAfter doubles the clear hysteresis per recent raise,
+// capped at 16× — repeated raise/clear cycles (a pulsing attacker) pin the
+// modes on instead of flapping them.
+func (d *LFADetector) effectiveClearAfter(now time.Duration) time.Duration {
+	if d.cfg.StabilityWindow <= 0 {
+		return d.cfg.ClearAfter
+	}
+	recent := 0
+	keep := d.raiseTimes[:0]
+	for _, t := range d.raiseTimes {
+		if now-t <= d.cfg.StabilityWindow {
+			keep = append(keep, t)
+			recent++
+		}
+	}
+	d.raiseTimes = keep
+	shift := recent - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 4 {
+		shift = 4
+	}
+	return d.cfg.ClearAfter << shift
+}
+
+// classify marks flows matching the Crossfire pattern (persistent,
+// low-rate, toward the protected prefix) and returns how many matched.
+func (d *LFADetector) classify(now time.Duration) int {
+	count := 0
+	d.flows.Range(func(s *sketch.FlowState) bool {
+		dur := now - s.FirstSeen
+		rate := s.RateBps()
+		recent := now-s.LastSeen < 2*d.cfg.EvalEvery+100*time.Millisecond
+		if recent && dur >= d.cfg.MinDuration && rate > 0 && rate <= d.cfg.MaxRateBps {
+			count++
+			if s.Suspicion == SuspicionNone {
+				s.Suspicion = SuspicionLow
+				s.MarkedAt = now
+				d.marked = true
+			} else if s.Suspicion == SuspicionLow && now-s.MarkedAt >= d.cfg.HighSuspicionAfter {
+				s.Suspicion = SuspicionHigh
+			}
+			// Suspicion is per-source, not just per-flow: the same bot's
+			// reconnaissance probes must be treated as suspicious too.
+			if SuspicionLow > d.suspSrc[s.Key.Src()] {
+				d.suspSrc[s.Key.Src()] = SuspicionLow
+			}
+		}
+		return true
+	})
+	d.Suspicious = count
+	return count
+}
+
+func (d *LFADetector) unmarkAll() {
+	d.flows.Range(func(s *sketch.FlowState) bool {
+		s.Suspicion = SuspicionNone
+		s.MarkedAt = 0
+		return true
+	})
+	d.suspSrc = make(map[packet.Addr]uint8)
+	d.Suspicious = 0
+	d.marked = false
+}
+
+// Snapshot implements dataplane.Stateful: it serializes the flow table so
+// the detector can be migrated when its switch is repurposed (§3.4).
+func (d *LFADetector) Snapshot() []byte {
+	var buf []byte
+	d.flows.Range(func(s *sketch.FlowState) bool {
+		var rec [13 + 8*5 + 1]byte
+		copy(rec[0:13], s.Key[:])
+		binary.BigEndian.PutUint64(rec[13:21], uint64(s.FirstSeen))
+		binary.BigEndian.PutUint64(rec[21:29], uint64(s.LastSeen))
+		binary.BigEndian.PutUint64(rec[29:37], s.Packets)
+		binary.BigEndian.PutUint64(rec[37:45], s.Bytes)
+		binary.BigEndian.PutUint64(rec[45:53], uint64(s.MarkedAt))
+		rec[53] = s.Suspicion
+		buf = append(buf, rec[:]...)
+		return true
+	})
+	return buf
+}
+
+// Restore implements dataplane.Stateful.
+func (d *LFADetector) Restore(data []byte) error {
+	const recLen = 13 + 8*5 + 1
+	if len(data)%recLen != 0 {
+		return fmt.Errorf("booster: LFA snapshot length %d not a multiple of %d", len(data), recLen)
+	}
+	d.flows.Reset()
+	// Records were emitted MRU-first; re-observe in reverse so recency is
+	// preserved.
+	for off := len(data) - recLen; off >= 0; off -= recLen {
+		rec := data[off : off+recLen]
+		var key packet.FlowKey
+		copy(key[:], rec[0:13])
+		p := &packet.Packet{
+			Src: key.Src(), Dst: key.Dst(), Proto: packet.Proto(key[8]),
+			SrcPort: binary.BigEndian.Uint16(key[9:11]),
+			DstPort: binary.BigEndian.Uint16(key[11:13]),
+		}
+		s := d.flows.Observe(p, time.Duration(binary.BigEndian.Uint64(rec[21:29])))
+		s.FirstSeen = time.Duration(binary.BigEndian.Uint64(rec[13:21]))
+		s.Packets = binary.BigEndian.Uint64(rec[29:37])
+		s.Bytes = binary.BigEndian.Uint64(rec[37:45])
+		s.MarkedAt = time.Duration(binary.BigEndian.Uint64(rec[45:53]))
+		s.Suspicion = rec[53]
+		if s.Suspicion > SuspicionNone {
+			d.suspSrc[s.Key.Src()] = SuspicionLow
+		}
+	}
+	return nil
+}

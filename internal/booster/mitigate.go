@@ -1,0 +1,75 @@
+package booster
+
+import (
+	"fmt"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// DropperConfig parameterizes the packet-dropping mitigation booster.
+type DropperConfig struct {
+	// DropLevel: packets with Suspicion ≥ DropLevel are dropped
+	// (default SuspicionHigh — conservative, per §4.1 "applied only to
+	// highly suspicious flows").
+	DropLevel uint8
+	// LimitLevel and LimitFraction: packets with LimitLevel ≤ Suspicion <
+	// DropLevel are dropped probabilistically with LimitFraction, i.e.
+	// rate limited. LimitFraction 0 disables limiting.
+	LimitLevel    uint8
+	LimitFraction float64
+}
+
+func (c *DropperConfig) fillDefaults() {
+	if c.DropLevel == 0 {
+		c.DropLevel = SuspicionHigh
+	}
+	if c.LimitLevel == 0 {
+		c.LimitLevel = SuspicionLow
+	}
+}
+
+// Dropper is the packet-dropping / rate-limiting booster. Dropping the
+// most suspicious flows both relieves the flooded link and creates the
+// "illusion of success" for the attacker (§4.2 step 5).
+type Dropper struct {
+	cfg  DropperConfig
+	self topo.NodeID
+
+	DroppedHigh uint64
+	Limited     uint64
+}
+
+// NewDropper builds the mitigation booster for one switch.
+func NewDropper(self topo.NodeID, cfg DropperConfig) *Dropper {
+	cfg.fillDefaults()
+	return &Dropper{cfg: cfg, self: self}
+}
+
+// Name implements PPM.
+func (d *Dropper) Name() string { return fmt.Sprintf("dropper@%d", d.self) }
+
+// Resources implements PPM: a threshold compare and a drop action.
+func (d *Dropper) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 1, SRAMKB: 8, TCAM: 16, ALUs: 1}
+}
+
+// Process implements PPM.
+func (d *Dropper) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Proto != packet.ProtoTCP && p.Proto != packet.ProtoUDP {
+		return dataplane.Continue
+	}
+	if p.Suspicion >= d.cfg.DropLevel {
+		d.DroppedHigh++
+		return dataplane.Drop
+	}
+	if d.cfg.LimitFraction > 0 && p.Suspicion >= d.cfg.LimitLevel {
+		if ctx.RNG.Float64() < d.cfg.LimitFraction {
+			d.Limited++
+			return dataplane.Drop
+		}
+	}
+	return dataplane.Continue
+}

@@ -1,0 +1,82 @@
+package booster
+
+import (
+	"fmt"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// NormalizeConfig parameterizes the header normalizer.
+type NormalizeConfig struct {
+	// Protected lists the sources whose egress traffic is normalized
+	// (the hosts that must not leak). Empty protects everything.
+	Protected []packet.Addr
+	// CanonicalTTL is written into outbound packets (default 64),
+	// destroying TTL-modulation channels.
+	CanonicalTTL uint8
+}
+
+// Normalizer is the NetWarden-inspired covert-storage-channel mitigation
+// [78]: compromised hosts can exfiltrate data by modulating header fields
+// the application does not need (TTL values, reserved bits). The
+// normalizer rewrites those fields to canonical values at the network
+// boundary, destroying the channel while leaving performance untouched —
+// the "network as the last line of defense against compromised endpoints"
+// placement argument of §2.1.
+type Normalizer struct {
+	cfg       NormalizeConfig
+	self      topo.NodeID
+	protected map[packet.Addr]bool
+
+	Rewritten uint64
+}
+
+// NewNormalizer builds the booster for one switch.
+func NewNormalizer(self topo.NodeID, cfg NormalizeConfig) *Normalizer {
+	if cfg.CanonicalTTL == 0 {
+		cfg.CanonicalTTL = 64
+	}
+	n := &Normalizer{cfg: cfg, self: self}
+	if len(cfg.Protected) > 0 {
+		n.protected = make(map[packet.Addr]bool, len(cfg.Protected))
+		for _, a := range cfg.Protected {
+			n.protected[a] = true
+		}
+	}
+	return n
+}
+
+// Name implements PPM.
+func (n *Normalizer) Name() string { return fmt.Sprintf("normalize@%d", n.self) }
+
+// Resources implements PPM: field rewrites only.
+func (n *Normalizer) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 1, SRAMKB: 4, TCAM: 4, ALUs: 2}
+}
+
+// Process implements PPM. It normalizes at the first switch hop (the
+// protected host's edge), where the original TTL has decremented exactly
+// once and can be canonicalized without breaking downstream forwarding.
+func (n *Normalizer) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Proto != packet.ProtoTCP && p.Proto != packet.ProtoUDP {
+		return dataplane.Continue
+	}
+	if n.protected != nil && !n.protected[p.Src] {
+		return dataplane.Continue
+	}
+	changed := false
+	// A TTL below the canonical value minus the hops actually traveled
+	// is a modulated (covert) value; rewrite it.
+	want := n.cfg.CanonicalTTL - p.Hops
+	if p.TTL != want {
+		p.TTL = want
+		changed = true
+	}
+	if changed {
+		n.Rewritten++
+	}
+	return dataplane.Continue
+}

@@ -1,0 +1,63 @@
+package booster
+
+import (
+	"testing"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+)
+
+func TestNormalizerKillsTTLChannel(t *testing.T) {
+	prot := packet.HostAddr(5)
+	n := NewNormalizer(0, NormalizeConfig{Protected: []packet.Addr{prot}})
+	// A compromised host modulates TTL to exfiltrate bits: 64-q encodes q.
+	leaked := []uint8{60, 64, 57, 63}
+	var out []uint8
+	for i, ttl := range leaked {
+		p := &packet.Packet{Src: prot, Dst: packet.HostAddr(9), TTL: ttl,
+			Proto: packet.ProtoTCP, SrcPort: uint16(i), DstPort: 443}
+		n.Process(mkCtx(0, p, 0, 0))
+		out = append(out, p.TTL)
+	}
+	for _, ttl := range out {
+		if ttl != 64 {
+			t.Fatalf("TTL channel survived: egress TTLs %v", out)
+		}
+	}
+	if n.Rewritten != 3 { // the honest 64 needs no rewrite
+		t.Fatalf("rewrites = %d, want 3", n.Rewritten)
+	}
+}
+
+func TestNormalizerAccountsForTransitHops(t *testing.T) {
+	n := NewNormalizer(2, NormalizeConfig{})
+	// A packet that legitimately traveled 2 hops arrives with TTL 62.
+	p := &packet.Packet{Src: packet.HostAddr(5), Dst: packet.HostAddr(9),
+		TTL: 62, Hops: 2, Proto: packet.ProtoUDP}
+	n.Process(mkCtx(0, p, 0, 0))
+	if p.TTL != 62 || n.Rewritten != 0 {
+		t.Fatalf("legit transit packet rewritten: ttl=%d rewrites=%d", p.TTL, n.Rewritten)
+	}
+	// Same position, modulated TTL: canonicalized relative to hops.
+	q := &packet.Packet{Src: packet.HostAddr(5), Dst: packet.HostAddr(9),
+		TTL: 55, Hops: 2, Proto: packet.ProtoUDP}
+	n.Process(mkCtx(0, q, 0, 0))
+	if q.TTL != 62 {
+		t.Fatalf("modulated TTL normalized to %d, want 62", q.TTL)
+	}
+}
+
+func TestNormalizerScopesToProtected(t *testing.T) {
+	n := NewNormalizer(0, NormalizeConfig{Protected: []packet.Addr{packet.HostAddr(5)}})
+	p := &packet.Packet{Src: packet.HostAddr(6), Dst: packet.HostAddr(9),
+		TTL: 33, Proto: packet.ProtoTCP}
+	n.Process(mkCtx(0, p, 0, 0))
+	if p.TTL != 33 {
+		t.Fatal("unprotected source normalized")
+	}
+	probe := &packet.Packet{Src: packet.HostAddr(5), Proto: packet.ProtoProbe,
+		TTL: 33, Probe: &packet.ProbeInfo{Kind: packet.ProbeUtil}}
+	if v := n.Process(mkCtx(0, probe, 0, 0)); v != dataplane.Continue || probe.TTL != 33 {
+		t.Fatal("control traffic normalized")
+	}
+}

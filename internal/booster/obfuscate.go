@@ -1,0 +1,96 @@
+package booster
+
+import (
+	"fmt"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// ObfuscateConfig parameterizes the topology-obfuscation booster.
+type ObfuscateConfig struct {
+	// MinSuspicion: only traceroutes from flows at or above this level
+	// get obfuscated responses; clean traffic keeps real diagnostics,
+	// preserving traceroute utility as NetHide argues (default
+	// SuspicionLow).
+	MinSuspicion uint8
+	// Salt varies the virtual topology between deployments so an
+	// attacker cannot precompute it.
+	Salt uint64
+}
+
+// Obfuscator is the NetHide-style topology obfuscation booster (§4.1). For
+// suspicious traceroute probes it fabricates time-exceeded responses from a
+// *virtual* topology that depends only on (destination, hop position) — not
+// on the real path — so consecutive traceroutes look identical even while
+// FastFlex reroutes the attacker's traffic underneath (§4.2 step 4: the
+// attacker cannot detect the rerouting and never rolls her target).
+//
+// It runs before the base router so it can absorb an expiring probe and
+// answer in its place.
+type Obfuscator struct {
+	cfg  ObfuscateConfig
+	self topo.NodeID
+
+	Fabricated uint64
+}
+
+// NewObfuscator builds the obfuscation booster for one switch.
+func NewObfuscator(self topo.NodeID, cfg ObfuscateConfig) *Obfuscator {
+	if cfg.MinSuspicion == 0 {
+		cfg.MinSuspicion = SuspicionLow
+	}
+	return &Obfuscator{cfg: cfg, self: self}
+}
+
+// Name implements PPM.
+func (o *Obfuscator) Name() string { return fmt.Sprintf("obfuscate@%d", o.self) }
+
+// Resources implements PPM: a hash unit and a response-synthesis action.
+func (o *Obfuscator) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 1, SRAMKB: 16, TCAM: 8, ALUs: 2}
+}
+
+// Process implements PPM.
+func (o *Obfuscator) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Suspicion < o.cfg.MinSuspicion || ctx.InLink < 0 {
+		return dataplane.Continue
+	}
+	// Intercept probes about to expire here (UDP traceroute style).
+	if p.Proto != packet.ProtoUDP || p.TTL > 1 {
+		return dataplane.Continue
+	}
+	o.Fabricated++
+	fake := &packet.Packet{
+		Src:       VirtualHopAddr(p.Dst, p.Hops+1, o.cfg.Salt),
+		Dst:       p.Src,
+		TTL:       64,
+		Proto:     packet.ProtoICMP,
+		Suspicion: p.Suspicion,
+		ICMP: &packet.ICMPInfo{
+			Type:    packet.ICMPTimeExceeded,
+			From:    VirtualHopAddr(p.Dst, p.Hops+1, o.cfg.Salt),
+			OrigSeq: p.Seq,
+			OrigTTL: p.TTL,
+		},
+	}
+	ctx.Emit(fake, -1)
+	return dataplane.Drop
+}
+
+// VirtualHopAddr deterministically maps (destination, hop position, salt)
+// to a router address in a reserved range that no real switch occupies.
+// Determinism across the whole network is what makes the fiction stable: a
+// probe expiring on the detour path at position k gets the same answer it
+// would have gotten on the original path.
+func VirtualHopAddr(dst packet.Addr, hop uint8, salt uint64) packet.Addr {
+	h := uint64(dst)<<8 | uint64(hop)
+	h ^= salt
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	// Router prefix, upper half of the 16-bit index space.
+	return packet.Addr(0xC0A80000 | 0x8000 | uint32(h&0x7FFF))
+}

@@ -1,0 +1,291 @@
+package booster
+
+import (
+	"fmt"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// RerouteConfig parameterizes the congestion-aware rerouting booster.
+type RerouteConfig struct {
+	// ProbeEvery is the utilization-probe period (default 50ms). Probes
+	// are emitted from the dataplane itself (time-gated on packet
+	// arrivals, like a hardware packet generator), so rerouting reacts at
+	// RTT timescales — the core claim of the case study.
+	ProbeEvery time.Duration
+	// ProbeHops bounds probe flooding (default 16).
+	ProbeHops uint8
+	// StaleAfter: table entries older than this are ignored (default
+	// 5×ProbeEvery).
+	StaleAfter time.Duration
+	// RerouteAllOverride forces rerouting of all flows even in mitigation
+	// mode — ablation A6's "no pinning" arm.
+	RerouteAllOverride bool
+	// Hysteresis: only move traffic off the TE egress when the best
+	// alternative is at least this much less utilized (default 0.1).
+	Hysteresis float64
+	// FlowletTimeout: packets of the same flow arriving within this gap
+	// stick to the previously chosen egress (Hula's flowlet switching —
+	// path changes only happen in inter-burst gaps, avoiding TCP
+	// reordering). Default 50ms; negative disables flowlets.
+	FlowletTimeout time.Duration
+	// FlowletCapacity bounds the flowlet table (default 8192).
+	FlowletCapacity int
+	// MaxFlowletAge forces a fresh steering decision for long-lived
+	// gap-less flows (CBR never pauses, so the inter-burst gap alone
+	// would pin it to its first path forever). Default 10×FlowletTimeout.
+	MaxFlowletAge time.Duration
+}
+
+func (c *RerouteConfig) fillDefaults() {
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 50 * time.Millisecond
+	}
+	if c.ProbeHops == 0 {
+		c.ProbeHops = 16
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 5 * c.ProbeEvery
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.1
+	}
+	if c.FlowletTimeout == 0 {
+		c.FlowletTimeout = 50 * time.Millisecond
+	}
+	if c.FlowletCapacity == 0 {
+		c.FlowletCapacity = 8192
+	}
+	if c.MaxFlowletAge == 0 {
+		c.MaxFlowletAge = 10 * c.FlowletTimeout
+	}
+}
+
+type rerouteEntry struct {
+	util float64
+	at   time.Duration
+}
+
+// Reroute is the Hula/Contra-style performance-aware routing booster
+// (§4.1 "routing around congestion"): switches disseminate probes carrying
+// path utilization and steer traffic onto the least-congested path entirely
+// in the data plane. In mitigation mode it pins normal flows to their TE
+// paths and reroutes only suspicious traffic (§4.2 step 3).
+type Reroute struct {
+	cfg  RerouteConfig
+	self topo.NodeID
+	g    *topo.Graph
+
+	linkUtil  func(topo.LinkID) float64
+	seenProbe func(packet.DedupKey) bool
+	dstSwitch map[packet.Addr]topo.NodeID
+
+	// table[dst switch][egress link] = advertised path utilization.
+	table     map[topo.NodeID]map[topo.LinkID]rerouteEntry
+	lastProbe time.Duration
+	seq       uint32
+
+	// flowlets pins flows to their current egress between bursts.
+	flowlets map[packet.FlowKey]flowletEntry
+
+	Rerouted uint64 // packets steered off their TE egress
+	Probes   uint64 // probes originated
+	Flowlets uint64 // steering decisions reused from the flowlet table
+}
+
+type flowletEntry struct {
+	via       topo.LinkID
+	firstSeen time.Duration
+	lastSeen  time.Duration
+}
+
+// NewReroute builds the rerouting booster for one switch.
+func NewReroute(self topo.NodeID, g *topo.Graph, dstSwitch map[packet.Addr]topo.NodeID,
+	linkUtil func(topo.LinkID) float64, seenProbe func(packet.DedupKey) bool, cfg RerouteConfig) *Reroute {
+	cfg.fillDefaults()
+	return &Reroute{
+		cfg: cfg, self: self, g: g,
+		linkUtil: linkUtil, seenProbe: seenProbe, dstSwitch: dstSwitch,
+		table:    make(map[topo.NodeID]map[topo.LinkID]rerouteEntry),
+		flowlets: make(map[packet.FlowKey]flowletEntry),
+	}
+}
+
+// Name implements PPM.
+func (r *Reroute) Name() string { return fmt.Sprintf("reroute@%d", r.self) }
+
+// Resources implements PPM: a per-destination best-path table plus probe
+// generation logic.
+func (r *Reroute) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 2, SRAMKB: 256, TCAM: 0, ALUs: 3}
+}
+
+// BestVia returns the current least-utilized egress toward dst and its
+// path utilization; ok is false when no fresh entry exists.
+func (r *Reroute) BestVia(dst topo.NodeID, now time.Duration, exclude topo.LinkID) (topo.LinkID, float64, bool) {
+	best := topo.LinkID(-1)
+	bestU := 0.0
+	for via, e := range r.table[dst] {
+		if via == exclude || now-e.at > r.cfg.StaleAfter {
+			continue
+		}
+		u := e.util
+		if lu := r.linkUtil(via); lu > u {
+			u = lu
+		}
+		if best == -1 || u < bestU || (u == bestU && via < best) {
+			best, bestU = via, u
+		}
+	}
+	return best, bestU, best != -1
+}
+
+// Process implements PPM.
+func (r *Reroute) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	// 1. Probe handling.
+	if p.Proto == packet.ProtoProbe && p.Probe.Kind == packet.ProbeUtil {
+		r.handleProbe(ctx)
+		return dataplane.Consume
+	}
+	// 2. Time-gated probe origination.
+	if ctx.Now-r.lastProbe >= r.cfg.ProbeEvery {
+		r.lastProbe = ctx.Now
+		r.originateProbe(ctx)
+	}
+	// 3. Data-packet steering.
+	if p.Proto != packet.ProtoTCP && p.Proto != packet.ProtoUDP {
+		return dataplane.Continue
+	}
+	dsw, ok := r.dstSwitch[p.Dst]
+	if !ok || dsw == r.self {
+		return dataplane.Continue
+	}
+	// Pinning policy (Figure 2 step 2 vs 3): with mitigation mode active,
+	// normal flows stay on their TE path; only suspicious traffic is
+	// rerouted — unless the ablation override is set.
+	pinNormal := ctx.Modes.Has(ModeMitigate) && !r.cfg.RerouteAllOverride
+	if pinNormal && p.Suspicion == SuspicionNone {
+		return dataplane.Continue
+	}
+	// Flowlet pinning: packets of an active burst keep their egress so
+	// path changes never reorder a flow mid-burst.
+	key := p.Key()
+	if r.cfg.FlowletTimeout > 0 {
+		if fl, ok := r.flowlets[key]; ok &&
+			ctx.Now-fl.lastSeen < r.cfg.FlowletTimeout &&
+			ctx.Now-fl.firstSeen < r.cfg.MaxFlowletAge {
+			fl.lastSeen = ctx.Now
+			r.flowlets[key] = fl
+			if fl.via != ctx.OutLink {
+				ctx.OutLink = fl.via
+				r.Rerouted++
+				r.Flowlets++
+			}
+			return dataplane.Continue
+		}
+	}
+	exclude := topo.LinkID(-1)
+	if ctx.InLink >= 0 {
+		exclude = r.g.Links[ctx.InLink].Reverse
+	}
+	via, bestU, ok := r.BestVia(dsw, ctx.Now, exclude)
+	if !ok || via == ctx.OutLink {
+		r.recordFlowlet(key, ctx.OutLink, ctx.Now)
+		return dataplane.Continue
+	}
+	// Hysteresis against the TE egress: move only if clearly better.
+	if ctx.OutLink >= 0 {
+		cur := r.linkUtil(ctx.OutLink)
+		if e, ok := r.table[dsw][ctx.OutLink]; ok && ctx.Now-e.at <= r.cfg.StaleAfter && e.util > cur {
+			cur = e.util
+		}
+		if bestU+r.cfg.Hysteresis >= cur {
+			r.recordFlowlet(key, ctx.OutLink, ctx.Now)
+			return dataplane.Continue
+		}
+	}
+	ctx.OutLink = via
+	r.Rerouted++
+	r.recordFlowlet(key, via, ctx.Now)
+	return dataplane.Continue
+}
+
+// recordFlowlet remembers a steering decision; the table is bounded by
+// wholesale eviction of stale entries when full (register-array style).
+func (r *Reroute) recordFlowlet(key packet.FlowKey, via topo.LinkID, now time.Duration) {
+	if r.cfg.FlowletTimeout <= 0 || via < 0 {
+		return
+	}
+	if len(r.flowlets) >= r.cfg.FlowletCapacity {
+		for k, fl := range r.flowlets {
+			if now-fl.lastSeen >= r.cfg.FlowletTimeout {
+				delete(r.flowlets, k)
+			}
+		}
+		if len(r.flowlets) >= r.cfg.FlowletCapacity {
+			return // table genuinely full of live flowlets; skip recording
+		}
+	}
+	r.flowlets[key] = flowletEntry{via: via, firstSeen: now, lastSeen: now}
+}
+
+// handleProbe folds a received utilization probe into the table and
+// refloods it with the updated path metric.
+func (r *Reroute) handleProbe(ctx *dataplane.Context) {
+	pi := ctx.Pkt.Probe
+	origin := pi.Origin.Node()
+	if origin < 0 || topo.NodeID(origin) == r.self || ctx.InLink < 0 {
+		return
+	}
+	dst := topo.NodeID(pi.DstSwitch)
+	via := r.g.Links[ctx.InLink].Reverse
+	if via < 0 {
+		return
+	}
+	adv := float64(pi.UtilMicro) / 1e6
+	pathUtil := adv
+	if lu := r.linkUtil(via); lu > pathUtil {
+		pathUtil = lu
+	}
+	if r.table[dst] == nil {
+		r.table[dst] = make(map[topo.LinkID]rerouteEntry)
+	}
+	r.table[dst][via] = rerouteEntry{util: pathUtil, at: ctx.Now}
+
+	if r.seenProbe != nil && r.seenProbe(pi.Dedup()) {
+		return
+	}
+	if pi.HopsLeft == 0 {
+		return
+	}
+	fl := ctx.Pkt.Clone()
+	fl.Probe.HopsLeft--
+	fl.Probe.UtilMicro = uint32(pathUtil * 1e6)
+	ctx.Emit(fl, -1)
+}
+
+// originateProbe floods this switch's own reachability probe (util 0 at the
+// origin; the metric accumulates max link utilization as it propagates).
+func (r *Reroute) originateProbe(ctx *dataplane.Context) {
+	r.seq++
+	r.Probes++
+	pr := &packet.Packet{
+		Src:   packet.RouterAddr(int(r.self)),
+		Dst:   packet.RouterAddr(0xFFFE), // flood address, never delivered
+		TTL:   64,
+		Proto: packet.ProtoProbe,
+		Probe: &packet.ProbeInfo{
+			Kind:      packet.ProbeUtil,
+			Origin:    packet.RouterAddr(int(r.self)),
+			Seq:       r.seq,
+			HopsLeft:  r.cfg.ProbeHops,
+			DstSwitch: uint16(r.self),
+			UtilMicro: 0,
+		},
+	}
+	ctx.Emit(pr, -1)
+}

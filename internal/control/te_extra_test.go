@@ -1,0 +1,129 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// figure2WithHosts builds the standard scenario: users, bots, 8 servers.
+func figure2WithHosts() (*topo.Figure2, []topo.NodeID) {
+	f := topo.NewFigure2()
+	f.AttachUsers(8)
+	servers := f.AttachServers(8)
+	return f, servers
+}
+
+// serverSplit counts how many server trees use each victim-edge in-link.
+func serverSplit(f *topo.Figure2, servers []topo.NodeID, routes Routes) (critA, critB, detour int) {
+	for _, s := range servers {
+		addr := packet.HostAddr(int(s))
+		la := routes[f.CoreA][addr]
+		lb := routes[f.CoreB][addr]
+		if la == f.CriticalLinkA {
+			critA++
+		}
+		if lb == f.CriticalLinkB {
+			critB++
+		}
+		// Detour trees route the victim edge's traffic via detourB→ve.
+		if f.G.Links[la].To == f.DetourA && f.G.Links[lb].To == f.DetourA {
+			detour++
+		}
+	}
+	return
+}
+
+func TestBalancedRoutesSplitCriticalLinks(t *testing.T) {
+	f, servers := figure2WithHosts()
+	routes := ComputeBalancedRoutes(f.G, 20e6)
+	critA, critB, detour := serverSplit(f, servers, routes)
+	if critA != 4 || critB != 4 {
+		t.Fatalf("server trees split critA=%d critB=%d, want 4/4", critA, critB)
+	}
+	if detour != 0 {
+		t.Fatalf("default TE wasted %d trees on the detour", detour)
+	}
+}
+
+func TestBalancedRoutesOverflowToDetour(t *testing.T) {
+	// With a larger demand estimate, the criticals fill and trees must
+	// overflow onto the detour.
+	f, servers := figure2WithHosts()
+	routes := ComputeBalancedRoutes(f.G, 40e6)
+	critA, critB, detour := serverSplit(f, servers, routes)
+	if critA+critB >= 8 {
+		t.Fatalf("no overflow at 40Mbps/dst: critA=%d critB=%d", critA, critB)
+	}
+	if detour == 0 {
+		t.Fatal("overflow did not use the detour")
+	}
+}
+
+func TestReactiveRoutesAvoidFloodedLink(t *testing.T) {
+	f, servers := figure2WithHosts()
+	bots := f.AttachBots(4)
+	n := netsim.New(f.G, netsim.DefaultConfig())
+	NewTEController(n, Config{}).InstallStatic()
+	// Saturate critical link A.
+	blast := netsim.NewCBRSource(n, bots[0], packet.HostAddr(int(servers[0])),
+		1, 9, packet.ProtoUDP, 1400, 300e6)
+	blast.Start()
+	n.Run(2 * time.Second)
+	if n.LinkLoad(f.CriticalLinkA) < 0.85 {
+		t.Fatalf("setup: critA load %.2f", n.LinkLoad(f.CriticalLinkA))
+	}
+	routes := ComputeReactiveRoutes(n, 20e6, 0.85)
+	critA, critB, detour := serverSplit(f, servers, routes)
+	if critA != 0 {
+		t.Fatalf("reactive TE kept %d trees on the flooded link", critA)
+	}
+	if critB == 0 || detour == 0 {
+		t.Fatalf("reactive TE did not spread: critB=%d detour=%d", critB, detour)
+	}
+	// No correlated blocks: the formerly-critA servers must not all land
+	// on critB (interleaving is what lets a rerouted attack disperse).
+	if critB > 6 {
+		t.Fatalf("reactive TE re-concentrated %d trees on critB", critB)
+	}
+}
+
+func TestBalancedRoutesDeterministic(t *testing.T) {
+	f1, s1 := figure2WithHosts()
+	f2, s2 := figure2WithHosts()
+	r1 := ComputeBalancedRoutes(f1.G, 20e6)
+	r2 := ComputeBalancedRoutes(f2.G, 20e6)
+	for i := range s1 {
+		a1 := packet.HostAddr(int(s1[i]))
+		a2 := packet.HostAddr(int(s2[i]))
+		for _, sw := range f1.G.Switches() {
+			if r1[sw][a1] != r2[sw][a2] {
+				t.Fatalf("routes differ at switch %d for server %d", sw, i)
+			}
+		}
+	}
+}
+
+func TestBalancedRoutesDeliverEverywhere(t *testing.T) {
+	f, servers := figure2WithHosts()
+	n := netsim.New(f.G, netsim.DefaultConfig())
+	Install(n, ComputeBalancedRoutes(f.G, 20e6))
+	users := f.G.Hosts()[:4]
+	for i, u := range users {
+		n.SendFromHost(u, &packet.Packet{Src: packet.HostAddr(int(u)),
+			Dst: packet.HostAddr(int(servers[i*2])), TTL: 64,
+			Proto: packet.ProtoUDP, PayloadLen: 77})
+	}
+	n.Run(time.Second)
+	for i := range users {
+		if n.Host(servers[i*2]).TotalRecvBytes() != 77 {
+			t.Fatalf("server %d did not receive", i*2)
+		}
+	}
+	if n.DropsNoRoute != 0 {
+		t.Fatalf("no-route drops: %d", n.DropsNoRoute)
+	}
+}

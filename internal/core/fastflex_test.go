@@ -1,0 +1,254 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fastflex/internal/attack"
+	"fastflex/internal/booster"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// lfaScenario deploys a fabric on the Figure-2 topology with users, bots
+// and servers.
+type lfaScenario struct {
+	f       *topo.Figure2
+	fab     *Fabric
+	users   []topo.NodeID
+	bots    []topo.NodeID
+	servers []topo.NodeID
+	srvAddr []packet.Addr
+}
+
+func newLFAScenario(t *testing.T, cfg Config, nUsers, nBots int) *lfaScenario {
+	t.Helper()
+	f := topo.NewFigure2()
+	users := f.AttachUsers(nUsers)
+	bots := f.AttachBots(nBots)
+	servers := f.AttachServers(2)
+	var srvAddr []packet.Addr
+	for _, s := range servers {
+		srvAddr = append(srvAddr, packet.HostAddr(int(s)))
+	}
+	cfg.Protected = srvAddr
+	fab, err := New(f.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &lfaScenario{f: f, fab: fab, users: users, bots: bots, servers: servers, srvAddr: srvAddr}
+}
+
+func TestFabricDeploys(t *testing.T) {
+	sc := newLFAScenario(t, Config{}, 2, 2)
+	fab := sc.fab
+	if fab.Merged == nil || fab.Placement == nil {
+		t.Fatal("analysis/placement missing")
+	}
+	if len(fab.Placement.Unplaced) != 0 {
+		t.Fatalf("unplaced modules: %v", fab.Placement.Unplaced)
+	}
+	// Detectors and controllers on every switch (pervasive).
+	nSw := len(sc.f.G.Switches())
+	if len(fab.Controllers) != nSw {
+		t.Fatalf("controllers on %d of %d switches", len(fab.Controllers), nSw)
+	}
+	if len(fab.Detectors) != nSw {
+		t.Fatalf("detectors on %d of %d switches (pervasive expected)", len(fab.Detectors), nSw)
+	}
+	if len(fab.Reroutes) == 0 || len(fab.Droppers) == 0 || len(fab.Obfuscators) == 0 {
+		t.Fatal("mitigation boosters missing")
+	}
+	if len(fab.HeavyHit) != 0 {
+		t.Fatal("heavy hitter deployed without EnableHeavyHitter")
+	}
+	rep := fab.Report()
+	for _, want := range []string{"merged dataflow", "placement", "boosters"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestFabricDefenseOff(t *testing.T) {
+	sc := newLFAScenario(t, Config{DefenseOff: true}, 1, 0)
+	if len(sc.fab.Detectors) != 0 || len(sc.fab.Controllers) != 0 {
+		t.Fatal("DefenseOff deployed boosters")
+	}
+	// Routing still works.
+	n := sc.fab.Net
+	n.SendFromHost(sc.users[0], &packet.Packet{
+		Src: packet.HostAddr(int(sc.users[0])), Dst: sc.srvAddr[0],
+		TTL: 64, Proto: packet.ProtoUDP, PayloadLen: 10,
+	})
+	n.Run(time.Second)
+	if n.Host(sc.servers[0]).TotalRecvBytes() != 10 {
+		t.Fatal("routing broken in DefenseOff fabric")
+	}
+}
+
+func TestFabricDetectsAndActivatesModes(t *testing.T) {
+	sc := newLFAScenario(t, Config{}, 4, 40)
+	fab := sc.fab
+
+	// Normal user traffic: rate-limited applications (the stable traffic
+	// matrix TE provisioned for), NOT greedy bulk TCP — greedy senders
+	// would saturate the links on their own and make "high link load"
+	// meaningless as an attack signal.
+	for i, u := range sc.users {
+		netsim.NewCBRSource(fab.Net, u, sc.srvAddr[i%2], uint16(6000+i), 80,
+			packet.ProtoTCP, 1200, 10e6).Start()
+	}
+	// Crossfire: enough aggregate low-rate volume to flood one critical
+	// link: 20 bots behind one ingress × 2 servers × 2 flows × 1.5 Mbps
+	// = 120 Mbps of individually inconspicuous flows.
+	atk := attack.NewCrossfire(fab.Net, attack.CrossfireConfig{
+		Bots: sc.bots, Servers: sc.srvAddr, BotRateBps: 1.5e6, FlowsPerBot: 2,
+		Start: 2 * time.Second,
+	})
+	atk.Launch()
+	fab.Run(10 * time.Second)
+
+	if !fab.AttackDetected() {
+		t.Fatal("LFA never detected")
+	}
+	// Modes propagate network-wide, including the detour switches.
+	for _, sw := range sc.f.G.Switches() {
+		if !fab.ModeActiveAt(sw, booster.ModeReroute) {
+			t.Fatalf("reroute mode inactive at switch %d", sw)
+		}
+		if !fab.ModeActiveAt(sw, booster.ModeMitigate) {
+			t.Fatalf("mitigate mode inactive at switch %d", sw)
+		}
+	}
+	if len(fab.ModeEvents) == 0 {
+		t.Fatal("no mode events recorded")
+	}
+	// Rerouting engaged: probes flowed and suspicious traffic moved.
+	var rerouted, probes uint64
+	for _, rr := range fab.Reroutes {
+		rerouted += rr.Rerouted
+		probes += rr.Probes
+	}
+	if probes == 0 {
+		t.Fatal("no utilization probes emitted")
+	}
+	if rerouted == 0 {
+		t.Fatal("no suspicious packets rerouted")
+	}
+	// Illusion of success: highly suspicious flows dropped somewhere.
+	var dropped uint64
+	for _, d := range fab.Droppers {
+		dropped += d.DroppedHigh
+	}
+	if dropped == 0 {
+		t.Fatal("no highly-suspicious packets dropped")
+	}
+}
+
+func TestFabricClearsAfterAttackSubsides(t *testing.T) {
+	sc := newLFAScenario(t, Config{
+		LFA: booster.LFAConfig{ClearAfter: time.Second},
+	}, 2, 40)
+	fab := sc.fab
+	for i, u := range sc.users {
+		netsim.NewCBRSource(fab.Net, u, sc.srvAddr[i%2], uint16(6000+i), 80,
+			packet.ProtoTCP, 1200, 10e6).Start()
+	}
+	atk := attack.NewCrossfire(fab.Net, attack.CrossfireConfig{
+		Bots: sc.bots, Servers: sc.srvAddr, BotRateBps: 1.5e6, FlowsPerBot: 2,
+		Start: time.Second,
+	})
+	atk.Launch()
+	fab.Run(8 * time.Second)
+	if !fab.AttackDetected() {
+		t.Fatal("setup: attack not detected")
+	}
+	atk.Stop()
+	fab.Run(20 * time.Second)
+	if fab.AttackDetected() {
+		t.Fatal("attack flag stuck after attacker stopped")
+	}
+	for _, sw := range sc.f.G.Switches() {
+		if fab.ModeActiveAt(sw, booster.ModeMitigate) {
+			t.Fatalf("mitigation mode stuck at switch %d", sw)
+		}
+	}
+}
+
+func TestFabricObfuscationStabilizesBotTraceroutes(t *testing.T) {
+	sc := newLFAScenario(t, Config{}, 2, 40)
+	fab := sc.fab
+	for i, u := range sc.users {
+		netsim.NewCBRSource(fab.Net, u, sc.srvAddr[i%2], uint16(6000+i), 80,
+			packet.ProtoTCP, 1200, 10e6).Start()
+	}
+	atk := attack.NewCrossfire(fab.Net, attack.CrossfireConfig{
+		Bots: sc.bots, Servers: sc.srvAddr, BotRateBps: 1.5e6, FlowsPerBot: 2,
+		Rolling: true, ScoutEvery: 2 * time.Second,
+	})
+	atk.Launch()
+	fab.Run(20 * time.Second)
+	var fabricated uint64
+	for _, o := range fab.Obfuscators {
+		fabricated += o.Fabricated
+	}
+	if fabricated == 0 {
+		t.Fatal("obfuscator never engaged on bot traceroutes")
+	}
+	// A few early rolls are expected while the fiction first replaces
+	// reality for each bot group; after that the stable virtual topology
+	// must pin the attacker: no further rolls in the second half.
+	if atk.Rolls > 5 {
+		t.Fatalf("attacker rolled %d times despite obfuscation", atk.Rolls)
+	}
+	rollsAt20 := atk.Rolls
+	fab.Run(40 * time.Second)
+	if atk.Rolls != rollsAt20 {
+		t.Fatalf("attacker still rolling late in the run (%d → %d): fiction not stable",
+			rollsAt20, atk.Rolls)
+	}
+}
+
+func TestFabricNoSharingStillDeploys(t *testing.T) {
+	sc := newLFAScenario(t, Config{NoSharing: true}, 1, 1)
+	if sc.fab.Merged.SharedCount != 0 {
+		t.Fatal("sharing happened despite NoSharing")
+	}
+	if len(sc.fab.Detectors) == 0 {
+		t.Fatal("no detectors without sharing")
+	}
+}
+
+func TestFabricHeavyHitterPath(t *testing.T) {
+	sc := newLFAScenario(t, Config{
+		EnableHeavyHitter:  true,
+		DisableObfuscation: true, // free stages for the HashPipe
+		HH:                 booster.HHConfig{Epoch: 500 * time.Millisecond, ThresholdPkts: 500},
+	}, 2, 6)
+	fab := sc.fab
+	if len(fab.HeavyHit) == 0 {
+		t.Fatal("heavy hitter not deployed")
+	}
+	vol := attack.NewVolumetric(fab.Net, sc.bots, sc.srvAddr[0], 30e6)
+	vol.Start()
+	fab.Run(5 * time.Second)
+	active := false
+	for _, hh := range fab.HeavyHit {
+		if hh.Active() {
+			active = true
+		}
+	}
+	if !active {
+		t.Fatal("volumetric attack not flagged")
+	}
+	var dropped uint64
+	for _, d := range fab.Droppers {
+		dropped += d.DroppedHigh
+	}
+	if dropped == 0 {
+		t.Fatal("heavy hitters not dropped (ModeDDoS gating broken?)")
+	}
+}

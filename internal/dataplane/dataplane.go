@@ -1,0 +1,342 @@
+// Package dataplane models a programmable switch as FastFlex sees one: a
+// pipeline of packet-processing modules (PPMs) installed under explicit
+// per-switch resource budgets, gated by a set of currently active defense
+// modes. This is the "multimode data plane" abstraction at the heart of the
+// paper: programs are installed by the (slow, centralized) scheduler, but
+// modes flip on and off entirely in the data plane via probe packets.
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Resources is the paper's per-switch resource vector <Θ1..Θk> (§3.1):
+// hardware stages, SRAM, TCAM entries, and ALUs. The same type describes a
+// switch's budget and a program's requirement.
+type Resources struct {
+	Stages int
+	SRAMKB float64
+	TCAM   int
+	ALUs   int
+}
+
+// Add returns r + q component-wise.
+func (r Resources) Add(q Resources) Resources {
+	return Resources{r.Stages + q.Stages, r.SRAMKB + q.SRAMKB, r.TCAM + q.TCAM, r.ALUs + q.ALUs}
+}
+
+// Sub returns r − q component-wise.
+func (r Resources) Sub(q Resources) Resources {
+	return Resources{r.Stages - q.Stages, r.SRAMKB - q.SRAMKB, r.TCAM - q.TCAM, r.ALUs - q.ALUs}
+}
+
+// Fits reports whether q fits within r on every dimension.
+func (r Resources) Fits(q Resources) bool {
+	return q.Stages <= r.Stages && q.SRAMKB <= r.SRAMKB && q.TCAM <= r.TCAM && q.ALUs <= r.ALUs
+}
+
+// NonNegative reports whether every component is ≥ 0.
+func (r Resources) NonNegative() bool {
+	return r.Stages >= 0 && r.SRAMKB >= 0 && r.TCAM >= 0 && r.ALUs >= 0
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("{stages:%d sram:%.2fKB tcam:%d alus:%d}", r.Stages, r.SRAMKB, r.TCAM, r.ALUs)
+}
+
+// TofinoLike returns the default switch budget, modeled on the 10–20 stage
+// RMT architecture the paper cites [19]: 16 stages, 1.5 MB SRAM and 256
+// TCAM entries and 4 ALUs per stage.
+func TofinoLike() Resources {
+	return Resources{Stages: 16, SRAMKB: 16 * 1536, TCAM: 16 * 256, ALUs: 16 * 4}
+}
+
+// ModeID identifies a defense mode. Mode 0 is the always-on default mode.
+type ModeID uint8
+
+// ModeSet is a bitmask of active modes. A switch holds a *set* so that
+// mixed-vector attacks can activate several defenses at once (§2, Fig. 2).
+type ModeSet uint64
+
+// With returns the set with m added.
+func (s ModeSet) With(m ModeID) ModeSet { return s | 1<<m }
+
+// Without returns the set with m removed.
+func (s ModeSet) Without(m ModeID) ModeSet { return s &^ (1 << m) }
+
+// Has reports whether m is active. Mode 0 (default) is always active.
+func (s ModeSet) Has(m ModeID) bool { return m == 0 || s&(1<<m) != 0 }
+
+// Verdict is a PPM's disposition for the packet being processed.
+type Verdict uint8
+
+// Verdicts. Continue passes the packet to the next PPM; Drop discards it;
+// Consume terminates processing without forwarding (the packet was absorbed
+// by the switch, e.g. a probe for this switch).
+const (
+	Continue Verdict = iota
+	Drop
+	Consume
+)
+
+// Emission is an extra packet a PPM injects into the network.
+type Emission struct {
+	Pkt *packet.Packet
+	// Via is the egress link, or -1 to flood on all switch-to-switch links
+	// except the ingress.
+	Via topo.LinkID
+}
+
+// Context carries one packet through a switch's pipeline. PPMs read the
+// packet and metadata, and write their forwarding decision and emissions.
+type Context struct {
+	Now    time.Duration
+	Switch topo.NodeID
+	// InLink is the link the packet arrived on, or -1 for locally
+	// originated packets.
+	InLink topo.LinkID
+	Pkt    *packet.Packet
+	RNG    *rand.Rand
+	// Modes is the switch's active mode set at processing time, so PPMs
+	// can adapt behavior across mode combinations (e.g. reroute-all vs
+	// pin-normal-flows in Figure 2's step (2) vs step (3)).
+	Modes ModeSet
+
+	// OutLink is the chosen egress; -1 means no decision yet (the packet
+	// is dropped with a no-route error if the pipeline ends that way).
+	OutLink topo.LinkID
+
+	emissions []Emission
+}
+
+// Emit schedules an extra packet for transmission after the pipeline
+// completes. via = -1 floods it.
+func (c *Context) Emit(p *packet.Packet, via topo.LinkID) {
+	c.emissions = append(c.emissions, Emission{Pkt: p, Via: via})
+}
+
+// Emissions returns the packets emitted during this pipeline pass.
+func (c *Context) Emissions() []Emission { return c.emissions }
+
+// PPM is a packet-processing module: the unit of installation, sharing, and
+// placement. Process is called once per packet in pipeline priority order.
+type PPM interface {
+	// Name identifies the module in placements and reports.
+	Name() string
+	// Resources returns the module's footprint, charged against the
+	// switch budget at install time.
+	Resources() Resources
+	// Process inspects and/or edits the packet, possibly emitting more.
+	Process(ctx *Context) Verdict
+}
+
+// Stateful is implemented by PPMs whose register state can be transferred
+// when a switch is repurposed (§3.4).
+type Stateful interface {
+	PPM
+	// Snapshot serializes the module's registers.
+	Snapshot() []byte
+	// Restore loads registers from a snapshot.
+	Restore([]byte) error
+}
+
+// Program is an installed PPM plus its gating and ordering metadata.
+type Program struct {
+	PPM PPM
+	// Priority orders the pipeline: lower runs earlier. Convention:
+	// 0–99 ingress/bookkeeping, 100–199 detection, 200–299 routing,
+	// 300–399 mitigation/egress rewriting.
+	Priority int
+	// Modes is the set of modes in which the PPM runs. Gate on mode 0
+	// (DefaultMode) to run always.
+	Modes ModeSet
+}
+
+// Canonical pipeline priorities.
+const (
+	PriControl   = 10  // probe/mode-change handling
+	PriDetect    = 100 // detection boosters
+	PriRouting   = 200 // base routing
+	PriReroute   = 250 // congestion-aware rerouting (overrides routing)
+	PriMitigate  = 300 // dropping/rate limiting
+	PriObfuscate = 350 // egress rewriting (topology obfuscation)
+)
+
+// Switch is one multimode dataplane element.
+type Switch struct {
+	Node   topo.NodeID
+	Region uint16
+	Budget Resources
+
+	programs []Program
+	used     Resources
+	modes    ModeSet
+	seq      uint32
+
+	// probe duplicate suppression (bounded FIFO-evicted set)
+	seen      map[packet.DedupKey]struct{}
+	seenOrder []packet.DedupKey
+
+	// Reconfiguring marks the switch as mid-repurpose: it cannot process
+	// packets and the simulator treats it as down (§3.4).
+	Reconfiguring bool
+
+	// Counters for reports and tests.
+	Processed uint64
+	Dropped   uint64
+}
+
+const seenCap = 4096
+
+// NewSwitch returns a switch with the given resource budget.
+func NewSwitch(node topo.NodeID, budget Resources) *Switch {
+	return &Switch{Node: node, Budget: budget, seen: make(map[packet.DedupKey]struct{})}
+}
+
+// Install admits a program if its footprint fits the remaining budget.
+// This is where the resource-multiplexing constraint of §3.1 is enforced:
+// the scheduler cannot over-pack a switch.
+func (s *Switch) Install(p Program) error {
+	need := p.PPM.Resources()
+	remaining := s.Budget.Sub(s.used)
+	if !remaining.Fits(need) {
+		return fmt.Errorf("dataplane: switch %d cannot fit %q: need %v, have %v",
+			s.Node, p.PPM.Name(), need, remaining)
+	}
+	s.programs = append(s.programs, p)
+	sort.SliceStable(s.programs, func(i, j int) bool {
+		return s.programs[i].Priority < s.programs[j].Priority
+	})
+	s.used = s.used.Add(need)
+	return nil
+}
+
+// Uninstall removes the named program and releases its resources. It
+// returns the removed PPM, or nil if not installed.
+func (s *Switch) Uninstall(name string) PPM {
+	for i, p := range s.programs {
+		if p.PPM.Name() == name {
+			s.programs = append(s.programs[:i], s.programs[i+1:]...)
+			s.used = s.used.Sub(p.PPM.Resources())
+			return p.PPM
+		}
+	}
+	return nil
+}
+
+// Programs returns the installed programs in pipeline order.
+func (s *Switch) Programs() []Program { return s.programs }
+
+// Lookup returns the installed PPM with the given name, or nil.
+func (s *Switch) Lookup(name string) PPM {
+	for _, p := range s.programs {
+		if p.PPM.Name() == name {
+			return p.PPM
+		}
+	}
+	return nil
+}
+
+// Used returns the resources consumed by installed programs.
+func (s *Switch) Used() Resources { return s.used }
+
+// Modes returns the switch's active mode set.
+func (s *Switch) Modes() ModeSet { return s.modes }
+
+// SetMode activates or clears a mode locally. Mode 0 cannot be cleared.
+func (s *Switch) SetMode(m ModeID, on bool) {
+	if m == 0 {
+		return
+	}
+	if on {
+		s.modes = s.modes.With(m)
+	} else {
+		s.modes = s.modes.Without(m)
+	}
+}
+
+// NextSeq returns a fresh per-switch probe sequence number.
+func (s *Switch) NextSeq() uint32 {
+	s.seq++
+	return s.seq
+}
+
+// SeenProbe records a probe's dedup key and reports whether it was already
+// seen. The set is bounded; oldest entries fall out first.
+func (s *Switch) SeenProbe(k packet.DedupKey) bool {
+	if _, ok := s.seen[k]; ok {
+		return true
+	}
+	if len(s.seenOrder) >= seenCap {
+		old := s.seenOrder[0]
+		s.seenOrder = s.seenOrder[1:]
+		delete(s.seen, old)
+	}
+	s.seen[k] = struct{}{}
+	s.seenOrder = append(s.seenOrder, k)
+	return false
+}
+
+// Process runs the packet through the pipeline. It returns the final
+// verdict; the forwarding decision and emissions are left in ctx.
+func (s *Switch) Process(ctx *Context) Verdict {
+	s.Processed++
+	for _, p := range s.programs {
+		if !s.modeMatch(p.Modes) {
+			continue
+		}
+		switch v := p.PPM.Process(ctx); v {
+		case Drop:
+			s.Dropped++
+			return Drop
+		case Consume:
+			return Consume
+		}
+	}
+	return Continue
+}
+
+// modeMatch reports whether a program gated on the given modes should run:
+// it runs if any of its gate modes is active (mode 0 always is).
+func (s *Switch) modeMatch(gate ModeSet) bool {
+	if gate&1 != 0 { // gated on default mode → always on
+		return true
+	}
+	return s.modes&gate != 0
+}
+
+// SnapshotAll serializes the state of every Stateful program, keyed by
+// program name, for transfer before repurposing.
+func (s *Switch) SnapshotAll() map[string][]byte {
+	out := make(map[string][]byte)
+	for _, p := range s.programs {
+		if st, ok := p.PPM.(Stateful); ok {
+			out[p.PPM.Name()] = st.Snapshot()
+		}
+	}
+	return out
+}
+
+// RestoreAll loads snapshots into matching Stateful programs. Missing
+// programs are ignored; restore errors are returned joined.
+func (s *Switch) RestoreAll(snaps map[string][]byte) error {
+	var firstErr error
+	for _, p := range s.programs {
+		st, ok := p.PPM.(Stateful)
+		if !ok {
+			continue
+		}
+		if data, ok := snaps[p.PPM.Name()]; ok {
+			if err := st.Restore(data); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("dataplane: restore %q: %w", p.PPM.Name(), err)
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,397 @@
+package dataplane
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// fakePPM is a scriptable module for pipeline tests.
+type fakePPM struct {
+	name    string
+	res     Resources
+	verdict Verdict
+	calls   int
+	state   []byte
+	onCall  func(*Context) Verdict
+}
+
+func (f *fakePPM) Name() string         { return f.name }
+func (f *fakePPM) Resources() Resources { return f.res }
+func (f *fakePPM) Process(ctx *Context) Verdict {
+	f.calls++
+	if f.onCall != nil {
+		return f.onCall(ctx)
+	}
+	return f.verdict
+}
+func (f *fakePPM) Snapshot() []byte { return append([]byte(nil), f.state...) }
+func (f *fakePPM) Restore(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty snapshot")
+	}
+	f.state = append([]byte(nil), b...)
+	return nil
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{Stages: 2, SRAMKB: 10, TCAM: 5, ALUs: 1}
+	b := Resources{Stages: 1, SRAMKB: 4, TCAM: 2, ALUs: 1}
+	sum := a.Add(b)
+	if sum != (Resources{3, 14, 7, 2}) {
+		t.Fatalf("Add = %v", sum)
+	}
+	if diff := sum.Sub(a); diff != b {
+		t.Fatalf("Sub = %v, want %v", diff, b)
+	}
+	if !a.Fits(b) {
+		t.Fatal("b should fit in a")
+	}
+	if b.Fits(a) {
+		t.Fatal("a should not fit in b")
+	}
+	if !a.Sub(b).NonNegative() {
+		t.Fatal("a-b should be non-negative")
+	}
+	if a.Sub(a.Add(b)).NonNegative() {
+		t.Fatal("negative result reported non-negative")
+	}
+}
+
+// Property: Fits is monotone — if q fits r then q fits any r' ≥ r.
+func TestQuickResourcesFitsMonotone(t *testing.T) {
+	f := func(s1, s2, extra uint8, kb1, kb2 uint8) bool {
+		r := Resources{Stages: int(s1), SRAMKB: float64(kb1), TCAM: int(s2), ALUs: int(s1 % 8)}
+		q := Resources{Stages: int(s1 % 4), SRAMKB: float64(kb1) / 2, TCAM: int(s2 % 4), ALUs: int(s1 % 4)}
+		bigger := r.Add(Resources{Stages: int(extra), SRAMKB: float64(kb2), TCAM: int(extra), ALUs: int(extra)})
+		if r.Fits(q) && !bigger.Fits(q) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeSet(t *testing.T) {
+	var s ModeSet
+	if !s.Has(0) {
+		t.Fatal("default mode must always be active")
+	}
+	if s.Has(3) {
+		t.Fatal("mode 3 active on empty set")
+	}
+	s = s.With(3)
+	if !s.Has(3) {
+		t.Fatal("With(3) did not activate")
+	}
+	s = s.With(5)
+	if !s.Has(3) || !s.Has(5) {
+		t.Fatal("modes must co-exist")
+	}
+	s = s.Without(3)
+	if s.Has(3) || !s.Has(5) {
+		t.Fatal("Without removed the wrong mode")
+	}
+}
+
+func TestInstallAdmission(t *testing.T) {
+	sw := NewSwitch(1, Resources{Stages: 4, SRAMKB: 100, TCAM: 10, ALUs: 4})
+	small := &fakePPM{name: "small", res: Resources{Stages: 2, SRAMKB: 50, TCAM: 5, ALUs: 2}}
+	if err := sw.Install(Program{PPM: small, Modes: 1}); err != nil {
+		t.Fatalf("install small: %v", err)
+	}
+	big := &fakePPM{name: "big", res: Resources{Stages: 3, SRAMKB: 10, TCAM: 1, ALUs: 1}}
+	if err := sw.Install(Program{PPM: big, Modes: 1}); err == nil {
+		t.Fatal("over-budget install accepted (stages)")
+	}
+	ok := &fakePPM{name: "ok", res: Resources{Stages: 2, SRAMKB: 50, TCAM: 5, ALUs: 2}}
+	if err := sw.Install(Program{PPM: ok, Modes: 1}); err != nil {
+		t.Fatalf("exact-fit install rejected: %v", err)
+	}
+	if u := sw.Used(); u != (Resources{4, 100, 10, 4}) {
+		t.Fatalf("used = %v", u)
+	}
+}
+
+func TestUninstallReleasesResources(t *testing.T) {
+	sw := NewSwitch(1, Resources{Stages: 2, SRAMKB: 10, TCAM: 2, ALUs: 2})
+	p := &fakePPM{name: "p", res: Resources{Stages: 2, SRAMKB: 10, TCAM: 2, ALUs: 2}}
+	if err := sw.Install(Program{PPM: p, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Uninstall("p"); got != p {
+		t.Fatal("uninstall did not return the PPM")
+	}
+	if sw.Used() != (Resources{}) {
+		t.Fatalf("resources not released: %v", sw.Used())
+	}
+	if sw.Uninstall("p") != nil {
+		t.Fatal("double uninstall returned a PPM")
+	}
+	if err := sw.Install(Program{PPM: p, Modes: 1}); err != nil {
+		t.Fatalf("reinstall after uninstall failed: %v", err)
+	}
+}
+
+func TestPipelinePriorityOrder(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	var order []string
+	mk := func(name string, pri int) Program {
+		return Program{
+			PPM: &fakePPM{name: name, onCall: func(*Context) Verdict {
+				order = append(order, name)
+				return Continue
+			}},
+			Priority: pri, Modes: 1,
+		}
+	}
+	// Install out of order.
+	for _, p := range []Program{mk("mitigate", PriMitigate), mk("detect", PriDetect), mk("control", PriControl)} {
+		if err := sw.Install(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw.Process(&Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1})
+	want := []string{"control", "detect", "mitigate"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pipeline order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestModeGating(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	always := &fakePPM{name: "always"}
+	gated := &fakePPM{name: "gated"}
+	multi := &fakePPM{name: "multi"}
+	if err := sw.Install(Program{PPM: always, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Install(Program{PPM: gated, Modes: ModeSet(0).With(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Install(Program{PPM: multi, Modes: ModeSet(0).With(2).With(3)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := func() *Context {
+		return &Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1}
+	}
+	sw.Process(ctx())
+	if always.calls != 1 || gated.calls != 0 || multi.calls != 0 {
+		t.Fatalf("default mode calls: always=%d gated=%d multi=%d", always.calls, gated.calls, multi.calls)
+	}
+	sw.SetMode(3, true)
+	sw.Process(ctx())
+	if gated.calls != 0 || multi.calls != 1 {
+		t.Fatalf("mode-3 calls: gated=%d multi=%d", gated.calls, multi.calls)
+	}
+	sw.SetMode(2, true)
+	sw.Process(ctx())
+	if gated.calls != 1 || multi.calls != 2 {
+		t.Fatalf("mode-2+3 calls: gated=%d multi=%d", gated.calls, multi.calls)
+	}
+	sw.SetMode(2, false)
+	sw.SetMode(3, false)
+	sw.Process(ctx())
+	if gated.calls != 1 || multi.calls != 2 || always.calls != 4 {
+		t.Fatal("clearing modes did not re-gate programs")
+	}
+}
+
+func TestSetModeZeroIgnored(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	sw.SetMode(0, true)
+	if sw.Modes() != 0 {
+		t.Fatal("mode 0 should not be storable")
+	}
+}
+
+func TestVerdictsShortCircuit(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	dropper := &fakePPM{name: "dropper", verdict: Drop}
+	after := &fakePPM{name: "after"}
+	sw.Install(Program{PPM: dropper, Priority: 1, Modes: 1})
+	sw.Install(Program{PPM: after, Priority: 2, Modes: 1})
+	v := sw.Process(&Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1})
+	if v != Drop {
+		t.Fatalf("verdict = %v, want Drop", v)
+	}
+	if after.calls != 0 {
+		t.Fatal("pipeline continued after Drop")
+	}
+	if sw.Dropped != 1 {
+		t.Fatalf("dropped counter = %d", sw.Dropped)
+	}
+}
+
+func TestSeenProbeDedup(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	k := packet.DedupKey{Origin: packet.RouterAddr(2), Seq: 7, Kind: packet.ProbeModeChange}
+	if sw.SeenProbe(k) {
+		t.Fatal("fresh probe reported seen")
+	}
+	if !sw.SeenProbe(k) {
+		t.Fatal("duplicate probe not detected")
+	}
+	// Eviction: after seenCap fresh keys, the original falls out.
+	for i := uint32(0); i < seenCap; i++ {
+		sw.SeenProbe(packet.DedupKey{Origin: packet.RouterAddr(3), Seq: i, Kind: packet.ProbeUtil})
+	}
+	if sw.SeenProbe(k) {
+		t.Fatal("evicted probe still reported seen")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	a := &fakePPM{name: "a", state: []byte{1, 2, 3}}
+	b := &fakePPM{name: "b", state: []byte{9}}
+	sw.Install(Program{PPM: a, Modes: 1})
+	sw.Install(Program{PPM: b, Modes: 1})
+	snaps := sw.SnapshotAll()
+	if len(snaps) != 2 || string(snaps["a"]) != "\x01\x02\x03" {
+		t.Fatalf("snapshots = %v", snaps)
+	}
+	a.state = nil
+	if err := sw.RestoreAll(snaps); err != nil {
+		t.Fatal(err)
+	}
+	if string(a.state) != "\x01\x02\x03" {
+		t.Fatal("restore did not reload state")
+	}
+	// Restore error propagates.
+	if err := sw.RestoreAll(map[string][]byte{"b": {}}); err == nil {
+		t.Fatal("restore error swallowed")
+	}
+}
+
+func TestEmissions(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	em := &fakePPM{name: "emitter", onCall: func(ctx *Context) Verdict {
+		ctx.Emit(&packet.Packet{Proto: packet.ProtoProbe}, topo.LinkID(3))
+		return Continue
+	}}
+	sw.Install(Program{PPM: em, Modes: 1})
+	ctx := &Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1}
+	sw.Process(ctx)
+	if n := len(ctx.Emissions()); n != 1 {
+		t.Fatalf("emissions = %d, want 1", n)
+	}
+	if ctx.Emissions()[0].Via != 3 {
+		t.Fatal("emission link wrong")
+	}
+}
+
+func TestRouterForwarding(t *testing.T) {
+	r := NewRouter(5)
+	dst := packet.HostAddr(9)
+	r.SetRoute(dst, 7)
+	ctx := &Context{Pkt: &packet.Packet{Dst: dst, TTL: 64, Proto: packet.ProtoTCP}, InLink: 2, OutLink: -1}
+	if v := r.Process(ctx); v != Continue {
+		t.Fatalf("verdict = %v", v)
+	}
+	if ctx.OutLink != 7 {
+		t.Fatalf("outlink = %d, want 7", ctx.OutLink)
+	}
+	if ctx.Pkt.TTL != 63 {
+		t.Fatalf("TTL = %d, want 63 (decremented on transit)", ctx.Pkt.TTL)
+	}
+}
+
+func TestRouterNoTTLDecrementAtOrigin(t *testing.T) {
+	r := NewRouter(5)
+	ctx := &Context{Pkt: &packet.Packet{Dst: packet.HostAddr(9), TTL: 64, Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1}
+	r.Process(ctx)
+	if ctx.Pkt.TTL != 64 {
+		t.Fatal("TTL decremented for locally originated packet")
+	}
+}
+
+func TestRouterTTLExpiry(t *testing.T) {
+	r := NewRouter(5)
+	p := &packet.Packet{Src: packet.HostAddr(1), Dst: packet.HostAddr(9), TTL: 1,
+		Proto: packet.ProtoUDP, Seq: 42}
+	ctx := &Context{Pkt: p, InLink: 2, OutLink: -1}
+	if v := r.Process(ctx); v != Drop {
+		t.Fatalf("verdict = %v, want Drop", v)
+	}
+	ems := ctx.Emissions()
+	if len(ems) != 1 {
+		t.Fatalf("emissions = %d, want 1 ICMP", len(ems))
+	}
+	icmp := ems[0].Pkt
+	if icmp.Proto != packet.ProtoICMP || icmp.ICMP.Type != packet.ICMPTimeExceeded {
+		t.Fatalf("emitted %v, want time-exceeded", icmp)
+	}
+	if icmp.ICMP.From != packet.RouterAddr(5) {
+		t.Fatalf("ICMP from %v, want router 5", icmp.ICMP.From)
+	}
+	if icmp.Dst != p.Src || icmp.ICMP.OrigSeq != 42 {
+		t.Fatal("ICMP not addressed back to prober with original seq")
+	}
+}
+
+func TestRouterNoICMPForICMP(t *testing.T) {
+	r := NewRouter(5)
+	p := &packet.Packet{Src: packet.RouterAddr(2), Dst: packet.HostAddr(9), TTL: 1,
+		Proto: packet.ProtoICMP, ICMP: &packet.ICMPInfo{Type: packet.ICMPTimeExceeded}}
+	ctx := &Context{Pkt: p, InLink: 2, OutLink: -1}
+	if v := r.Process(ctx); v != Drop {
+		t.Fatal("expired ICMP not dropped")
+	}
+	if len(ctx.Emissions()) != 0 {
+		t.Fatal("ICMP generated in response to ICMP")
+	}
+}
+
+func TestRouterConsumesOwnAddress(t *testing.T) {
+	r := NewRouter(5)
+	p := &packet.Packet{Dst: packet.RouterAddr(5), TTL: 64, Proto: packet.ProtoProbe,
+		Probe: &packet.ProbeInfo{Kind: packet.ProbeUtil}}
+	if v := r.Process(&Context{Pkt: p, InLink: 0, OutLink: -1}); v != Consume {
+		t.Fatalf("verdict = %v, want Consume", v)
+	}
+}
+
+func TestRouterUnknownDst(t *testing.T) {
+	r := NewRouter(5)
+	ctx := &Context{Pkt: &packet.Packet{Dst: packet.HostAddr(9), TTL: 64, Proto: packet.ProtoTCP}, InLink: 0, OutLink: -1}
+	r.Process(ctx)
+	if ctx.OutLink != -1 {
+		t.Fatal("unknown destination got an egress")
+	}
+	if r.Route(packet.HostAddr(9)) != -1 {
+		t.Fatal("Route should be -1 for missing entry")
+	}
+}
+
+func TestRouterClearRoutes(t *testing.T) {
+	r := NewRouter(1)
+	r.SetRoute(packet.HostAddr(1), 1)
+	r.SetRoute(packet.HostAddr(2), 2)
+	if r.RouteCount() != 2 {
+		t.Fatal("route count")
+	}
+	r.ClearRoutes()
+	if r.RouteCount() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestLookupProgram(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	p := &fakePPM{name: "x"}
+	sw.Install(Program{PPM: p, Modes: 1})
+	if sw.Lookup("x") != p {
+		t.Fatal("lookup failed")
+	}
+	if sw.Lookup("y") != nil {
+		t.Fatal("lookup of missing program returned non-nil")
+	}
+}

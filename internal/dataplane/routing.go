@@ -1,0 +1,112 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Router is the base forwarding PPM every switch runs in every mode. It
+// owns TTL handling (including ICMP time-exceeded generation, which is what
+// makes traceroute — and hence both the Crossfire attacker and NetHide-style
+// obfuscation — work) and an exact-match destination table populated by the
+// centralized TE controller.
+type Router struct {
+	self topo.NodeID
+
+	mu    sync.Mutex
+	table map[packet.Addr]topo.LinkID
+}
+
+// NewRouter returns the routing PPM for a switch.
+func NewRouter(self topo.NodeID) *Router {
+	return &Router{self: self, table: make(map[packet.Addr]topo.LinkID)}
+}
+
+// Name implements PPM.
+func (r *Router) Name() string { return "router" }
+
+// Resources implements PPM: forwarding uses two stages, a destination table
+// in SRAM, and a small TCAM allocation for prefix entries.
+func (r *Router) Resources() Resources {
+	return Resources{Stages: 2, SRAMKB: 128, TCAM: 64, ALUs: 1}
+}
+
+// SetRoute installs dst → link. The controller calls this (with its own
+// control-latency) when it (re)computes TE.
+func (r *Router) SetRoute(dst packet.Addr, link topo.LinkID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.table[dst] = link
+}
+
+// ClearRoutes empties the table (controller reconfiguration).
+func (r *Router) ClearRoutes() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.table = make(map[packet.Addr]topo.LinkID)
+}
+
+// Route returns the installed egress for dst, or -1.
+func (r *Router) Route(dst packet.Addr) topo.LinkID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.table[dst]; ok {
+		return l
+	}
+	return -1
+}
+
+// RouteCount returns the number of installed entries.
+func (r *Router) RouteCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.table)
+}
+
+// Process implements PPM.
+func (r *Router) Process(ctx *Context) Verdict {
+	p := ctx.Pkt
+	// Packets addressed to this switch's control address terminate here.
+	if p.Dst == packet.RouterAddr(int(r.self)) {
+		return Consume
+	}
+	// TTL: decrement on transit; on expiry, report time-exceeded back to
+	// the sender (never in response to ICMP, to avoid storms). The
+	// response inherits the probe's suspicion tag so the obfuscation
+	// booster can treat attacker traceroutes differently.
+	if ctx.InLink >= 0 {
+		if p.TTL <= 1 {
+			if p.Proto != packet.ProtoICMP {
+				te := &packet.Packet{
+					Src:       packet.RouterAddr(int(r.self)),
+					Dst:       p.Src,
+					TTL:       64,
+					Proto:     packet.ProtoICMP,
+					Suspicion: p.Suspicion,
+					ICMP: &packet.ICMPInfo{
+						Type:    packet.ICMPTimeExceeded,
+						From:    packet.RouterAddr(int(r.self)),
+						OrigSeq: p.Seq,
+						OrigTTL: p.TTL,
+					},
+				}
+				ctx.Emit(te, -1)
+			}
+			return Drop
+		}
+		p.TTL--
+		p.Hops++
+	}
+	if l := r.Route(p.Dst); l >= 0 {
+		ctx.OutLink = l
+	}
+	return Continue
+}
+
+// Blueprint-level description string, useful in placement reports.
+func (r *Router) String() string {
+	return fmt.Sprintf("router(sw%d, %d routes)", r.self, r.RouteCount())
+}

@@ -1,0 +1,207 @@
+// Package eventsim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives everything else in this repository: the network
+// simulator, traffic generators, controllers, and attackers all schedule
+// callbacks on a shared virtual clock. Determinism is a hard requirement
+// (see DESIGN.md): all randomness flows from the engine's seeded RNG, and
+// events scheduled for the same instant fire in insertion order.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	At   time.Duration // virtual time at which the event fires
+	Fn   func()        // callback; runs with the clock set to At
+	seq  uint64        // tie-breaker: insertion order for equal At
+	idx  int           // heap index, -1 once popped or cancelled
+	dead bool          // set by Cancel
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine whose RNG is seeded with seed. The same seed and the
+// same schedule of events always produce the same execution.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// RNG returns the engine's deterministic random source. All model code must
+// draw randomness from here rather than from package-level rand.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// has already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead || ev.idx < 0 {
+		if ev != nil {
+			ev.dead = true
+		}
+		return
+	}
+	ev.dead = true
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, until the virtual clock
+// would pass horizon, or until Stop is called. The clock finishes at
+// min(horizon, last event time). It returns the number of events executed.
+func (e *Engine) Run(horizon time.Duration) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped {
+		// Peek without popping so an over-horizon event stays queued.
+		var next *Event
+		for len(e.queue) > 0 && e.queue[0].dead {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 {
+			break
+		}
+		next = e.queue[0]
+		if next.At > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return e.fired - start
+}
+
+// Ticker repeatedly invokes a callback on a fixed virtual-time period until
+// stopped. It is the building block for TE reconfiguration loops, probe
+// generators, and telemetry scrapes.
+type Ticker struct {
+	eng     *Engine
+	period  time.Duration
+	fn      func()
+	pending *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+// A period of zero or less panics.
+func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("eventsim: ticker period %v must be positive", period))
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.eng.Cancel(t.pending)
+}

@@ -1,0 +1,250 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run(time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.After(5*time.Millisecond, func() { at = e.Now() })
+	e.Run(time.Second)
+	if at != 5*time.Millisecond {
+		t.Fatalf("fired at %v, want 5ms", at)
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock = %v, want horizon 1s", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var hits int
+	e.After(time.Millisecond, func() {
+		hits++
+		e.After(time.Millisecond, func() { hits++ })
+	})
+	e.Run(time.Second)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.After(time.Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double cancel is a no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	e.Run(time.Second)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New(1)
+	e.After(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(0, func() {})
+	})
+	e.Run(time.Second)
+}
+
+func TestRunHorizonLeavesFutureEvents(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(2*time.Second, func() { fired = true })
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire on second Run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	var hits int
+	e.After(time.Millisecond, func() { hits++; e.Stop() })
+	e.After(2*time.Millisecond, func() { hits++ })
+	e.Run(time.Second)
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (Stop should halt Run)", hits)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var times []time.Duration
+	tk := NewTicker(e, 10*time.Millisecond, func() { times = append(times, e.Now()) })
+	e.After(35*time.Millisecond, tk.Stop)
+	e.Run(time.Second)
+	if len(times) != 3 {
+		t.Fatalf("ticks = %d (%v), want 3", len(times), times)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := New(1)
+	var tk *Ticker
+	hits := 0
+	tk = NewTicker(e, time.Millisecond, func() {
+		hits++
+		if hits == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(time.Second)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-period ticker did not panic")
+		}
+	}()
+	NewTicker(New(1), 0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := New(seed)
+		var draws []int64
+		for i := 0; i < 20; i++ {
+			d := time.Duration(e.RNG().Intn(1000)) * time.Microsecond
+			e.After(d, func() { draws = append(draws, e.RNG().Int63()) })
+		}
+		e.Run(time.Second)
+		return draws
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different executions")
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if n := e.Run(time.Second); n != 7 {
+		t.Fatalf("Run returned %d, want 7", n)
+	}
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(1)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(time.Hour)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

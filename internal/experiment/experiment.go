@@ -1,0 +1,41 @@
+// Package experiment is the evaluation harness: it regenerates every table
+// and figure in the paper plus the ablations listed in DESIGN.md §3. Each
+// experiment is a pure function from a config to a Result that carries the
+// series/table a figure plots; cmd/ffbench and bench_test.go drive them.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"fastflex/internal/metrics"
+)
+
+// Result is the output of one experiment run.
+type Result struct {
+	Name   string
+	Table  *metrics.Table
+	Series []*metrics.Series
+	Notes  []string
+}
+
+// Note appends a formatted observation to the result.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Name)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	for _, s := range r.Series {
+		b.WriteString(metrics.AsciiPlot(s, 60, 8))
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/metrics"
+	"fastflex/internal/place"
+	"fastflex/internal/ppm"
+	"fastflex/internal/topo"
+)
+
+// Table1Analyzer regenerates the per-module resource table embedded in the
+// paper's Figure 1(a): every booster decomposed into PPMs with their
+// stage/SRAM/TCAM footprints.
+func Table1Analyzer() *Result {
+	res := &Result{Name: "Figure 1(a): program analyzer module table"}
+	tb := &metrics.Table{Header: []string{"booster", "module", "stages", "SRAM(KB)", "TCAM", "ALUs", "shareable"}}
+	rows := ppm.AnalyzerTable(ppm.StandardBoosters())
+	var total dataplane.Resources
+	for _, r := range rows {
+		tb.AddRow(r.Booster, r.Module,
+			fmt.Sprintf("%d", r.Res.Stages),
+			fmt.Sprintf("%.1f", r.Res.SRAMKB),
+			fmt.Sprintf("%d", r.Res.TCAM),
+			fmt.Sprintf("%d", r.Res.ALUs),
+			fmt.Sprintf("%v", r.Shared))
+		total = total.Add(r.Res)
+	}
+	res.Table = tb
+	res.Note("%d modules across %d boosters, total footprint %v",
+		len(rows), len(ppm.StandardBoosters()), total)
+	return res
+}
+
+// Figure1Merge regenerates Figure 1(b): merging the booster dataflow graphs
+// with PPM sharing, reporting the consolidation savings.
+func Figure1Merge() *Result {
+	res := &Result{Name: "Figure 1(b): merged dataflow graph"}
+	graphs := ppm.StandardBoosters()
+	noShare, err := ppm.Merge(graphs, false)
+	if err != nil {
+		panic(err)
+	}
+	shared, err := ppm.Merge(graphs, true)
+	if err != nil {
+		panic(err)
+	}
+	tb := &metrics.Table{Header: []string{"variant", "modules", "stages", "SRAM(KB)", "TCAM", "ALUs"}}
+	for _, row := range []struct {
+		name string
+		m    *ppm.Merged
+	}{{"no sharing", noShare}, {"with sharing", shared}} {
+		t := row.m.Total()
+		tb.AddRow(row.name, fmt.Sprintf("%d", len(row.m.Modules)),
+			fmt.Sprintf("%d", t.Stages), fmt.Sprintf("%.1f", t.SRAMKB),
+			fmt.Sprintf("%d", t.TCAM), fmt.Sprintf("%d", t.ALUs))
+	}
+	res.Table = tb
+	res.Note("sharing eliminated %d module instances, saving %v",
+		shared.SharedCount, shared.SavedResources)
+	for _, m := range shared.Modules {
+		if len(m.Owners) > 1 {
+			res.Note("shared instance %q serves %d boosters: %v", m.Spec.Kind, len(m.Owners), m.Owners)
+		}
+	}
+	return res
+}
+
+// Figure1Place regenerates Figure 1(c): scheduling the merged graph onto
+// the Figure-2 topology and a fat-tree, reporting coverage metrics.
+func Figure1Place() *Result {
+	res := &Result{Name: "Figure 1(c): placement onto the network"}
+	tb := &metrics.Table{Header: []string{"topology", "switches", "placed-instances", "coverage", "mit-distance", "unplaced"}}
+	merged, err := ppm.Merge(ppm.StandardBoosters(), true)
+	if err != nil {
+		panic(err)
+	}
+	run := func(name string, g *topo.Graph, paths []topo.Path) {
+		p, err := place.Schedule(place.Input{
+			G: g, Merged: merged,
+			Budget: place.UniformBudget(g, dataplane.TofinoLike()),
+			Paths:  paths,
+		})
+		if err != nil {
+			panic(err)
+		}
+		instances := 0
+		for _, sws := range p.ByModule {
+			instances += len(sws)
+		}
+		tb.AddRow(name, fmt.Sprintf("%d", len(g.Switches())),
+			fmt.Sprintf("%d", instances),
+			fmt.Sprintf("%.0f%%", 100*p.DetectorCoverage),
+			fmt.Sprintf("%.2f", p.MeanMitigationDistance),
+			fmt.Sprintf("%d", len(p.Unplaced)))
+	}
+
+	f := topo.NewFigure2()
+	users := f.AttachUsers(4)
+	servers := f.AttachServers(2)
+	var paths []topo.Path
+	for _, u := range users {
+		for _, s := range servers {
+			if p, ok := f.G.ShortestPath(u, s, nil); ok {
+				paths = append(paths, p)
+			}
+		}
+	}
+	run("figure-2", f.G, paths)
+
+	ft := topo.NewFatTree(4)
+	var ftHosts []topo.NodeID
+	for i, e := range ft.Edges {
+		ftHosts = append(ftHosts, ft.G.AttachHost(e, fmt.Sprintf("h%d", i),
+			topo.DefaultHostBPS, topo.DefaultHostDelay))
+	}
+	var ftPaths []topo.Path
+	for i := range ftHosts {
+		j := (i + len(ftHosts)/2) % len(ftHosts)
+		if p, ok := ft.G.ShortestPath(ftHosts[i], ftHosts[j], nil); ok {
+			ftPaths = append(ftPaths, p)
+		}
+	}
+	run("fat-tree k=4", ft.G, ftPaths)
+
+	res.Table = tb
+	return res
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"fastflex/internal/attack"
+	"fastflex/internal/booster"
+	"fastflex/internal/core"
+	"fastflex/internal/metrics"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Figure2Modes reproduces the multimode progression of the paper's Figure 2:
+// (a) default mode with defenses off, (b) LFA detected and probes activating
+// congestion-based rerouting, (c) mitigation — suspicious flows rerouted,
+// pinned normal flows, obfuscation and dropping, (d) robustness to rolling.
+// It runs the full case study once and reports, per phase, when it was
+// entered and the observable evidence.
+func Figure2Modes() *Result {
+	res := &Result{Name: "Figure 2: multimode data plane progression"}
+
+	f := topo.NewFigure2()
+	users := f.AttachUsers(8)
+	bots := f.AttachBots(40)
+	servers := f.AttachServers(8)
+	var srvAddr []packet.Addr
+	for _, s := range servers {
+		srvAddr = append(srvAddr, packet.HostAddr(int(s)))
+	}
+	cfg := core.Config{Protected: srvAddr}
+	cfg.Net = netsim.DefaultConfig()
+	fab, err := core.New(f.G, cfg)
+	if err != nil {
+		panic(err)
+	}
+	n := fab.Net
+	for i, u := range users {
+		src := netsim.NewAIMDSource(n, u, srvAddr[i%len(srvAddr)], uint16(6000+i), 80, 1200)
+		src.SetMaxRate(5e6)
+		src.Start()
+	}
+	atk := attack.NewCrossfire(n, attack.CrossfireConfig{
+		Bots: bots, Servers: srvAddr, BotRateBps: 1.5e6, FlowsPerBot: 2,
+		Rolling: true, ScoutEvery: 5 * time.Second, Start: 10 * time.Second,
+	})
+	atk.Launch()
+
+	// Phase (a): default mode before the attack.
+	fab.Run(9 * time.Second)
+	tb := &metrics.Table{Header: []string{"phase", "entered", "evidence"}}
+	defaultOK := !fab.AttackDetected() && fab.Net.Switch(f.CoreA).Modes() == 0
+	tb.AddRow("(a) default", "0s", fmt.Sprintf("no alarms, empty mode sets on all switches: %v", defaultOK))
+
+	// Phase (b): detection + mode-change probes.
+	fab.Run(30 * time.Second)
+	var detectAt, mitigateAt time.Duration
+	for _, ev := range fab.ModeEvents {
+		if ev.Active && ev.Mode == booster.ModeReroute && detectAt == 0 {
+			detectAt = ev.At
+		}
+		if ev.Active && ev.Mode == booster.ModeMitigate && mitigateAt == 0 {
+			mitigateAt = ev.At
+		}
+	}
+	var probes uint64
+	for _, rr := range fab.Reroutes {
+		probes += rr.Probes
+	}
+	tb.AddRow("(b) detect LFA", fmt.Sprintf("%.2fs", detectAt.Seconds()),
+		fmt.Sprintf("alarm raised, %d util probes circulating", probes))
+
+	// Phase (c): mitigation evidence.
+	var rerouted, dropped, fabricated uint64
+	for _, rr := range fab.Reroutes {
+		rerouted += rr.Rerouted
+	}
+	for _, d := range fab.Droppers {
+		dropped += d.DroppedHigh
+	}
+	for _, o := range fab.Obfuscators {
+		fabricated += o.Fabricated
+	}
+	tb.AddRow("(c) mitigate", fmt.Sprintf("%.2fs", mitigateAt.Seconds()),
+		fmt.Sprintf("%d pkts rerouted (suspicious only), %d dropped, %d traceroutes obfuscated",
+			rerouted, dropped, fabricated))
+
+	// Phase (d): rolling robustness.
+	tb.AddRow("(d) rolling-robust", "-",
+		fmt.Sprintf("attacker rolled %d times in 30s of scouting every 5s (pinned by the virtual topology)",
+			atk.Rolls))
+
+	res.Table = tb
+	if detectAt > 0 {
+		res.Note("attack started at 10s; detection at %.2fs; mitigation modes at %.2fs — RTT-timescale response",
+			detectAt.Seconds(), mitigateAt.Seconds())
+	}
+	return res
+}

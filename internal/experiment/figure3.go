@@ -1,0 +1,270 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"fastflex/internal/attack"
+	"fastflex/internal/control"
+	"fastflex/internal/core"
+	"fastflex/internal/metrics"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Defense selects the arm of the Figure-3 comparison.
+type Defense int
+
+// Figure-3 arms.
+const (
+	// DefenseBaseline is the §4.3 baseline: an SDN controller running
+	// centralized load-aware TE on a fixed period (30 s), no dataplane
+	// defenses.
+	DefenseBaseline Defense = iota
+	// DefenseFastFlex is the full fabric: multimode dataplane with
+	// distributed mode changes.
+	DefenseFastFlex
+	// DefenseNone leaves the attack unanswered (reference floor).
+	DefenseNone
+)
+
+func (d Defense) String() string {
+	switch d {
+	case DefenseBaseline:
+		return "baseline-sdn"
+	case DefenseFastFlex:
+		return "fastflex"
+	case DefenseNone:
+		return "undefended"
+	}
+	return "unknown"
+}
+
+// Figure3Config parameterizes the rolling-LFA throughput experiment.
+type Figure3Config struct {
+	Defense Defense
+	// Duration of the run (default 120 s as in the paper).
+	Duration time.Duration
+	// AttackStart (default 20 s) and AttackStop (default Duration, i.e.
+	// the attack persists to the end).
+	AttackStart, AttackStop time.Duration
+	// Users / Servers / Bots sizes (defaults 8 / 8 / 40).
+	Users, Servers, Bots int
+	// UserRateBps per user flow (default 5 Mbps) and BotRateBps per bot
+	// flow (default 1.5 Mbps — under the detector's low-rate ceiling).
+	UserRateBps, BotRateBps float64
+	// FlowsPerBot (default 2).
+	FlowsPerBot int
+	// ScoutEvery is the attacker's re-mapping period (default 8 s: a
+	// traceroute campaign over the botnet takes time).
+	ScoutEvery time.Duration
+	// TargetLinks is how many links the attacker floods at once (default
+	// 1, rolling between the two critical links round by round).
+	TargetLinks int
+	// BaselinePeriod is the baseline controller's reconfiguration period
+	// (default 30 s per the paper).
+	BaselinePeriod time.Duration
+	// SampleEvery for the throughput series (default 1 s).
+	SampleEvery time.Duration
+	Seed        int64
+
+	// Ablation knobs (A6): force rerouting of all flows (no pinning) or
+	// disable individual boosters.
+	RerouteAllOverride bool
+	DisableObfuscation bool
+	DisableDropper     bool
+}
+
+func (c *Figure3Config) fillDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 120 * time.Second
+	}
+	if c.AttackStart == 0 {
+		c.AttackStart = 20 * time.Second
+	}
+	if c.AttackStop == 0 {
+		c.AttackStop = c.Duration
+	}
+	if c.Users == 0 {
+		c.Users = 8
+	}
+	if c.Servers == 0 {
+		c.Servers = 8
+	}
+	if c.Bots == 0 {
+		c.Bots = 40
+	}
+	if c.UserRateBps == 0 {
+		c.UserRateBps = 5e6
+	}
+	if c.BotRateBps == 0 {
+		c.BotRateBps = 1.5e6
+	}
+	if c.FlowsPerBot == 0 {
+		c.FlowsPerBot = 2
+	}
+	if c.ScoutEvery == 0 {
+		c.ScoutEvery = 8 * time.Second
+	}
+	if c.TargetLinks == 0 {
+		c.TargetLinks = 1
+	}
+	if c.BaselinePeriod == 0 {
+		c.BaselinePeriod = 30 * time.Second
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Figure3Result extends Result with the headline numbers EXPERIMENTS.md
+// records.
+type Figure3Result struct {
+	Result
+	// Throughput is the per-interval normalized goodput of normal user
+	// flows (1.0 = stable throughput without attack).
+	Throughput *metrics.Series
+	// StableMean is the absolute goodput (bytes/s) used as the
+	// normalization base.
+	StableMean float64
+	// AttackMean is the mean normalized throughput during the attack.
+	AttackMean float64
+	// FractionDegraded is the fraction of attack-window samples below
+	// 80% of stable throughput.
+	FractionDegraded float64
+	// Rolls is how many times the attacker re-targeted.
+	Rolls uint64
+}
+
+// Figure3 reproduces the paper's Figure 3: normalized throughput of normal
+// user flows under a rolling link-flooding attack, for one defense arm.
+func Figure3(cfg Figure3Config) *Figure3Result {
+	cfg.fillDefaults()
+	f := topo.NewFigure2()
+	users := f.AttachUsers(cfg.Users)
+	bots := f.AttachBots(cfg.Bots)
+	servers := f.AttachServers(cfg.Servers)
+	var srvAddr []packet.Addr
+	for _, s := range servers {
+		srvAddr = append(srvAddr, packet.HostAddr(int(s)))
+	}
+
+	coreCfg := core.Config{
+		Protected:          srvAddr,
+		DefenseOff:         cfg.Defense != DefenseFastFlex,
+		DisableObfuscation: cfg.DisableObfuscation,
+		DisableDropper:     cfg.DisableDropper,
+	}
+	coreCfg.Net = netsim.DefaultConfig()
+	coreCfg.Net.Seed = cfg.Seed
+	coreCfg.Reroute.RerouteAllOverride = cfg.RerouteAllOverride
+	fab, err := core.New(f.G, coreCfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: building fabric: %v", err))
+	}
+	n := fab.Net
+
+	if cfg.Defense == DefenseBaseline {
+		bl := control.NewTEController(n, control.Config{Period: cfg.BaselinePeriod})
+		bl.Start()
+	}
+
+	// Normal users: application-limited TCP flows spread over the servers.
+	// They offer at most UserRateBps each but collapse TCP-style under
+	// loss, which is what gives Figure 3 its depth.
+	userSrcs := make([]*netsim.AIMDSource, 0, cfg.Users)
+	for i, u := range users {
+		src := netsim.NewAIMDSource(n, u, srvAddr[i%len(srvAddr)], uint16(6000+i), 80, 1200)
+		src.SetMaxRate(cfg.UserRateBps)
+		src.Start()
+		userSrcs = append(userSrcs, src)
+	}
+
+	// Goodput counter: user payload bytes acknowledged end-to-end.
+	userGoodput := func() uint64 {
+		var total uint64
+		for _, src := range userSrcs {
+			total += src.AckedBytes()
+		}
+		return total
+	}
+	sampler := metrics.RateSampler(n.Eng, fmt.Sprintf("user goodput (%v)", cfg.Defense),
+		cfg.SampleEvery, userGoodput)
+
+	// The rolling Crossfire attacker.
+	atk := attack.NewCrossfire(n, attack.CrossfireConfig{
+		Bots: bots, Servers: srvAddr,
+		BotRateBps: cfg.BotRateBps, FlowsPerBot: cfg.FlowsPerBot,
+		TargetLinks: cfg.TargetLinks,
+		Rolling:     true, ScoutEvery: cfg.ScoutEvery,
+		Start: cfg.AttackStart,
+	})
+	atk.Launch()
+	if cfg.AttackStop < cfg.Duration {
+		n.Eng.Schedule(cfg.AttackStop, atk.Stop)
+	}
+
+	fab.Run(cfg.Duration)
+	sampler.Stop()
+
+	raw := sampler.S
+	// Normalize by the pre-attack stable window (skip the first 5 s of
+	// slow convergence).
+	stable := raw.MeanBetween(5*time.Second, cfg.AttackStart)
+	norm := raw.Normalize(stable)
+	norm.Name = fmt.Sprintf("normalized user throughput (%v)", cfg.Defense)
+
+	res := &Figure3Result{
+		Throughput: norm,
+		StableMean: stable,
+		AttackMean: norm.MeanBetween(cfg.AttackStart+2*time.Second, cfg.AttackStop),
+		Rolls:      atk.Rolls,
+	}
+	res.FractionDegraded = fractionBelowBetween(norm, 0.8, cfg.AttackStart+2*time.Second, cfg.AttackStop)
+	res.Name = "Figure 3 (" + cfg.Defense.String() + ")"
+	res.Series = []*metrics.Series{norm}
+	res.Note("stable goodput %.1f Mbps, attack-window mean %.0f%% of stable, %.0f%% of samples degraded below 80%%, attacker rolls %d",
+		stable*8/1e6, 100*res.AttackMean, 100*res.FractionDegraded, atk.Rolls)
+	return res
+}
+
+func fractionBelowBetween(s *metrics.Series, th float64, from, to time.Duration) float64 {
+	n, below := 0, 0
+	for i, t := range s.T {
+		if t >= from && t < to {
+			n++
+			if s.V[i] < th {
+				below++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(below) / float64(n)
+}
+
+// Figure3Compare runs all arms and assembles the side-by-side table the
+// paper's figure conveys.
+func Figure3Compare(base Figure3Config) *Result {
+	res := &Result{Name: "Figure 3: FastFlex vs baseline under rolling LFA"}
+	tb := &metrics.Table{Header: []string{"defense", "stable Mbps", "attack mean", "degraded<80%", "rolls"}}
+	for _, d := range []Defense{DefenseNone, DefenseBaseline, DefenseFastFlex} {
+		cfg := base
+		cfg.Defense = d
+		r := Figure3(cfg)
+		tb.AddRow(d.String(),
+			fmt.Sprintf("%.1f", r.StableMean*8/1e6),
+			fmt.Sprintf("%.2f", r.AttackMean),
+			fmt.Sprintf("%.2f", r.FractionDegraded),
+			fmt.Sprintf("%d", r.Rolls))
+		res.Series = append(res.Series, r.Throughput)
+		res.Notes = append(res.Notes, r.Notes...)
+	}
+	res.Table = tb
+	return res
+}

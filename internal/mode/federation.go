@@ -1,0 +1,81 @@
+package mode
+
+import (
+	"fmt"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// GatewayPolicy is the trust policy of a federation gateway (§6): which
+// defense modes a peer domain is allowed to activate here, and the local
+// region its alarms are translated into.
+type GatewayPolicy struct {
+	// PeerRegion is the foreign region whose probes this gateway accepts.
+	PeerRegion uint16
+	// LocalRegion is the region the gateway re-originates probes into.
+	LocalRegion uint16
+	// Allow lists the modes the peer may set locally. Clears are allowed
+	// for the same modes.
+	Allow map[dataplane.ModeID]bool
+}
+
+// Gateway is the federation PPM for a border switch between two FastFlex
+// domains. It translates mode-change probes across the trust boundary:
+// foreign probes for allowed modes are rewritten into the local region and
+// handed to the local mode controller (which applies and refloods them);
+// everything else stops at the boundary.
+//
+// Install it at PriControl−1 so it runs before the local mode controller.
+type Gateway struct {
+	self   topo.NodeID
+	policy GatewayPolicy
+	seen   func(packet.DedupKey) bool
+
+	Translated uint64
+	Blocked    uint64
+}
+
+// NewGateway builds a federation gateway. seen is the switch's probe dedup
+// filter (a gateway translates each foreign probe once).
+func NewGateway(self topo.NodeID, seen func(packet.DedupKey) bool, policy GatewayPolicy) *Gateway {
+	return &Gateway{self: self, policy: policy, seen: seen}
+}
+
+// Name implements PPM.
+func (g *Gateway) Name() string { return fmt.Sprintf("fedgw@%d", g.self) }
+
+// Resources implements PPM.
+func (g *Gateway) Resources() dataplane.Resources {
+	return dataplane.Resources{Stages: 1, SRAMKB: 8, TCAM: 8, ALUs: 1}
+}
+
+// Process implements PPM.
+func (g *Gateway) Process(ctx *dataplane.Context) dataplane.Verdict {
+	p := ctx.Pkt
+	if p.Proto != packet.ProtoProbe || p.Probe.Kind != packet.ProbeModeChange {
+		return dataplane.Continue
+	}
+	pi := p.Probe
+	if pi.Region != g.policy.PeerRegion {
+		return dataplane.Continue // local traffic: the mode controller's business
+	}
+	// Foreign probe at the trust boundary: translate once, block the rest.
+	dedup := pi.Dedup()
+	// Namespace the dedup key so the gateway's bookkeeping doesn't collide
+	// with the mode controller's (which will see the rewritten probe).
+	dedup.Kind = packet.ProbeKind(200)
+	if g.seen(dedup) {
+		return dataplane.Consume
+	}
+	if !g.policy.Allow[dataplane.ModeID(pi.Mode)] {
+		g.Blocked++
+		return dataplane.Consume
+	}
+	g.Translated++
+	// Rewrite into the local region and fall through to the local mode
+	// controller, which applies the change here and refloods it inward.
+	pi.Region = g.policy.LocalRegion
+	return dataplane.Continue
+}

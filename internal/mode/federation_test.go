@@ -1,0 +1,171 @@
+package mode
+
+import (
+	"testing"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// federated builds a 5-switch line: switches 0–1 are domain A (region 1),
+// switch 2 is the border gateway, switches 2–4 are domain B (region 2).
+func federated(t *testing.T, allow map[dataplane.ModeID]bool) (*netsim.Network, []*Controller, *Gateway) {
+	t.Helper()
+	g := topo.NewLinear(5)
+	n := netsim.New(g, netsim.DefaultConfig())
+	ctrls := make([]*Controller, 5)
+	for i := 0; i < 5; i++ {
+		region := uint16(1)
+		if i >= 2 {
+			region = 2
+		}
+		sw := n.Switch(topo.NodeID(i))
+		ctrls[i] = NewController(topo.NodeID(i), sw.SetMode, sw.SeenProbe, Config{Region: region})
+		if err := sw.Install(dataplane.Program{PPM: ctrls[i], Priority: dataplane.PriControl, Modes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw2 := n.Switch(2)
+	gw := NewGateway(2, sw2.SeenProbe, GatewayPolicy{
+		PeerRegion: 1, LocalRegion: 2, Allow: allow,
+	})
+	if err := sw2.Install(dataplane.Program{PPM: gw, Priority: dataplane.PriControl - 1, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return n, ctrls, gw
+}
+
+// raiseInDomainA fires a region-1 activation from switch 0.
+func raiseInDomainA(n *netsim.Network, c *Controller, m dataplane.ModeID) {
+	n.Eng.Schedule(10*time.Millisecond, func() {
+		ctx := &dataplane.Context{Now: n.Now(), Switch: 0, InLink: -1,
+			Pkt: &packet.Packet{Proto: packet.ProtoTCP}, OutLink: -1}
+		c.RequestActivate(ctx, m, 1)
+		for _, em := range ctx.Emissions() {
+			for _, lid := range n.SwitchLinks(0) {
+				n.Enqueue(lid, em.Pkt.Clone())
+			}
+		}
+	})
+}
+
+func TestGatewayTranslatesAllowedMode(t *testing.T) {
+	n, ctrls, gw := federated(t, map[dataplane.ModeID]bool{3: true})
+	raiseInDomainA(n, ctrls[0], 3)
+	n.Run(time.Second)
+	// Domain A active (its own region).
+	for _, i := range []int{0, 1} {
+		if !n.Switch(topo.NodeID(i)).Modes().Has(3) {
+			t.Fatalf("domain-A switch %d inactive", i)
+		}
+	}
+	// Translated across the boundary: gateway and domain B active too.
+	for _, i := range []int{2, 3, 4} {
+		if !n.Switch(topo.NodeID(i)).Modes().Has(3) {
+			t.Fatalf("domain-B switch %d inactive (translation failed)", i)
+		}
+	}
+	if gw.Translated != 1 || gw.Blocked != 0 {
+		t.Fatalf("gateway counters: translated=%d blocked=%d", gw.Translated, gw.Blocked)
+	}
+}
+
+func TestGatewayBlocksDisallowedMode(t *testing.T) {
+	n, ctrls, gw := federated(t, map[dataplane.ModeID]bool{3: true})
+	raiseInDomainA(n, ctrls[0], 5) // mode 5 is not in the allow list
+	n.Run(time.Second)
+	for _, i := range []int{0, 1} {
+		if !n.Switch(topo.NodeID(i)).Modes().Has(5) {
+			t.Fatalf("domain-A switch %d inactive", i)
+		}
+	}
+	for _, i := range []int{2, 3, 4} {
+		if n.Switch(topo.NodeID(i)).Modes().Has(5) {
+			t.Fatalf("disallowed mode leaked into domain B at switch %d", i)
+		}
+	}
+	if gw.Blocked == 0 {
+		t.Fatal("no blocks recorded")
+	}
+}
+
+func TestGatewayClearPropagates(t *testing.T) {
+	n, ctrls, _ := federated(t, map[dataplane.ModeID]bool{3: true})
+	raiseInDomainA(n, ctrls[0], 3)
+	n.Run(time.Second)
+	if !n.Switch(4).Modes().Has(3) {
+		t.Fatal("setup: domain B not active")
+	}
+	// Clear from domain A after the dwell expires.
+	n.Eng.Schedule(1100*time.Millisecond, func() {
+		ctx := &dataplane.Context{Now: n.Now(), Switch: 0, InLink: -1,
+			Pkt: &packet.Packet{Proto: packet.ProtoTCP}, OutLink: -1}
+		ctrls[0].RequestClear(ctx, 3, 1)
+		for _, em := range ctx.Emissions() {
+			for _, lid := range n.SwitchLinks(0) {
+				n.Enqueue(lid, em.Pkt.Clone())
+			}
+		}
+	})
+	n.Run(3 * time.Second)
+	for i := 0; i < 5; i++ {
+		if n.Switch(topo.NodeID(i)).Modes().Has(3) {
+			t.Fatalf("mode stuck at switch %d after federated clear", i)
+		}
+	}
+}
+
+func TestGatewayIgnoresLocalProbes(t *testing.T) {
+	n, ctrls, gw := federated(t, map[dataplane.ModeID]bool{3: true})
+	// A region-2 activation from inside domain B must pass the gateway
+	// untouched (it is local traffic, not boundary traffic).
+	n.Eng.Schedule(10*time.Millisecond, func() {
+		ctx := &dataplane.Context{Now: n.Now(), Switch: 4, InLink: -1,
+			Pkt: &packet.Packet{Proto: packet.ProtoTCP}, OutLink: -1}
+		ctrls[4].RequestActivate(ctx, 3, 2)
+		for _, em := range ctx.Emissions() {
+			for _, lid := range n.SwitchLinks(4) {
+				n.Enqueue(lid, em.Pkt.Clone())
+			}
+		}
+	})
+	n.Run(time.Second)
+	if gw.Translated != 0 {
+		t.Fatal("gateway translated a local probe")
+	}
+	for _, i := range []int{2, 3, 4} {
+		if !n.Switch(topo.NodeID(i)).Modes().Has(3) {
+			t.Fatalf("domain-B switch %d inactive on local activation", i)
+		}
+	}
+}
+
+func TestSoftTTLExpiry(t *testing.T) {
+	r := newRig(1, Config{Region: 1, SoftTTL: time.Second})
+	r.c.Process(ctxAt(0, modeProbe(9, 1, 3, 1, false), 5))
+	if !r.modes[3] {
+		t.Fatal("setup failed")
+	}
+	// Heartbeat-style evaluations: within TTL the mode persists.
+	r.c.Process(ctxAt(900*time.Millisecond, dataPkt(), 5))
+	if !r.modes[3] {
+		t.Fatal("mode expired before TTL")
+	}
+	// Re-assertion refreshes the lease.
+	r.c.Process(ctxAt(950*time.Millisecond, modeProbe(9, 2, 3, 1, false), 5))
+	r.c.Process(ctxAt(1800*time.Millisecond, dataPkt(), 5))
+	if !r.modes[3] {
+		t.Fatal("lease not refreshed by re-assertion")
+	}
+	// No more assertions: the lease expires.
+	r.c.Process(ctxAt(3*time.Second, dataPkt(), 5))
+	if r.modes[3] {
+		t.Fatal("mode did not expire after TTL")
+	}
+	if r.c.Expired != 1 {
+		t.Fatalf("expired counter = %d", r.c.Expired)
+	}
+}

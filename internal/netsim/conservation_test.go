@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Packet conservation: every UDP packet a source sends is either delivered
+// to a host or accounted for by exactly one drop counter — nothing
+// disappears, nothing is duplicated. This is the simulator's bookkeeping
+// invariant; every experiment's numbers rest on it.
+func TestPacketConservationUDP(t *testing.T) {
+	f := topo.NewFigure2()
+	users := f.AttachUsers(4)
+	servers := f.AttachServers(2)
+	n := New(f.G, DefaultConfig())
+	installShortestPathRoutes(n)
+	// Mixed load: some flows fit, one blasts far over capacity so queue
+	// drops occur, plus injected random loss on one link.
+	var srcs []*CBRSource
+	for i, u := range users {
+		rate := 10e6
+		if i == 0 {
+			rate = 150e6 // forces queue drops
+		}
+		src := NewCBRSource(n, u, packet.HostAddr(int(servers[i%2])), uint16(i+1), 80,
+			packet.ProtoUDP, 1000, rate)
+		src.Start()
+		srcs = append(srcs, src)
+	}
+	n.SetLinkLoss(f.CriticalLinkA, 0.02)
+	n.Run(3 * time.Second)
+	for _, s := range srcs {
+		s.Stop()
+	}
+	n.Run(5 * time.Second) // drain
+
+	var sent uint64
+	for _, s := range srcs {
+		sent += s.Sent()
+	}
+	accounted := n.Delivered + n.DropsQueue + n.DropsLoss + n.DropsNoRoute +
+		n.DropsPipeline + n.DropsDown
+	if sent == 0 || n.DropsQueue == 0 || n.DropsLoss == 0 {
+		t.Fatalf("test not exercising all paths: sent=%d queue=%d loss=%d",
+			sent, n.DropsQueue, n.DropsLoss)
+	}
+	if accounted != sent {
+		t.Fatalf("conservation violated: sent %d, accounted %d (delivered %d, queue %d, loss %d, noroute %d, pipeline %d, down %d)",
+			sent, accounted, n.Delivered, n.DropsQueue, n.DropsLoss,
+			n.DropsNoRoute, n.DropsPipeline, n.DropsDown)
+	}
+}

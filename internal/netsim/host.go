@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"time"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Host is the runtime of an endpoint node: it sinks traffic, keeps receive
+// statistics, auto-ACKs TCP data for the AIMD sources, and dispatches ICMP
+// to registered handlers (traceroute).
+type Host struct {
+	net  *Network
+	node topo.NodeID
+	addr packet.Addr
+
+	// Receive accounting, keyed by source address.
+	recvBytes   map[packet.Addr]uint64
+	recvPackets map[packet.Addr]uint64
+
+	// icmpHandlers receive every ICMP packet delivered to this host,
+	// keyed so transient listeners (traceroute) can deregister.
+	icmpHandlers map[int]func(*packet.Packet)
+	nextICMPID   int
+	// ackHandlers receive TCP ACK packets, keyed by local port.
+	ackHandlers map[uint16]func(*packet.Packet)
+	// sink, if set, observes every delivered packet.
+	sink func(*packet.Packet)
+}
+
+func newHost(n *Network, node topo.NodeID) *Host {
+	return &Host{
+		net:          n,
+		node:         node,
+		addr:         packet.HostAddr(int(node)),
+		recvBytes:    make(map[packet.Addr]uint64),
+		recvPackets:  make(map[packet.Addr]uint64),
+		ackHandlers:  make(map[uint16]func(*packet.Packet)),
+		icmpHandlers: make(map[int]func(*packet.Packet)),
+	}
+}
+
+// Addr returns the host's network address.
+func (h *Host) Addr() packet.Addr { return h.addr }
+
+// Node returns the host's topology node ID.
+func (h *Host) Node() topo.NodeID { return h.node }
+
+// RecvBytes returns the total bytes received from src.
+func (h *Host) RecvBytes(src packet.Addr) uint64 { return h.recvBytes[src] }
+
+// TotalRecvBytes returns all application bytes received.
+func (h *Host) TotalRecvBytes() uint64 {
+	var t uint64
+	for _, b := range h.recvBytes {
+		t += b
+	}
+	return t
+}
+
+// OnICMP registers a handler for ICMP packets delivered to this host and
+// returns a deregistration function.
+func (h *Host) OnICMP(fn func(*packet.Packet)) (cancel func()) {
+	id := h.nextICMPID
+	h.nextICMPID++
+	h.icmpHandlers[id] = fn
+	return func() { delete(h.icmpHandlers, id) }
+}
+
+// OnSink registers an observer for every delivered packet.
+func (h *Host) OnSink(fn func(*packet.Packet)) { h.sink = fn }
+
+func (h *Host) receive(p *packet.Packet, in topo.LinkID) {
+	if h.sink != nil {
+		h.sink(p)
+	}
+	switch p.Proto {
+	case packet.ProtoICMP:
+		for _, fn := range h.icmpHandlers {
+			fn(p)
+		}
+	case packet.ProtoTCP:
+		if p.Flags&packet.FlagACK != 0 && p.PayloadLen == 0 {
+			// Pure ACK: hand to the sending application on that port.
+			if fn, ok := h.ackHandlers[p.DstPort]; ok {
+				fn(p)
+			}
+			return
+		}
+		h.recvBytes[p.Src] += uint64(p.PayloadLen)
+		h.recvPackets[p.Src]++
+		// Auto-ACK data so window-based senders can clock themselves.
+		ack := &packet.Packet{
+			Src: h.addr, Dst: p.Src, TTL: 64, Proto: packet.ProtoTCP,
+			SrcPort: p.DstPort, DstPort: p.SrcPort,
+			Flags: packet.FlagACK, Seq: p.Seq,
+		}
+		h.net.SendFromHost(h.node, ack)
+	default:
+		h.recvBytes[p.Src] += uint64(p.PayloadLen)
+		h.recvPackets[p.Src]++
+	}
+}
+
+// Traceroute performs a TTL-stepped probe toward dst, collecting the router
+// addresses that report time-exceeded, exactly as a Crossfire attacker maps
+// a victim's paths. done is invoked after timeout with hop addresses in TTL
+// order (zero Addr for silent hops). The last responding hop may be missing
+// if dst's edge switch consumed the probe.
+func (h *Host) Traceroute(dst packet.Addr, maxTTL int, timeout time.Duration, done func(hops []packet.Addr)) {
+	hops := make([]packet.Addr, maxTTL)
+	base := h.net.Eng.RNG().Uint32()
+	cancel := h.OnICMP(func(p *packet.Packet) {
+		if p.ICMP.Type != packet.ICMPTimeExceeded {
+			return
+		}
+		idx := p.ICMP.OrigSeq - base
+		if idx < uint32(maxTTL) {
+			hops[idx] = p.ICMP.From
+		}
+	})
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		pkt := &packet.Packet{
+			Src: h.addr, Dst: dst, TTL: uint8(ttl), Proto: packet.ProtoUDP,
+			SrcPort: 33434, DstPort: 33434, Seq: base + uint32(ttl-1),
+		}
+		h.net.SendFromHost(h.node, pkt)
+	}
+	h.net.Eng.After(timeout, func() {
+		cancel()
+		// Trim trailing silent hops (past the destination).
+		end := len(hops)
+		for end > 0 && hops[end-1] == 0 {
+			end--
+		}
+		done(hops[:end])
+	})
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"time"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/sketch"
+	"fastflex/internal/topo"
+)
+
+// linkState is the runtime of one directed link: a store-and-forward
+// transmitter with a finite tail-drop FIFO queue, plus utilization
+// accounting over rolling windows.
+type linkState struct {
+	net  *Network
+	link topo.Link
+
+	queue       []*packet.Packet
+	queuedBytes int
+	busy        bool
+
+	sentPkts  uint64
+	sentBytes uint64
+	drops     uint64
+
+	// lossRate is an artificial random-loss probability (fault
+	// injection for FEC and fault-tolerance experiments).
+	lossRate float64
+
+	windowBytes    uint64
+	lastWindowUtil float64
+	smoothedUtil   *sketch.EWMA
+}
+
+func newLinkState(n *Network, l topo.Link) *linkState {
+	return &linkState{net: n, link: l, smoothedUtil: sketch.NewEWMA(n.Cfg.UtilAlpha)}
+}
+
+// enqueue admits a packet to the FIFO or tail-drops it.
+func (ls *linkState) enqueue(pkt *packet.Packet) {
+	if ls.lossRate > 0 && ls.net.Eng.RNG().Float64() < ls.lossRate {
+		ls.drops++
+		ls.net.DropsLoss++
+		return
+	}
+	size := pkt.Len()
+	if ls.queuedBytes+size > ls.net.Cfg.QueueBytes {
+		ls.drops++
+		ls.net.DropsQueue++
+		return
+	}
+	ls.queue = append(ls.queue, pkt)
+	ls.queuedBytes += size
+	if !ls.busy {
+		ls.transmitNext()
+	}
+}
+
+// transmitNext starts sending the head-of-line packet. Arrival at the far
+// end happens after transmission + propagation; the transmitter frees up
+// after transmission alone, pipelining with propagation.
+func (ls *linkState) transmitNext() {
+	if len(ls.queue) == 0 {
+		ls.busy = false
+		return
+	}
+	ls.busy = true
+	pkt := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	size := pkt.Len()
+	ls.queuedBytes -= size
+	tx := time.Duration(float64(size*8) / ls.link.BitsPerSec * float64(time.Second))
+	if tx <= 0 {
+		tx = time.Nanosecond
+	}
+	ls.sentPkts++
+	ls.sentBytes += uint64(size)
+	ls.windowBytes += uint64(size)
+	prop := time.Duration(ls.link.DelayNS)
+	ls.net.Eng.After(tx, func() {
+		ls.transmitNext()
+	})
+	ls.net.Eng.After(tx+prop, func() {
+		ls.net.arrive(ls.link.ID, pkt)
+	})
+}
+
+// rollWindow closes the current utilization window.
+func (ls *linkState) rollWindow(window time.Duration) {
+	capacity := ls.link.BitsPerSec * window.Seconds()
+	util := 0.0
+	if capacity > 0 {
+		util = float64(ls.windowBytes*8) / capacity
+	}
+	ls.lastWindowUtil = util
+	ls.smoothedUtil.Observe(util)
+	ls.windowBytes = 0
+}

@@ -1,0 +1,278 @@
+// Package netsim is the packet-level network simulator that substitutes for
+// the paper's customized ns-3 + bmv2 setup (see DESIGN.md §1). It ties the
+// discrete-event engine, the topology, and the multimode dataplane switches
+// together: links have transmission rate, propagation delay, and finite
+// tail-drop FIFO queues; switches run their PPM pipelines on every packet;
+// hosts run traffic sources and sinks.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/eventsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Config tunes global simulator behavior.
+type Config struct {
+	// QueueBytes is the per-link FIFO capacity (default 64 KiB).
+	QueueBytes int
+	// SwitchLatency is the fixed pipeline latency per switch hop.
+	SwitchLatency time.Duration
+	// UtilWindow is the link-utilization measurement window.
+	UtilWindow time.Duration
+	// UtilAlpha is the EWMA weight for the smoothed utilization.
+	UtilAlpha float64
+	// Seed seeds the simulation RNG.
+	Seed int64
+}
+
+// DefaultConfig returns the standard simulation parameters.
+func DefaultConfig() Config {
+	return Config{
+		QueueBytes:    64 << 10,
+		SwitchLatency: time.Microsecond,
+		UtilWindow:    50 * time.Millisecond,
+		UtilAlpha:     0.3,
+		Seed:          1,
+	}
+}
+
+// Network is a running simulation instance.
+type Network struct {
+	Eng *eventsim.Engine
+	G   *topo.Graph
+	Cfg Config
+
+	switches map[topo.NodeID]*dataplane.Switch
+	hosts    map[topo.NodeID]*Host
+	links    []*linkState
+
+	// Global drop accounting by cause.
+	DropsNoRoute  uint64
+	DropsQueue    uint64
+	DropsPipeline uint64
+	DropsDown     uint64 // switch reconfiguring
+	DropsLoss     uint64 // injected random loss
+	Delivered     uint64 // packets delivered to hosts
+
+	// Tracer, if set, observes every packet arrival at a node (debugging
+	// and assertion hooks in tests).
+	Tracer func(now time.Duration, at topo.NodeID, pkt *packet.Packet)
+}
+
+// New builds a network over g. Every switch node gets a dataplane switch
+// with the TofinoLike budget and a base Router installed; every host node
+// gets a Host runtime.
+func New(g *topo.Graph, cfg Config) *Network {
+	if cfg.QueueBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	n := &Network{
+		Eng:      eventsim.New(cfg.Seed),
+		G:        g,
+		Cfg:      cfg,
+		switches: make(map[topo.NodeID]*dataplane.Switch),
+		hosts:    make(map[topo.NodeID]*Host),
+	}
+	for _, node := range g.Nodes {
+		switch node.Kind {
+		case topo.Switch:
+			sw := dataplane.NewSwitch(node.ID, dataplane.TofinoLike())
+			if err := sw.Install(dataplane.Program{
+				PPM:      dataplane.NewRouter(node.ID),
+				Priority: dataplane.PriRouting,
+				Modes:    1,
+			}); err != nil {
+				panic(fmt.Sprintf("netsim: installing base router: %v", err))
+			}
+			n.switches[node.ID] = sw
+		case topo.Host:
+			n.hosts[node.ID] = newHost(n, node.ID)
+		}
+	}
+	n.links = make([]*linkState, len(g.Links))
+	for i := range g.Links {
+		n.links[i] = newLinkState(n, g.Links[i])
+	}
+	// One ticker advances all link-utilization windows.
+	eventsim.NewTicker(n.Eng, cfg.UtilWindow, func() {
+		for _, l := range n.links {
+			l.rollWindow(cfg.UtilWindow)
+		}
+	})
+	return n
+}
+
+// Switch returns the dataplane switch at node id (nil for hosts).
+func (n *Network) Switch(id topo.NodeID) *dataplane.Switch { return n.switches[id] }
+
+// Host returns the host runtime at node id (nil for switches).
+func (n *Network) Host(id topo.NodeID) *Host { return n.hosts[id] }
+
+// Router returns the base routing PPM of the switch at id.
+func (n *Network) Router(id topo.NodeID) *dataplane.Router {
+	sw := n.switches[id]
+	if sw == nil {
+		return nil
+	}
+	r, _ := sw.Lookup("router").(*dataplane.Router)
+	return r
+}
+
+// Run advances the simulation to the given horizon.
+func (n *Network) Run(horizon time.Duration) { n.Eng.Run(horizon) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.Eng.Now() }
+
+// LinkLoad returns the smoothed utilization (0..1+) of a link.
+func (n *Network) LinkLoad(l topo.LinkID) float64 { return n.links[l].smoothedUtil.Value() }
+
+// LinkLoadInstant returns utilization measured over the last completed
+// window only.
+func (n *Network) LinkLoadInstant(l topo.LinkID) float64 { return n.links[l].lastWindowUtil }
+
+// LinkStats returns cumulative counters for a link.
+func (n *Network) LinkStats(l topo.LinkID) (sentPkts, sentBytes, drops uint64) {
+	ls := n.links[l]
+	return ls.sentPkts, ls.sentBytes, ls.drops
+}
+
+// QueueDepth returns the bytes currently queued on a link.
+func (n *Network) QueueDepth(l topo.LinkID) int { return n.links[l].queuedBytes }
+
+// SetLinkLoss injects random loss on a directed link (fault injection for
+// FEC and fault-tolerance experiments). p is the per-packet drop
+// probability in [0,1].
+func (n *Network) SetLinkLoss(l topo.LinkID, p float64) { n.links[l].lossRate = p }
+
+// Enqueue places a packet on a directed link's queue, dropping it if the
+// queue is full. This is the only way packets move between nodes.
+func (n *Network) Enqueue(l topo.LinkID, pkt *packet.Packet) {
+	n.links[l].enqueue(pkt)
+}
+
+// OriginateAt injects a packet at a switch as locally originated: it runs
+// the full pipeline (so routing picks the egress) with InLink = -1.
+// Controllers and boosters use this to send probes and control messages.
+func (n *Network) OriginateAt(sw topo.NodeID, pkt *packet.Packet) {
+	n.processAtSwitch(sw, pkt, -1, 0)
+}
+
+// SendFromHost transmits a packet from a host onto its access link.
+func (n *Network) SendFromHost(h topo.NodeID, pkt *packet.Packet) {
+	host := n.hosts[h]
+	if host == nil {
+		panic(fmt.Sprintf("netsim: node %d is not a host", h))
+	}
+	out := n.G.Out(h)
+	if len(out) == 0 {
+		panic(fmt.Sprintf("netsim: host %d has no access link", h))
+	}
+	n.Enqueue(out[0], pkt)
+}
+
+// arrive handles a packet reaching the far end of a link.
+func (n *Network) arrive(l topo.LinkID, pkt *packet.Packet) {
+	to := n.G.Links[l].To
+	if n.Tracer != nil {
+		n.Tracer(n.Eng.Now(), to, pkt)
+	}
+	if host, ok := n.hosts[to]; ok {
+		n.Delivered++
+		host.receive(pkt, l)
+		return
+	}
+	n.processAtSwitch(to, pkt, l, 0)
+}
+
+// maxLocalHops bounds recursion when emissions re-enter the local pipeline
+// (e.g. an ICMP generated for an expiring packet being routed out).
+const maxLocalHops = 4
+
+func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.LinkID, depth int) {
+	if depth > maxLocalHops {
+		n.DropsPipeline++
+		return
+	}
+	sw := n.switches[id]
+	if sw == nil {
+		panic(fmt.Sprintf("netsim: node %d is not a switch", id))
+	}
+	if sw.Reconfiguring {
+		n.DropsDown++
+		return
+	}
+	ctx := &dataplane.Context{
+		Now:     n.Eng.Now(),
+		Switch:  id,
+		InLink:  in,
+		Pkt:     pkt,
+		RNG:     n.Eng.RNG(),
+		Modes:   sw.Modes(),
+		OutLink: -1,
+	}
+	verdict := sw.Process(ctx)
+	// Emissions are dispatched regardless of the main packet's fate.
+	for _, em := range ctx.Emissions() {
+		n.dispatchEmission(id, em, in, depth)
+	}
+	switch verdict {
+	case dataplane.Drop:
+		n.DropsPipeline++
+		return
+	case dataplane.Consume:
+		return
+	}
+	if ctx.OutLink < 0 {
+		n.DropsNoRoute++
+		return
+	}
+	if n.G.Links[ctx.OutLink].From != id {
+		panic(fmt.Sprintf("netsim: switch %d chose egress link %d owned by node %d",
+			id, ctx.OutLink, n.G.Links[ctx.OutLink].From))
+	}
+	// Fixed pipeline latency, then the egress queue.
+	out := ctx.OutLink
+	n.Eng.After(n.Cfg.SwitchLatency, func() { n.Enqueue(out, pkt) })
+}
+
+func (n *Network) dispatchEmission(at topo.NodeID, em dataplane.Emission, in topo.LinkID, depth int) {
+	switch {
+	case em.Via >= 0:
+		n.Enqueue(em.Via, em.Pkt)
+	case em.Pkt.Proto == packet.ProtoProbe:
+		// Flood on all switch-to-switch links except the ingress.
+		for _, lid := range n.G.Out(at) {
+			if lid == in {
+				continue
+			}
+			l := n.G.Links[lid]
+			if in >= 0 && n.G.Links[in].Reverse == lid {
+				continue
+			}
+			if n.G.Nodes[l.To].Kind != topo.Switch {
+				continue
+			}
+			n.Enqueue(lid, em.Pkt.Clone())
+		}
+	default:
+		// Locally originated: run the pipeline to route it.
+		n.processAtSwitch(at, em.Pkt, -1, depth+1)
+	}
+}
+
+// SwitchLinks returns the IDs of a switch's outgoing switch-to-switch links.
+func (n *Network) SwitchLinks(id topo.NodeID) []topo.LinkID {
+	var out []topo.LinkID
+	for _, lid := range n.G.Out(id) {
+		if n.G.Nodes[n.G.Links[lid].To].Kind == topo.Switch {
+			out = append(out, lid)
+		}
+	}
+	return out
+}

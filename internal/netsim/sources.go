@@ -1,0 +1,298 @@
+package netsim
+
+import (
+	"time"
+
+	"fastflex/internal/eventsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// CBRSource sends constant-bit-rate traffic from a host. Bots in the
+// Crossfire attack are CBR sources with TCP framing at low rates (the
+// "legitimate-looking low-rate flows" of §4); background UDP load uses it
+// too.
+type CBRSource struct {
+	net     *Network
+	host    topo.NodeID
+	dst     packet.Addr
+	sport   uint16
+	dport   uint16
+	proto   packet.Proto
+	payload uint16
+	rateBps float64
+
+	running bool
+	sentSYN bool
+	seq     uint32
+	sent    uint64
+	pending *eventsim.Event
+}
+
+// NewCBRSource creates a stopped CBR source; call Start to begin sending.
+// proto must be ProtoTCP or ProtoUDP. TCP sources open with a SYN.
+func NewCBRSource(n *Network, host topo.NodeID, dst packet.Addr, sport, dport uint16,
+	proto packet.Proto, payload uint16, rateBps float64) *CBRSource {
+	if n.Host(host) == nil {
+		panic("netsim: CBR source host is not a host node")
+	}
+	return &CBRSource{
+		net: n, host: host, dst: dst, sport: sport, dport: dport,
+		proto: proto, payload: payload, rateBps: rateBps,
+	}
+}
+
+// Start begins (or resumes) transmission.
+func (s *CBRSource) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.scheduleNext(true)
+}
+
+// Stop pauses transmission.
+func (s *CBRSource) Stop() {
+	s.running = false
+	if s.pending != nil {
+		s.net.Eng.Cancel(s.pending)
+		s.pending = nil
+	}
+}
+
+// Running reports whether the source is transmitting.
+func (s *CBRSource) Running() bool { return s.running }
+
+// SetRate changes the sending rate (takes effect from the next packet).
+func (s *CBRSource) SetRate(bps float64) { s.rateBps = bps }
+
+// Sent returns the number of packets sent.
+func (s *CBRSource) Sent() uint64 { return s.sent }
+
+func (s *CBRSource) interval() time.Duration {
+	bits := float64((int(s.payload) + 25) * 8) // payload + approx header
+	iv := time.Duration(bits / s.rateBps * float64(time.Second))
+	if iv <= 0 {
+		iv = time.Nanosecond
+	}
+	return iv
+}
+
+func (s *CBRSource) scheduleNext(first bool) {
+	iv := s.interval()
+	if first {
+		// Desynchronize sources with a random phase.
+		iv = time.Duration(s.net.Eng.RNG().Int63n(int64(iv) + 1))
+	}
+	s.pending = s.net.Eng.After(iv, func() {
+		if !s.running {
+			return
+		}
+		s.emit()
+		s.scheduleNext(false)
+	})
+}
+
+func (s *CBRSource) emit() {
+	p := &packet.Packet{
+		Src: packet.HostAddr(int(s.host)), Dst: s.dst, TTL: 64,
+		Proto: s.proto, SrcPort: s.sport, DstPort: s.dport,
+		PayloadLen: s.payload, Seq: s.seq,
+	}
+	if s.proto == packet.ProtoTCP {
+		if !s.sentSYN {
+			p.Flags = packet.FlagSYN
+			s.sentSYN = true
+		} else {
+			p.Flags = packet.FlagACK
+		}
+	}
+	s.seq++
+	s.sent++
+	s.net.SendFromHost(s.host, p)
+}
+
+// AIMDSource is a window-based TCP-like sender: slow start, additive
+// increase / multiplicative decrease on timeout, per-packet RTO timers, and
+// ACK clocking via the receiving host's auto-ACK. The paper's "normal user
+// flows" are AIMD sources, so congestion on the victim links shows up as
+// loss-induced backoff in Figure 3's normalized throughput.
+type AIMDSource struct {
+	net     *Network
+	host    topo.NodeID
+	dst     packet.Addr
+	sport   uint16
+	dport   uint16
+	payload uint16
+
+	cwnd      float64
+	ssthresh  float64
+	nextSeq   uint32
+	inflight  map[uint32]*eventsim.Event
+	acked     map[uint32]bool
+	sendTimes map[uint32]time.Duration
+
+	// maxRateBps, when > 0, caps the window like an application-limited
+	// sender (a video stream or web session): the flow never offers more
+	// than this rate, but still collapses TCP-style under loss.
+	maxRateBps float64
+
+	srtt    time.Duration
+	running bool
+
+	ackedBytes  uint64
+	retransmits uint64
+	timeouts    uint64
+	sentPackets uint64
+}
+
+// NewAIMDSource creates a stopped AIMD sender toward a host address.
+func NewAIMDSource(n *Network, host topo.NodeID, dst packet.Addr, sport, dport uint16, payload uint16) *AIMDSource {
+	if n.Host(host) == nil {
+		panic("netsim: AIMD source host is not a host node")
+	}
+	s := &AIMDSource{
+		net: n, host: host, dst: dst, sport: sport, dport: dport, payload: payload,
+		cwnd: 2, ssthresh: 64,
+		inflight:  make(map[uint32]*eventsim.Event),
+		acked:     make(map[uint32]bool),
+		sendTimes: make(map[uint32]time.Duration),
+	}
+	n.Host(host).ackHandlers[sport] = s.onAck
+	return s
+}
+
+// Start begins transmission.
+func (s *AIMDSource) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.pump()
+}
+
+// Stop halts transmission and cancels outstanding timers.
+func (s *AIMDSource) Stop() {
+	s.running = false
+	for seq, ev := range s.inflight {
+		s.net.Eng.Cancel(ev)
+		delete(s.inflight, seq)
+	}
+}
+
+// AckedBytes returns goodput: payload bytes acknowledged exactly once.
+func (s *AIMDSource) AckedBytes() uint64 { return s.ackedBytes }
+
+// Retransmits returns the number of timeout-triggered retransmissions.
+func (s *AIMDSource) Retransmits() uint64 { return s.retransmits }
+
+// Cwnd returns the current congestion window in packets.
+func (s *AIMDSource) Cwnd() float64 { return s.cwnd }
+
+// Sent returns the number of packets transmitted (including retransmits).
+func (s *AIMDSource) Sent() uint64 { return s.sentPackets }
+
+// SetMaxRate caps the sender at an application-limited rate (0 = greedy).
+func (s *AIMDSource) SetMaxRate(bps float64) { s.maxRateBps = bps }
+
+func (s *AIMDSource) rto() time.Duration {
+	if s.srtt == 0 {
+		return 100 * time.Millisecond // conservative initial RTO
+	}
+	rto := 2*s.srtt + 10*time.Millisecond
+	if rto < 20*time.Millisecond {
+		rto = 20 * time.Millisecond
+	}
+	return rto
+}
+
+// pump sends while the window allows.
+func (s *AIMDSource) pump() {
+	window := s.cwnd
+	if s.maxRateBps > 0 {
+		// Application-limited window: rate × RTT worth of packets.
+		rtt := s.srtt
+		if rtt == 0 {
+			rtt = 20 * time.Millisecond
+		}
+		cap := s.maxRateBps * rtt.Seconds() / (8 * float64(s.payload))
+		if cap < 1 {
+			cap = 1
+		}
+		if cap < window {
+			window = cap
+		}
+	}
+	for s.running && len(s.inflight) < int(window) {
+		seq := s.nextSeq
+		s.nextSeq++
+		s.transmit(seq)
+	}
+}
+
+func (s *AIMDSource) transmit(seq uint32) {
+	flags := packet.TCPFlags(packet.FlagACK)
+	if seq == 0 {
+		flags |= packet.FlagSYN
+	}
+	p := &packet.Packet{
+		Src: packet.HostAddr(int(s.host)), Dst: s.dst, TTL: 64,
+		Proto: packet.ProtoTCP, SrcPort: s.sport, DstPort: s.dport,
+		Flags: flags, Seq: seq, PayloadLen: s.payload,
+	}
+	s.sentPackets++
+	if old, ok := s.inflight[seq]; ok {
+		s.net.Eng.Cancel(old)
+	}
+	s.inflight[seq] = s.net.Eng.After(s.rto(), func() { s.onTimeout(seq) })
+	s.sendTimes[seq] = s.net.Eng.Now()
+	s.net.SendFromHost(s.host, p)
+}
+
+func (s *AIMDSource) onAck(p *packet.Packet) {
+	seq := p.Seq
+	ev, ok := s.inflight[seq]
+	if ok {
+		s.net.Eng.Cancel(ev)
+		delete(s.inflight, seq)
+	}
+	if at, ok := s.sendTimes[seq]; ok {
+		sample := s.net.Eng.Now() - at
+		if s.srtt == 0 {
+			s.srtt = sample
+		} else {
+			s.srtt = (7*s.srtt + sample) / 8
+		}
+		delete(s.sendTimes, seq)
+	}
+	if !s.acked[seq] {
+		s.acked[seq] = true
+		s.ackedBytes += uint64(s.payload)
+		// Window growth only on first ACK of a segment.
+		if s.cwnd < s.ssthresh {
+			s.cwnd++
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+	}
+	s.pump()
+}
+
+func (s *AIMDSource) onTimeout(seq uint32) {
+	if !s.running {
+		return
+	}
+	delete(s.inflight, seq)
+	delete(s.sendTimes, seq)
+	s.timeouts++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 2
+	if !s.acked[seq] {
+		s.retransmits++
+		s.transmit(seq)
+	}
+	s.pump()
+}

@@ -1,0 +1,120 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func decoderCases() []*Packet {
+	return []*Packet{
+		{Src: HostAddr(1), Dst: HostAddr(2), TTL: 64, Proto: ProtoTCP,
+			SrcPort: 4444, DstPort: 80, Flags: FlagSYN, Seq: 9, PayloadLen: 1200,
+			Suspicion: 1, Hops: 3},
+		{Src: RouterAddr(3), Dst: HostAddr(1), TTL: 60, Proto: ProtoICMP,
+			ICMP: &ICMPInfo{Type: ICMPTimeExceeded, From: RouterAddr(3), OrigSeq: 7, OrigTTL: 1}},
+		{Src: RouterAddr(1), Dst: RouterAddr(2), TTL: 32, Proto: ProtoProbe,
+			Probe: &ProbeInfo{Kind: ProbeState, Origin: RouterAddr(1), Seq: 3,
+				StateID: 2, ChunkIdx: 1, ChunkCnt: 4, State: []byte{9, 8, 7}}},
+		{Src: RouterAddr(4), Dst: RouterAddr(5), TTL: 16, Proto: ProtoProbe,
+			Probe: &ProbeInfo{Kind: ProbeSync, Origin: RouterAddr(4), Seq: 11,
+				Mode: 7, UtilMicro: 99, SyncCount: 12345}},
+	}
+}
+
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	var d Decoder
+	for _, p := range decoderCases() {
+		wire, err := p.Marshal(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref Packet
+		refN, err := ref.Unmarshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := d.DecodeInto(wire)
+		if err != nil {
+			t.Fatalf("decode %v: %v", p.Proto, err)
+		}
+		if n != refN {
+			t.Fatalf("consumed %d, unmarshal consumed %d", n, refN)
+		}
+		if !reflect.DeepEqual(got, &ref) {
+			t.Fatalf("decoder mismatch for %v:\n got %+v\nwant %+v", p.Proto, got, &ref)
+		}
+	}
+}
+
+func TestDecoderReuseInvalidatesPrevious(t *testing.T) {
+	var d Decoder
+	cases := decoderCases()
+	w1, _ := cases[0].Marshal(nil)
+	w2, _ := cases[1].Marshal(nil)
+	p1, _, _ := d.DecodeInto(w1)
+	src1 := p1.Src
+	p2, _, _ := d.DecodeInto(w2)
+	if p1 != p2 {
+		t.Fatal("decoder did not reuse storage")
+	}
+	if p1.Src == src1 {
+		t.Fatal("storage not overwritten by second decode")
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	var d Decoder
+	if _, _, err := d.DecodeInto([]byte{1, 2}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	good, _ := decoderCases()[0].Marshal(nil)
+	if _, _, err := d.DecodeInto(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated L4 accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[9] = 99
+	if _, _, err := d.DecodeInto(bad); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+// The whole point of the Decoder: steady-state decoding is allocation-free
+// for transport packets (probe decoding reuses a growable state buffer).
+func TestDecoderZeroAlloc(t *testing.T) {
+	var d Decoder
+	wire, _ := decoderCases()[0].Marshal(nil)
+	// Warm up.
+	if _, _, err := d.DecodeInto(wire); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := d.DecodeInto(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decoder allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDecoderTCP(b *testing.B) {
+	var d Decoder
+	wire, _ := decoderCases()[0].Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.DecodeInto(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalTCP(b *testing.B) {
+	wire, _ := decoderCases()[0].Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var p Packet
+		if _, err := p.Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

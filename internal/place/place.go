@@ -1,0 +1,333 @@
+// Package place implements the FastFlex scheduler (§3.2, Figure 1c): it
+// maps the merged PPM dataflow graph onto the network under per-switch
+// resource budgets. Detection modules are distributed pervasively (ideally
+// on every path) so attacks are seen wherever they enter; mitigation
+// modules are placed at or immediately downstream of detectors so responses
+// are fast; transport modules (parsers, shared tables) follow their
+// dependents. Placing boosters on traffic paths removes the need for
+// detours to security checks — the architectural goal of the paper.
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+	"fastflex/internal/topo"
+)
+
+// Policy selects the placement strategy; the zero value is the paper's
+// recommended policy. Ablation A3 flips these off.
+type Policy struct {
+	// SingleDetector places each detection module at only the single
+	// most-traversed switch (traditional fixed-middlebox placement)
+	// instead of pervasively.
+	SingleDetector bool
+	// MitigationAnywhere ignores detector adjacency and puts mitigation
+	// modules wherever they fit first.
+	MitigationAnywhere bool
+}
+
+// Input bundles everything the scheduler needs.
+type Input struct {
+	G      *topo.Graph
+	Merged *ppm.Merged
+	// Budget returns a switch's remaining resources (after always-on
+	// programs). Switches absent from the map get nothing placed.
+	Budget map[topo.NodeID]dataplane.Resources
+	// Paths are the active traffic paths from the TE configuration; the
+	// scheduler optimizes coverage over them.
+	Paths  []topo.Path
+	Policy Policy
+}
+
+// Placement is the scheduler's output.
+type Placement struct {
+	// ByModule maps merged-module index → switches hosting an instance.
+	ByModule map[int][]topo.NodeID
+	// BySwitch maps switch → merged-module indices installed there.
+	BySwitch map[topo.NodeID][]int
+	// Residual is each switch's budget after placement.
+	Residual map[topo.NodeID]dataplane.Resources
+	// Unplaced lists modules that could not be placed anywhere.
+	Unplaced []int
+	// DetectorCoverage is the fraction of input paths that traverse at
+	// least one switch hosting every detection module.
+	DetectorCoverage float64
+	// MeanMitigationDistance is the mean hop distance along each covered
+	// path from its first detector to the first mitigation instance
+	// (0 = co-located; the paper wants this small).
+	MeanMitigationDistance float64
+}
+
+// Schedule computes a placement. It returns an error only for structurally
+// invalid input; insufficient resources show up as Unplaced entries.
+func Schedule(in Input) (*Placement, error) {
+	if in.G == nil || in.Merged == nil {
+		return nil, fmt.Errorf("place: nil graph or merged dataflow")
+	}
+	residual := make(map[topo.NodeID]dataplane.Resources, len(in.Budget))
+	for sw, b := range in.Budget {
+		residual[sw] = b
+	}
+	p := &Placement{
+		ByModule: make(map[int][]topo.NodeID),
+		BySwitch: make(map[topo.NodeID][]int),
+		Residual: residual,
+	}
+	// Switch traversal counts over the traffic paths, for ranking.
+	presence := make(map[topo.NodeID]int)
+	pathSwitches := make([][]topo.NodeID, len(in.Paths))
+	for i, path := range in.Paths {
+		for _, node := range path.Nodes(in.G) {
+			if in.G.Nodes[node].Kind == topo.Switch {
+				pathSwitches[i] = append(pathSwitches[i], node)
+				presence[node]++
+			}
+		}
+	}
+	ranked := rankSwitches(in.Budget, presence)
+
+	detection, mitigation, transport := splitByRole(in.Merged)
+
+	// 1. Detection: pervasive (every switch it fits on, most-traversed
+	// first) or single-chokepoint under the ablation policy.
+	for _, mi := range detection {
+		need := in.Merged.Modules[mi].Spec.Res
+		placedAny := false
+		for _, sw := range ranked {
+			if !residual[sw].Fits(need) {
+				continue
+			}
+			place(p, residual, mi, sw, need)
+			placedAny = true
+			if in.Policy.SingleDetector {
+				break
+			}
+		}
+		if !placedAny {
+			p.Unplaced = append(p.Unplaced, mi)
+		}
+	}
+
+	// 2. Mitigation: co-located with detectors, else one hop downstream
+	// along a path, else (or under the ablation policy) first fit.
+	detectorSwitches := detectionSwitches(p, in.Merged)
+	for _, mi := range mitigation {
+		need := in.Merged.Modules[mi].Spec.Res
+		var candidates []topo.NodeID
+		if in.Policy.MitigationAnywhere {
+			candidates = ranked
+		} else {
+			candidates = append(candidates, detectorSwitches...)
+			candidates = append(candidates, downstreamOf(detectorSwitches, pathSwitches)...)
+			candidates = append(candidates, ranked...)
+		}
+		placedAny := false
+		seen := make(map[topo.NodeID]bool)
+		for _, sw := range candidates {
+			if seen[sw] {
+				continue
+			}
+			seen[sw] = true
+			if !residual[sw].Fits(need) {
+				continue
+			}
+			place(p, residual, mi, sw, need)
+			placedAny = true
+			if in.Policy.MitigationAnywhere || in.Policy.SingleDetector {
+				break // one instance in the ablation arms
+			}
+			// Pervasive mitigation only near detectors: stop once all
+			// detector switches are candidates no longer pending.
+			if len(p.ByModule[mi]) >= len(detectorSwitches) && len(detectorSwitches) > 0 {
+				break
+			}
+		}
+		if !placedAny {
+			p.Unplaced = append(p.Unplaced, mi)
+		}
+	}
+
+	// 3. Transport: wherever a dependent (via dataflow edges) lives.
+	deps := dependents(in.Merged)
+	for _, mi := range transport {
+		need := in.Merged.Modules[mi].Spec.Res
+		placedAny := false
+		targets := make(map[topo.NodeID]bool)
+		for _, d := range deps[mi] {
+			for _, sw := range p.ByModule[d] {
+				targets[sw] = true
+			}
+		}
+		ordered := append([]topo.NodeID(nil), ranked...)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			ta, tb := targets[ordered[a]], targets[ordered[b]]
+			if ta != tb {
+				return ta
+			}
+			return false
+		})
+		for _, sw := range ordered {
+			if !residual[sw].Fits(need) {
+				continue
+			}
+			place(p, residual, mi, sw, need)
+			placedAny = true
+			if !targets[sw] {
+				break // fell back to best-effort single instance
+			}
+			if len(p.ByModule[mi]) >= len(targets) {
+				break
+			}
+		}
+		if !placedAny {
+			p.Unplaced = append(p.Unplaced, mi)
+		}
+	}
+
+	p.DetectorCoverage, p.MeanMitigationDistance = coverage(p, in.Merged, pathSwitches, detection, mitigation)
+	return p, nil
+}
+
+func place(p *Placement, residual map[topo.NodeID]dataplane.Resources, mi int, sw topo.NodeID, need dataplane.Resources) {
+	residual[sw] = residual[sw].Sub(need)
+	p.ByModule[mi] = append(p.ByModule[mi], sw)
+	p.BySwitch[sw] = append(p.BySwitch[sw], mi)
+}
+
+func rankSwitches(budget map[topo.NodeID]dataplane.Resources, presence map[topo.NodeID]int) []topo.NodeID {
+	ids := make([]topo.NodeID, 0, len(budget))
+	for sw := range budget {
+		ids = append(ids, sw)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if presence[ids[i]] != presence[ids[j]] {
+			return presence[ids[i]] > presence[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func splitByRole(m *ppm.Merged) (detection, mitigation, transport []int) {
+	for i, mm := range m.Modules {
+		switch mm.Role {
+		case ppm.RoleDetection:
+			detection = append(detection, i)
+		case ppm.RoleMitigation:
+			mitigation = append(mitigation, i)
+		default:
+			transport = append(transport, i)
+		}
+	}
+	return
+}
+
+func detectionSwitches(p *Placement, m *ppm.Merged) []topo.NodeID {
+	seen := make(map[topo.NodeID]bool)
+	var out []topo.NodeID
+	for mi, sws := range p.ByModule {
+		if m.Modules[mi].Role != ppm.RoleDetection {
+			continue
+		}
+		for _, sw := range sws {
+			if !seen[sw] {
+				seen[sw] = true
+				out = append(out, sw)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// downstreamOf returns the switches immediately following any detector
+// switch on any path.
+func downstreamOf(detectors []topo.NodeID, pathSwitches [][]topo.NodeID) []topo.NodeID {
+	det := make(map[topo.NodeID]bool, len(detectors))
+	for _, d := range detectors {
+		det[d] = true
+	}
+	seen := make(map[topo.NodeID]bool)
+	var out []topo.NodeID
+	for _, sws := range pathSwitches {
+		for i := 0; i+1 < len(sws); i++ {
+			if det[sws[i]] && !seen[sws[i+1]] {
+				seen[sws[i+1]] = true
+				out = append(out, sws[i+1])
+			}
+		}
+	}
+	return out
+}
+
+// dependents maps each module to the modules it shares dataflow edges with.
+func dependents(m *ppm.Merged) map[int][]int {
+	deps := make(map[int][]int)
+	for _, e := range m.Edges {
+		deps[e.From] = append(deps[e.From], e.To)
+		deps[e.To] = append(deps[e.To], e.From)
+	}
+	return deps
+}
+
+// coverage computes the detector-coverage fraction and the mean hop
+// distance from first detector to first mitigation along each path.
+func coverage(p *Placement, m *ppm.Merged, pathSwitches [][]topo.NodeID, detection, mitigation []int) (float64, float64) {
+	if len(pathSwitches) == 0 {
+		return 0, 0
+	}
+	detAt := make(map[topo.NodeID]int)  // switch → detection modules present
+	mitAt := make(map[topo.NodeID]bool) // switch hosts any mitigation
+	for _, mi := range detection {
+		for _, sw := range p.ByModule[mi] {
+			detAt[sw]++
+		}
+	}
+	for _, mi := range mitigation {
+		for _, sw := range p.ByModule[mi] {
+			mitAt[sw] = true
+		}
+	}
+	covered := 0
+	var distSum float64
+	var distCount int
+	for _, sws := range pathSwitches {
+		firstDet := -1
+		for i, sw := range sws {
+			if detAt[sw] == len(detection) && len(detection) > 0 {
+				firstDet = i
+				break
+			}
+		}
+		if firstDet < 0 {
+			continue
+		}
+		covered++
+		for i := firstDet; i < len(sws); i++ {
+			if mitAt[sws[i]] {
+				distSum += float64(i - firstDet)
+				distCount++
+				break
+			}
+		}
+	}
+	cov := float64(covered) / float64(len(pathSwitches))
+	mean := 0.0
+	if distCount > 0 {
+		mean = distSum / float64(distCount)
+	}
+	return cov, mean
+}
+
+// UniformBudget gives every switch in g the same remaining budget — the
+// common case when all switches run the same always-on base programs.
+func UniformBudget(g *topo.Graph, b dataplane.Resources) map[topo.NodeID]dataplane.Resources {
+	m := make(map[topo.NodeID]dataplane.Resources)
+	for _, sw := range g.Switches() {
+		m[sw] = b
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+	"fastflex/internal/topo"
+)
+
+// Property: on random connected topologies with random budgets, a schedule
+// (a) never overspends any switch, (b) leaves residuals non-negative,
+// (c) places every module somewhere or reports it unplaced, and (d) keeps
+// ByModule and BySwitch consistent with each other.
+func TestQuickScheduleInvariants(t *testing.T) {
+	merged, err := ppm.Merge(ppm.StandardBoosters(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, stages uint8, sramKB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topo.NewWaxman(8, 0.9, 0.6, rng)
+		// Attach a few hosts for paths.
+		h1 := g.AttachHost(0, "h1", topo.DefaultHostBPS, topo.DefaultHostDelay)
+		h2 := g.AttachHost(topo.NodeID(4), "h2", topo.DefaultHostBPS, topo.DefaultHostDelay)
+		var paths []topo.Path
+		if p, ok := g.ShortestPath(h1, h2, nil); ok {
+			paths = append(paths, p)
+		}
+		budget := dataplane.Resources{
+			Stages: 1 + int(stages%16),
+			SRAMKB: 64 + float64(sramKB%2048),
+			TCAM:   256,
+			ALUs:   16,
+		}
+		p, err := Schedule(Input{
+			G: g, Merged: merged,
+			Budget: UniformBudget(g, budget),
+			Paths:  paths,
+		})
+		if err != nil {
+			return false
+		}
+		// (a)+(b): per-switch spend within budget.
+		for sw, mods := range p.BySwitch {
+			var used dataplane.Resources
+			for _, mi := range mods {
+				used = used.Add(merged.Modules[mi].Spec.Res)
+			}
+			if !budget.Fits(used) || !p.Residual[sw].NonNegative() {
+				return false
+			}
+		}
+		// (c): every module either placed or reported unplaced.
+		unplaced := make(map[int]bool, len(p.Unplaced))
+		for _, mi := range p.Unplaced {
+			unplaced[mi] = true
+		}
+		for mi := range merged.Modules {
+			placed := len(p.ByModule[mi]) > 0
+			if placed == unplaced[mi] {
+				return false // both or neither
+			}
+		}
+		// (d): the two views agree.
+		count1, count2 := 0, 0
+		for _, sws := range p.ByModule {
+			count1 += len(sws)
+		}
+		for _, mods := range p.BySwitch {
+			count2 += len(mods)
+		}
+		return count1 == count2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package place
+
+import (
+	"testing"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+	"fastflex/internal/topo"
+)
+
+// figure2Input builds a standard scheduling problem over the Figure-2
+// topology with user→server paths.
+func figure2Input(t *testing.T, budget dataplane.Resources, pol Policy) (Input, *topo.Figure2) {
+	t.Helper()
+	f := topo.NewFigure2()
+	users := f.AttachUsers(4)
+	servers := f.AttachServers(2)
+	var paths []topo.Path
+	for _, u := range users {
+		for _, s := range servers {
+			if p, ok := f.G.ShortestPath(u, s, nil); ok {
+				paths = append(paths, p)
+			}
+		}
+	}
+	merged, err := ppm.Merge(ppm.StandardBoosters(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		G:      f.G,
+		Merged: merged,
+		Budget: UniformBudget(f.G, budget),
+		Paths:  paths,
+		Policy: pol,
+	}, f
+}
+
+func TestScheduleFullCoverageWithAmpleBudget(t *testing.T) {
+	in, f := figure2Input(t, dataplane.TofinoLike(), Policy{})
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Unplaced) != 0 {
+		t.Fatalf("unplaced modules: %v", p.Unplaced)
+	}
+	if p.DetectorCoverage != 1.0 {
+		t.Fatalf("coverage = %v, want 1.0 with ample budget", p.DetectorCoverage)
+	}
+	if p.MeanMitigationDistance != 0 {
+		t.Fatalf("mitigation distance = %v, want 0 (co-located)", p.MeanMitigationDistance)
+	}
+	// Pervasive detection: every on-path switch hosts the detectors.
+	onPath := map[topo.NodeID]bool{f.IngressA: true, f.IngressB: true,
+		f.CoreA: true, f.CoreB: true, f.VictimEdge: true}
+	for mi, m := range in.Merged.Modules {
+		if m.Role != ppm.RoleDetection {
+			continue
+		}
+		hosts := make(map[topo.NodeID]bool)
+		for _, sw := range p.ByModule[mi] {
+			hosts[sw] = true
+		}
+		for sw := range onPath {
+			if !hosts[sw] {
+				t.Fatalf("detector %q missing from on-path switch %d", m.Name, sw)
+			}
+		}
+	}
+}
+
+func TestScheduleRespectsBudget(t *testing.T) {
+	budget := dataplane.Resources{Stages: 4, SRAMKB: 400, TCAM: 32, ALUs: 8}
+	in, _ := figure2Input(t, budget, Policy{})
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw, mods := range p.BySwitch {
+		var used dataplane.Resources
+		for _, mi := range mods {
+			used = used.Add(in.Merged.Modules[mi].Spec.Res)
+		}
+		if !budget.Fits(used) {
+			t.Fatalf("switch %d over budget: %v > %v", sw, used, budget)
+		}
+		if !p.Residual[sw].NonNegative() {
+			t.Fatalf("switch %d negative residual: %v", sw, p.Residual[sw])
+		}
+	}
+}
+
+func TestScheduleTightBudgetReportsUnplaced(t *testing.T) {
+	tiny := dataplane.Resources{Stages: 1, SRAMKB: 4, TCAM: 0, ALUs: 1}
+	in, _ := figure2Input(t, tiny, Policy{})
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Unplaced) == 0 {
+		t.Fatal("everything placed into an impossibly small budget")
+	}
+}
+
+func TestSingleDetectorPolicy(t *testing.T) {
+	in, _ := figure2Input(t, dataplane.TofinoLike(), Policy{SingleDetector: true})
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, m := range in.Merged.Modules {
+		if m.Role == ppm.RoleDetection && len(p.ByModule[mi]) != 1 {
+			t.Fatalf("single-detector policy placed %q on %d switches",
+				m.Name, len(p.ByModule[mi]))
+		}
+	}
+	// A single chokepoint can at best cover the paths through one switch;
+	// with ample budget it lands on the most-traversed switch, which in
+	// Figure 2 is the victim edge — covering all paths to the servers but
+	// proving nothing about pervasiveness. The meaningful assertion:
+	// coverage under the pervasive policy is ≥ single-detector coverage.
+	inP, _ := figure2Input(t, dataplane.TofinoLike(), Policy{})
+	pp, _ := Schedule(inP)
+	if pp.DetectorCoverage < p.DetectorCoverage {
+		t.Fatalf("pervasive coverage %v < single %v", pp.DetectorCoverage, p.DetectorCoverage)
+	}
+}
+
+func TestMitigationDownstreamBeatsAnywhere(t *testing.T) {
+	// Constrain budgets so mitigation cannot sit everywhere, then compare
+	// the mean detector→mitigation distance across policies.
+	budget := dataplane.Resources{Stages: 7, SRAMKB: 700, TCAM: 60, ALUs: 12}
+	inGood, _ := figure2Input(t, budget, Policy{})
+	good, err := Schedule(inGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBad, _ := figure2Input(t, budget, Policy{MitigationAnywhere: true})
+	bad, err := Schedule(inBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.MeanMitigationDistance > bad.MeanMitigationDistance {
+		t.Fatalf("downstream policy distance %v worse than anywhere %v",
+			good.MeanMitigationDistance, bad.MeanMitigationDistance)
+	}
+}
+
+func TestTransportFollowsDependents(t *testing.T) {
+	in, _ := figure2Input(t, dataplane.TofinoLike(), Policy{})
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared parser must appear on every switch hosting any of its
+	// dependent modules.
+	parserIdx := -1
+	for i, m := range in.Merged.Modules {
+		if m.Spec.Kind == "parser" {
+			parserIdx = i
+		}
+	}
+	if parserIdx < 0 {
+		t.Fatal("no parser in merged graph")
+	}
+	parserAt := make(map[topo.NodeID]bool)
+	for _, sw := range p.ByModule[parserIdx] {
+		parserAt[sw] = true
+	}
+	if len(parserAt) == 0 {
+		t.Fatal("parser unplaced")
+	}
+	deps := dependents(in.Merged)[parserIdx]
+	if len(deps) == 0 {
+		t.Fatal("parser has no dependents — blueprint edges missing")
+	}
+	for _, d := range deps {
+		for _, sw := range p.ByModule[d] {
+			if !parserAt[sw] {
+				t.Fatalf("dependent %q at switch %d without parser",
+					in.Merged.Modules[d].Name, sw)
+			}
+		}
+	}
+}
+
+func TestScheduleNilInput(t *testing.T) {
+	if _, err := Schedule(Input{}); err == nil {
+		t.Fatal("nil input accepted")
+	}
+}
+
+func TestUniformBudgetSkipsHosts(t *testing.T) {
+	f := topo.NewFigure2()
+	f.AttachUsers(2)
+	b := UniformBudget(f.G, dataplane.TofinoLike())
+	if len(b) != 9 {
+		t.Fatalf("budget entries = %d, want 9 switches only", len(b))
+	}
+	for _, h := range f.G.Hosts() {
+		if _, ok := b[h]; ok {
+			t.Fatal("host got a switch budget")
+		}
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	in1, _ := figure2Input(t, dataplane.TofinoLike(), Policy{})
+	in2, _ := figure2Input(t, dataplane.TofinoLike(), Policy{})
+	p1, _ := Schedule(in1)
+	p2, _ := Schedule(in2)
+	for mi := range p1.ByModule {
+		a, b := p1.ByModule[mi], p2.ByModule[mi]
+		if len(a) != len(b) {
+			t.Fatalf("module %d placement differs across runs", mi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("module %d placement order differs", mi)
+			}
+		}
+	}
+}

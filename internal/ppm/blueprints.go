@@ -1,0 +1,179 @@
+package ppm
+
+import "fastflex/internal/dataplane"
+
+// This file contains the analyzer's decompositions of the §4.1 boosters
+// into PPM dataflow graphs — the input to Figure 1(a). Module footprints
+// sum to (approximately) the corresponding monolithic booster's
+// Resources(), but split across parser / state / logic modules so the
+// merger can identify the shared pieces: parsers, sketches, and per-flow
+// tables, exactly the components the paper lists as shareable.
+
+func parserSpec() Spec {
+	return Spec{
+		Kind:      "parser",
+		Params:    map[string]int64{"layers": 4},
+		Res:       dataplane.Resources{Stages: 1, SRAMKB: 16, TCAM: 8, ALUs: 0},
+		Shareable: true,
+	}
+}
+
+func flowTableSpec(capacity int64) Spec {
+	return Spec{
+		Kind:      "flow-table",
+		Params:    map[string]int64{"capacity": capacity, "keybits": 104},
+		Res:       dataplane.Resources{Stages: 1, SRAMKB: float64(capacity) * 64 / 1024, TCAM: 0, ALUs: 1},
+		Shareable: true,
+	}
+}
+
+func countSketchSpec(rows, width int64) Spec {
+	return Spec{
+		Kind:      "count-min-sketch",
+		Params:    map[string]int64{"rows": rows, "width": width},
+		Res:       dataplane.Resources{Stages: 1, SRAMKB: float64(rows*width) * 8 / 1024, TCAM: 0, ALUs: int(rows)},
+		Shareable: true,
+	}
+}
+
+// LFADetectorBlueprint decomposes the LFA detector: parser → per-flow TCP
+// state table → classification logic reading link-load registers.
+func LFADetectorBlueprint() *Graph {
+	return &Graph{
+		Booster: "lfa-detect",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "flow-table", Spec: flowTableSpec(4096), Role: RoleTransport},
+			{Name: "link-load", Spec: Spec{
+				Kind:   "register-array",
+				Params: map[string]int64{"entries": 64, "width": 32},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 1, ALUs: 1},
+			}, Role: RoleDetection},
+			{Name: "classifier", Spec: Spec{
+				Kind:   "lfa-classifier",
+				Params: map[string]int64{"thresholds": 4},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 4, ALUs: 2},
+			}, Role: RoleDetection},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Weight: 13}, // parsed 5-tuple
+			{From: 1, To: 3, Weight: 24}, // flow state: duration, rate, flags
+			{From: 2, To: 3, Weight: 8},  // link loads
+		},
+	}
+}
+
+// DropperBlueprint decomposes the packet-dropping mitigation.
+func DropperBlueprint() *Graph {
+	return &Graph{
+		Booster: "dropper",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "verdict", Spec: Spec{
+				Kind:   "threshold-drop",
+				Params: map[string]int64{"levels": 3},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 8, TCAM: 16, ALUs: 1},
+			}, Role: RoleMitigation},
+		},
+		Edges: []Edge{{From: 0, To: 1, Weight: 1}}, // suspicion tag
+	}
+}
+
+// RerouteBlueprint decomposes the Hula-style rerouting booster.
+func RerouteBlueprint() *Graph {
+	return &Graph{
+		Booster: "reroute",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "util-table", Spec: Spec{
+				Kind:   "best-path-table",
+				Params: map[string]int64{"dsts": 256, "ports": 32},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 192, ALUs: 1},
+			}, Role: RoleMitigation},
+			{Name: "probe-engine", Spec: Spec{
+				Kind:   "probe-engine",
+				Params: map[string]int64{"period_ms": 50},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 64, ALUs: 2},
+			}, Role: RoleMitigation},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Weight: 6},  // dst + suspicion
+			{From: 2, To: 1, Weight: 10}, // probe-carried path utilization
+		},
+	}
+}
+
+// ObfuscatorBlueprint decomposes the NetHide-style topology obfuscation.
+func ObfuscatorBlueprint() *Graph {
+	return &Graph{
+		Booster: "obfuscate",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "virtual-topo", Spec: Spec{
+				Kind:   "hash-rewrite",
+				Params: map[string]int64{"salt_bits": 64},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 16, TCAM: 8, ALUs: 2},
+			}, Role: RoleMitigation},
+		},
+		Edges: []Edge{{From: 0, To: 1, Weight: 7}}, // dst + hops + ttl
+	}
+}
+
+// HeavyHitterBlueprint decomposes the HashPipe volumetric-DDoS detector.
+// Its counting structure is a count-min-style sketch and is shareable with
+// other sketch users.
+func HeavyHitterBlueprint() *Graph {
+	return &Graph{
+		Booster: "heavyhitter",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "sketch", Spec: countSketchSpec(4, 256), Role: RoleTransport},
+			{Name: "topk", Spec: Spec{
+				Kind:   "topk-tracker",
+				Params: map[string]int64{"k": 16},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 4, ALUs: 1},
+			}, Role: RoleDetection},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Weight: 13},
+			{From: 1, To: 2, Weight: 8},
+		},
+	}
+}
+
+// StandardBoosters returns the five case-study blueprints — the analyzer
+// input that regenerates the Figure-1(a) table.
+func StandardBoosters() []*Graph {
+	return []*Graph{
+		LFADetectorBlueprint(),
+		DropperBlueprint(),
+		RerouteBlueprint(),
+		ObfuscatorBlueprint(),
+		HeavyHitterBlueprint(),
+	}
+}
+
+// AnalyzerRow is one line of the Figure-1(a) resource table.
+type AnalyzerRow struct {
+	Booster string
+	Module  string
+	Res     dataplane.Resources
+	Shared  bool
+}
+
+// AnalyzerTable flattens blueprints into the per-module resource table of
+// Figure 1(a).
+func AnalyzerTable(graphs []*Graph) []AnalyzerRow {
+	var rows []AnalyzerRow
+	for _, g := range graphs {
+		for _, m := range g.Modules {
+			rows = append(rows, AnalyzerRow{
+				Booster: g.Booster,
+				Module:  m.Name,
+				Res:     m.Spec.Res,
+				Shared:  m.Spec.Shareable,
+			})
+		}
+	}
+	return rows
+}

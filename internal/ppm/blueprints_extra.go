@@ -1,0 +1,92 @@
+package ppm
+
+import "fastflex/internal/dataplane"
+
+// Blueprints for the extended booster catalog (§1 cites the broader defense
+// landscape: spoofed-traffic filtering [51], enterprise access control
+// [56], global rate limits [62]). These are not part of the §4 case study
+// set (StandardBoosters) but share its components — most visibly the parser
+// and the per-source tables.
+
+// HopCountFilterBlueprint decomposes the NetHCF-style spoofed-IP filter.
+func HopCountFilterBlueprint() *Graph {
+	return &Graph{
+		Booster: "hcf",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "hop-table", Spec: Spec{
+				Kind:      "per-source-table",
+				Params:    map[string]int64{"capacity": 8192, "valuebits": 8},
+				Res:       dataplane.Resources{Stages: 1, SRAMKB: 40, ALUs: 1},
+				Shareable: true,
+			}, Role: RoleTransport},
+			{Name: "ttl-check", Spec: Spec{
+				Kind:   "ttl-compare",
+				Params: map[string]int64{"tolerance": 2},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 2, ALUs: 1},
+			}, Role: RoleDetection},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Weight: 5}, // src + ttl
+			{From: 1, To: 2, Weight: 1}, // learned hop count
+		},
+	}
+}
+
+// AccessControlBlueprint decomposes the Poise-style in-network ACL.
+func AccessControlBlueprint() *Graph {
+	return &Graph{
+		Booster: "acl",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "rules", Spec: Spec{
+				Kind:   "tcam-acl",
+				Params: map[string]int64{"rules": 256},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 8, TCAM: 256, ALUs: 1},
+			}, Role: RoleMitigation},
+		},
+		Edges: []Edge{{From: 0, To: 1, Weight: 13}},
+	}
+}
+
+// GlobalRateLimitBlueprint decomposes the distributed rate limiter; its
+// sync engine is the detector-synchronization component of §3.3.
+func GlobalRateLimitBlueprint() *Graph {
+	return &Graph{
+		Booster: "grl",
+		Modules: []Module{
+			{Name: "parser", Spec: parserSpec(), Role: RoleTransport},
+			{Name: "window-counter", Spec: Spec{
+				Kind:   "register-array",
+				Params: map[string]int64{"entries": 64, "width": 32},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 1, ALUs: 1},
+			}, Role: RoleDetection},
+			{Name: "sync-engine", Spec: Spec{
+				Kind:      "sync-engine",
+				Params:    map[string]int64{"period_ms": 500},
+				Res:       dataplane.Resources{Stages: 1, SRAMKB: 8, ALUs: 1},
+				Shareable: true,
+			}, Role: RoleTransport},
+			{Name: "shaper", Spec: Spec{
+				Kind:   "proportional-shaper",
+				Params: map[string]int64{"granularity": 100},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 2, ALUs: 1},
+			}, Role: RoleMitigation},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Weight: 6},
+			{From: 1, To: 2, Weight: 4}, // local window count → sync
+			{From: 2, To: 3, Weight: 4}, // global estimate → shaper
+		},
+	}
+}
+
+// ExtendedBoosters returns the full catalog: the §4 case-study set plus the
+// broader defense landscape.
+func ExtendedBoosters() []*Graph {
+	return append(StandardBoosters(),
+		HopCountFilterBlueprint(),
+		AccessControlBlueprint(),
+		GlobalRateLimitBlueprint(),
+	)
+}

@@ -1,0 +1,57 @@
+package ppm
+
+import (
+	"testing"
+
+	"fastflex/internal/dataplane"
+)
+
+func TestExtendedBoostersValid(t *testing.T) {
+	graphs := ExtendedBoosters()
+	if len(graphs) != 8 {
+		t.Fatalf("extended catalog = %d boosters, want 8", len(graphs))
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Booster, err)
+		}
+	}
+}
+
+func TestExtendedMergeSharesAcrossCatalog(t *testing.T) {
+	merged, err := Merge(ExtendedBoosters(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One parser across all 8 boosters.
+	for _, m := range merged.Modules {
+		if m.Spec.Kind == "parser" && len(m.Owners) != 8 {
+			t.Fatalf("parser owners = %d, want 8", len(m.Owners))
+		}
+	}
+	// The whole extended catalog still fits one Tofino-like switch when
+	// shared.
+	if !dataplane.TofinoLike().Fits(merged.Total()) {
+		t.Fatalf("extended merged catalog %v exceeds a switch", merged.Total())
+	}
+	// And sharing must save more in the extended catalog than the
+	// standard one (more duplicate parsers eliminated).
+	std, _ := Merge(StandardBoosters(), true)
+	if merged.SharedCount <= std.SharedCount {
+		t.Fatalf("extended shared=%d not above standard shared=%d",
+			merged.SharedCount, std.SharedCount)
+	}
+}
+
+func TestExtendedAnalyzerTable(t *testing.T) {
+	rows := AnalyzerTable(ExtendedBoosters())
+	boosters := map[string]bool{}
+	for _, r := range rows {
+		boosters[r.Booster] = true
+	}
+	for _, want := range []string{"hcf", "acl", "grl"} {
+		if !boosters[want] {
+			t.Fatalf("extended table missing %q", want)
+		}
+	}
+}

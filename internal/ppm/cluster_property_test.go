@@ -1,0 +1,121 @@
+package ppm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastflex/internal/dataplane"
+)
+
+// randomGraphs builds a random set of booster graphs from a seed.
+func randomGraphs(seed int64) []*Graph {
+	rng := rand.New(rand.NewSource(seed))
+	nGraphs := 2 + rng.Intn(4)
+	var graphs []*Graph
+	for gi := 0; gi < nGraphs; gi++ {
+		nMods := 2 + rng.Intn(5)
+		g := &Graph{Booster: string(rune('a' + gi))}
+		for m := 0; m < nMods; m++ {
+			kind := []string{"parser", "table", "sketch", "logic"}[rng.Intn(4)]
+			g.Modules = append(g.Modules, Module{
+				Name: string(rune('a'+gi)) + string(rune('0'+m)),
+				Role: Role(1 + rng.Intn(3)),
+				Spec: Spec{
+					Kind:      kind,
+					Params:    map[string]int64{"w": int64(rng.Intn(3))},
+					Res:       dataplane.Resources{Stages: 1 + rng.Intn(2), SRAMKB: float64(rng.Intn(64)), ALUs: rng.Intn(3)},
+					Shareable: rng.Intn(2) == 0,
+				},
+			})
+		}
+		for e := 0; e < nMods-1; e++ {
+			g.Edges = append(g.Edges, Edge{From: e, To: e + 1, Weight: float64(rng.Intn(20))})
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs
+}
+
+// Property: for any random booster set, merging preserves edges, never
+// grows the module count, and the no-sharing footprint always dominates.
+func TestQuickMergeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		graphs := randomGraphs(seed)
+		totalModules, totalEdges := 0, 0
+		for _, g := range graphs {
+			totalModules += len(g.Modules)
+			totalEdges += len(g.Edges)
+		}
+		shared, err := Merge(graphs, true)
+		if err != nil {
+			return false
+		}
+		plain, err := Merge(graphs, false)
+		if err != nil {
+			return false
+		}
+		if len(shared.Modules) > totalModules || len(plain.Modules) != totalModules {
+			return false
+		}
+		if len(shared.Edges) != totalEdges || len(plain.Edges) != totalEdges {
+			return false
+		}
+		// Plain total must fit (dominate) the shared total.
+		if !plain.Total().Fits(shared.Total()) {
+			return false
+		}
+		// Owners across merged modules must cover every original module
+		// exactly once.
+		owners := 0
+		for _, m := range shared.Modules {
+			owners += len(m.Owners)
+		}
+		return owners == totalModules
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clustering partitions the modules (every module in exactly one
+// cluster) and never exceeds the budget when singleton modules fit it.
+func TestQuickClusterPartition(t *testing.T) {
+	f := func(seed int64, stageBudget uint8) bool {
+		graphs := randomGraphs(seed)
+		merged, err := Merge(graphs, true)
+		if err != nil {
+			return false
+		}
+		budget := dataplane.Resources{
+			Stages: 2 + int(stageBudget%8),
+			SRAMKB: 1024, TCAM: 256, ALUs: 16,
+		}
+		clusters := Clusterize(merged, budget)
+		seen := make(map[int]int)
+		for _, c := range clusters {
+			for _, m := range c.Members {
+				seen[m]++
+			}
+		}
+		if len(seen) != len(merged.Modules) {
+			return false
+		}
+		for _, cnt := range seen {
+			if cnt != 1 {
+				return false
+			}
+		}
+		// Multi-member clusters must respect the budget (singletons may
+		// exceed it if a single module is bigger than the budget).
+		for _, c := range clusters {
+			if len(c.Members) > 1 && !budget.Fits(c.Res) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package ppm implements the program-analysis half of FastFlex (§3.1,
+// Figure 1a–b): boosters are decomposed into packet-processing modules
+// (PPMs) described by canonical structural specs; dataflow graphs connect
+// the modules with state-sharing edge weights; a signature-based
+// equivalence check (standing in for dataplane-equivalence tooling [24])
+// identifies shareable modules; and the merger produces the consolidated
+// network-wide dataflow graph the scheduler places.
+package ppm
+
+import (
+	"fmt"
+	"sort"
+
+	"fastflex/internal/dataplane"
+)
+
+// Role classifies a module for placement policy (§3.2): detection modules
+// are spread pervasively, mitigation modules placed just downstream of
+// their detectors, and transport modules (parsers, tables) follow whoever
+// needs them.
+type Role uint8
+
+// Module roles.
+const (
+	RoleDetection Role = iota + 1
+	RoleMitigation
+	RoleTransport
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleDetection:
+		return "detection"
+	case RoleMitigation:
+		return "mitigation"
+	case RoleTransport:
+		return "transport"
+	}
+	return "unknown"
+}
+
+// Spec is the canonical structural description of a PPM: what it computes
+// (Kind), its structural parameters, and its resource footprint. Two
+// modules with identical Kind and Params are functionally equivalent
+// regardless of the booster they came from or how they were written.
+type Spec struct {
+	Kind      string
+	Params    map[string]int64
+	Res       dataplane.Resources
+	Shareable bool
+}
+
+// Signature returns the equivalence signature: a canonical hash over Kind
+// and sorted Params. Resources are deliberately excluded — two
+// implementations of the same function may differ slightly in footprint,
+// and the merged instance keeps the larger one.
+func (s Spec) Signature() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	write := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime
+		}
+	}
+	write([]byte(s.Kind))
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		write([]byte{0})
+		write([]byte(k))
+		v := s.Params[k]
+		for i := 0; i < 8; i++ {
+			write([]byte{byte(v >> (8 * i))})
+		}
+	}
+	return h
+}
+
+// Module is a vertex of a booster's dataflow graph.
+type Module struct {
+	// Name is unique within the booster (e.g. "lfa/flow-table").
+	Name string
+	Spec Spec
+	Role Role
+}
+
+// Edge is a directed dataflow edge. Weight is the amount of state (bytes
+// per packet) the downstream module reads from the upstream one — the
+// quantity the paper says should stay inside a cluster.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph is one booster's dataflow graph.
+type Graph struct {
+	Booster string
+	Modules []Module
+	Edges   []Edge
+}
+
+// Validate checks structural sanity: edge endpoints in range, unique module
+// names, non-negative weights.
+func (g *Graph) Validate() error {
+	names := make(map[string]bool)
+	for _, m := range g.Modules {
+		if names[m.Name] {
+			return fmt.Errorf("ppm: duplicate module name %q in %s", m.Name, g.Booster)
+		}
+		names[m.Name] = true
+	}
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Modules) || e.To < 0 || e.To >= len(g.Modules) {
+			return fmt.Errorf("ppm: edge %d→%d out of range in %s", e.From, e.To, g.Booster)
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("ppm: negative edge weight in %s", g.Booster)
+		}
+	}
+	return nil
+}
+
+// Total returns the sum of the graph's module footprints.
+func (g *Graph) Total() dataplane.Resources {
+	var r dataplane.Resources
+	for _, m := range g.Modules {
+		r = r.Add(m.Spec.Res)
+	}
+	return r
+}
+
+// MergedModule is a vertex of the consolidated graph: one physical module
+// instance serving one or more boosters.
+type MergedModule struct {
+	Module
+	// Owners lists the boosters sharing this instance as
+	// "booster/module-name" references.
+	Owners []string
+}
+
+// Merged is the consolidated network-wide dataflow graph of Figure 1(b).
+type Merged struct {
+	Modules []MergedModule
+	Edges   []Edge
+	// SavedResources is the footprint eliminated by sharing.
+	SavedResources dataplane.Resources
+	// SharedCount is the number of module instances eliminated.
+	SharedCount int
+}
+
+// Total returns the merged graph's combined footprint.
+func (m *Merged) Total() dataplane.Resources {
+	var r dataplane.Resources
+	for _, mm := range m.Modules {
+		r = r.Add(mm.Spec.Res)
+	}
+	return r
+}
+
+// Merge consolidates booster graphs: modules with equal equivalence
+// signatures that are marked shareable collapse into a single instance
+// (keeping the component-wise maximum footprint); all edges are remapped
+// onto the merged vertices. Disabling sharing (share=false) still
+// concatenates the graphs — that is ablation A2's baseline.
+func Merge(graphs []*Graph, share bool) (*Merged, error) {
+	out := &Merged{}
+	bySig := make(map[uint64]int)
+	var before dataplane.Resources
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		idxMap := make([]int, len(g.Modules))
+		for i, m := range g.Modules {
+			before = before.Add(m.Spec.Res)
+			owner := g.Booster + "/" + m.Name
+			sig := m.Spec.Signature()
+			if share && m.Spec.Shareable {
+				if j, ok := bySig[sig]; ok {
+					mm := &out.Modules[j]
+					mm.Owners = append(mm.Owners, owner)
+					// Keep the larger footprint of the variants.
+					mm.Spec.Res = maxRes(mm.Spec.Res, m.Spec.Res)
+					out.SharedCount++
+					idxMap[i] = j
+					continue
+				}
+				bySig[sig] = len(out.Modules)
+			}
+			idxMap[i] = len(out.Modules)
+			out.Modules = append(out.Modules, MergedModule{Module: m, Owners: []string{owner}})
+		}
+		for _, e := range g.Edges {
+			out.Edges = append(out.Edges, Edge{From: idxMap[e.From], To: idxMap[e.To], Weight: e.Weight})
+		}
+	}
+	out.SavedResources = before.Sub(out.Total())
+	return out, nil
+}
+
+func maxRes(a, b dataplane.Resources) dataplane.Resources {
+	r := a
+	if b.Stages > r.Stages {
+		r.Stages = b.Stages
+	}
+	if b.SRAMKB > r.SRAMKB {
+		r.SRAMKB = b.SRAMKB
+	}
+	if b.TCAM > r.TCAM {
+		r.TCAM = b.TCAM
+	}
+	if b.ALUs > r.ALUs {
+		r.ALUs = b.ALUs
+	}
+	return r
+}
+
+// Cluster is a set of merged-module indices intended to be co-located on
+// one switch.
+type Cluster struct {
+	Members []int
+	Res     dataplane.Resources
+	// InternalWeight is the total dataflow weight kept inside the
+	// cluster (state that will NOT need to ride in packet headers).
+	InternalWeight float64
+}
+
+// Clusterize greedily groups the merged graph into clusters that fit the
+// given per-switch budget, maximizing the dataflow weight captured inside
+// clusters (heavy state-sharing edges stay local, per §3.1). It is an
+// agglomerative heuristic: repeatedly contract the heaviest edge whose
+// endpoint clusters still fit the budget when combined.
+func Clusterize(m *Merged, budget dataplane.Resources) []Cluster {
+	parent := make([]int, len(m.Modules))
+	res := make([]dataplane.Resources, len(m.Modules))
+	internal := make([]float64, len(m.Modules))
+	for i := range parent {
+		parent[i] = i
+		res[i] = m.Modules[i].Spec.Res
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	edges := append([]Edge(nil), m.Edges...)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Weight > edges[j].Weight })
+	for _, e := range edges {
+		a, b := find(e.From), find(e.To)
+		if a == b {
+			internal[a] += e.Weight
+			continue
+		}
+		combined := res[a].Add(res[b])
+		if !budget.Fits(combined) {
+			continue
+		}
+		parent[b] = a
+		res[a] = combined
+		internal[a] += internal[b] + e.Weight
+	}
+	groups := make(map[int][]int)
+	for i := range m.Modules {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	clusters := make([]Cluster, 0, len(roots))
+	for _, r := range roots {
+		clusters = append(clusters, Cluster{Members: groups[r], Res: res[r], InternalWeight: internal[r]})
+	}
+	return clusters
+}
+
+// CutWeight returns the total dataflow weight crossing cluster boundaries —
+// state that must be carried in packet headers between switches. Lower is
+// better.
+func CutWeight(m *Merged, clusters []Cluster) float64 {
+	clusterOf := make([]int, len(m.Modules))
+	for ci, c := range clusters {
+		for _, mi := range c.Members {
+			clusterOf[mi] = ci
+		}
+	}
+	var cut float64
+	for _, e := range m.Edges {
+		if clusterOf[e.From] != clusterOf[e.To] {
+			cut += e.Weight
+		}
+	}
+	return cut
+}

@@ -1,0 +1,251 @@
+package ppm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastflex/internal/dataplane"
+)
+
+func TestSignatureEquivalence(t *testing.T) {
+	a := Spec{Kind: "count-min-sketch", Params: map[string]int64{"rows": 4, "width": 256}}
+	b := Spec{Kind: "count-min-sketch", Params: map[string]int64{"width": 256, "rows": 4}}
+	if a.Signature() != b.Signature() {
+		t.Fatal("param order changed signature")
+	}
+	// Resources must not affect equivalence.
+	c := a
+	c.Res = dataplane.Resources{Stages: 9}
+	if a.Signature() != c.Signature() {
+		t.Fatal("resources changed signature")
+	}
+	d := Spec{Kind: "count-min-sketch", Params: map[string]int64{"rows": 4, "width": 512}}
+	if a.Signature() == d.Signature() {
+		t.Fatal("different params share signature")
+	}
+	e := Spec{Kind: "bloom", Params: map[string]int64{"rows": 4, "width": 256}}
+	if a.Signature() == e.Signature() {
+		t.Fatal("different kinds share signature")
+	}
+}
+
+// Property: signatures are insensitive to map iteration order and sensitive
+// to any single param change.
+func TestQuickSignatureStability(t *testing.T) {
+	f := func(k1, k2 string, v1, v2 int64) bool {
+		if k1 == k2 {
+			return true
+		}
+		a := Spec{Kind: "x", Params: map[string]int64{k1: v1, k2: v2}}
+		b := Spec{Kind: "x", Params: map[string]int64{k2: v2, k1: v1}}
+		if a.Signature() != b.Signature() {
+			return false
+		}
+		c := Spec{Kind: "x", Params: map[string]int64{k1: v1 + 1, k2: v2}}
+		return a.Signature() != c.Signature()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := &Graph{Booster: "b", Modules: []Module{
+		{Name: "a", Spec: parserSpec()}, {Name: "a", Spec: parserSpec()},
+	}}
+	if g.Validate() == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	g2 := &Graph{Booster: "b", Modules: []Module{{Name: "a", Spec: parserSpec()}},
+		Edges: []Edge{{From: 0, To: 5}}}
+	if g2.Validate() == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	g3 := &Graph{Booster: "b", Modules: []Module{{Name: "a", Spec: parserSpec()}},
+		Edges: []Edge{{From: 0, To: 0, Weight: -1}}}
+	if g3.Validate() == nil {
+		t.Fatal("negative weight accepted")
+	}
+	for _, g := range StandardBoosters() {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("standard blueprint %s invalid: %v", g.Booster, err)
+		}
+	}
+}
+
+func TestMergeSharesParsers(t *testing.T) {
+	graphs := StandardBoosters()
+	merged, err := Merge(graphs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five boosters carry a parser with the same spec: exactly one
+	// merged parser instance with five owners must remain.
+	parsers := 0
+	for _, m := range merged.Modules {
+		if m.Spec.Kind == "parser" {
+			parsers++
+			if len(m.Owners) != len(graphs) {
+				t.Fatalf("parser owners = %v, want all %d boosters", m.Owners, len(graphs))
+			}
+		}
+	}
+	if parsers != 1 {
+		t.Fatalf("merged parsers = %d, want 1", parsers)
+	}
+	if merged.SharedCount != len(graphs)-1 {
+		t.Fatalf("shared count = %d, want %d", merged.SharedCount, len(graphs)-1)
+	}
+	// Sharing must save the four duplicate parsers' footprints.
+	wantSaved := parserSpec().Res
+	saved := merged.SavedResources
+	if saved.Stages != wantSaved.Stages*4 || saved.SRAMKB != wantSaved.SRAMKB*4 {
+		t.Fatalf("saved = %v, want 4 parsers (%v each)", saved, wantSaved)
+	}
+}
+
+func TestMergeWithoutSharing(t *testing.T) {
+	graphs := StandardBoosters()
+	merged, err := Merge(graphs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModules := 0
+	for _, g := range graphs {
+		wantModules += len(g.Modules)
+	}
+	if len(merged.Modules) != wantModules {
+		t.Fatalf("no-share merge has %d modules, want %d", len(merged.Modules), wantModules)
+	}
+	if merged.SharedCount != 0 || merged.SavedResources != (dataplane.Resources{}) {
+		t.Fatal("no-share merge reported savings")
+	}
+	// Sharing strictly reduces total footprint (ablation A2's claim).
+	shared, _ := Merge(graphs, true)
+	if !merged.Total().Fits(shared.Total()) || shared.Total() == merged.Total() {
+		t.Fatalf("sharing did not shrink footprint: %v vs %v", shared.Total(), merged.Total())
+	}
+}
+
+func TestMergeKeepsLargerVariant(t *testing.T) {
+	small := &Graph{Booster: "a", Modules: []Module{{
+		Name: "t", Role: RoleTransport,
+		Spec: Spec{Kind: "flow-table", Params: map[string]int64{"capacity": 1024},
+			Res: dataplane.Resources{Stages: 1, SRAMKB: 64}, Shareable: true},
+	}}}
+	big := &Graph{Booster: "b", Modules: []Module{{
+		Name: "t", Role: RoleTransport,
+		Spec: Spec{Kind: "flow-table", Params: map[string]int64{"capacity": 1024},
+			Res: dataplane.Resources{Stages: 2, SRAMKB: 32}, Shareable: true},
+	}}}
+	merged, err := Merge([]*Graph{small, big}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Modules) != 1 {
+		t.Fatalf("modules = %d, want 1", len(merged.Modules))
+	}
+	got := merged.Modules[0].Spec.Res
+	if got.Stages != 2 || got.SRAMKB != 64 {
+		t.Fatalf("merged footprint = %v, want component-wise max {2, 64}", got)
+	}
+}
+
+func TestMergeEdgesRemapped(t *testing.T) {
+	graphs := StandardBoosters()
+	merged, _ := Merge(graphs, true)
+	totalEdges := 0
+	for _, g := range graphs {
+		totalEdges += len(g.Edges)
+	}
+	if len(merged.Edges) != totalEdges {
+		t.Fatalf("merged edges = %d, want %d (edges never disappear)", len(merged.Edges), totalEdges)
+	}
+	for _, e := range merged.Edges {
+		if e.From < 0 || e.From >= len(merged.Modules) || e.To < 0 || e.To >= len(merged.Modules) {
+			t.Fatalf("edge %d→%d out of merged range", e.From, e.To)
+		}
+	}
+}
+
+func TestMergeRejectsInvalidGraph(t *testing.T) {
+	bad := &Graph{Booster: "bad", Modules: []Module{{Name: "a", Spec: parserSpec()}},
+		Edges: []Edge{{From: 0, To: 9}}}
+	if _, err := Merge([]*Graph{bad}, true); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}
+
+func TestClusterizeRespectsBudget(t *testing.T) {
+	merged, _ := Merge(StandardBoosters(), true)
+	budget := dataplane.Resources{Stages: 4, SRAMKB: 512, TCAM: 64, ALUs: 8}
+	clusters := Clusterize(merged, budget)
+	if len(clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	seen := make(map[int]bool)
+	for _, c := range clusters {
+		if !budget.Fits(c.Res) {
+			t.Fatalf("cluster %v exceeds budget: %v", c.Members, c.Res)
+		}
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("module %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != len(merged.Modules) {
+		t.Fatalf("clusters cover %d of %d modules", len(seen), len(merged.Modules))
+	}
+}
+
+func TestClusterizeKeepsHeavyEdgesInternal(t *testing.T) {
+	merged, _ := Merge(StandardBoosters(), true)
+	big := dataplane.TofinoLike()
+	clusters := Clusterize(merged, big)
+	// With a whole-switch budget everything heavy should co-locate: the
+	// cut weight must be far below total weight.
+	var total float64
+	for _, e := range merged.Edges {
+		total += e.Weight
+	}
+	cut := CutWeight(merged, clusters)
+	if cut > total/4 {
+		t.Fatalf("cut weight %v of total %v — clustering ignored heavy edges", cut, total)
+	}
+	// A tiny budget forces everything apart: cut rises.
+	tiny := dataplane.Resources{Stages: 1, SRAMKB: 300, TCAM: 16, ALUs: 4}
+	cutTiny := CutWeight(merged, Clusterize(merged, tiny))
+	if cutTiny <= cut {
+		t.Fatalf("tiny budget cut %v not worse than big budget cut %v", cutTiny, cut)
+	}
+}
+
+func TestAnalyzerTable(t *testing.T) {
+	rows := AnalyzerTable(StandardBoosters())
+	if len(rows) < 10 {
+		t.Fatalf("table rows = %d, want one per module (≥10)", len(rows))
+	}
+	boosters := make(map[string]bool)
+	for _, r := range rows {
+		boosters[r.Booster] = true
+		if r.Module == "" || r.Res == (dataplane.Resources{}) {
+			t.Fatalf("incomplete row: %+v", r)
+		}
+	}
+	if len(boosters) != 5 {
+		t.Fatalf("boosters in table = %d, want 5", len(boosters))
+	}
+}
+
+func TestGraphTotal(t *testing.T) {
+	g := LFADetectorBlueprint()
+	total := g.Total()
+	if total.Stages != 4 {
+		t.Fatalf("LFA blueprint stages = %d, want 4 (one per module)", total.Stages)
+	}
+	if total.SRAMKB <= 0 {
+		t.Fatal("zero SRAM total")
+	}
+}

@@ -1,0 +1,180 @@
+package sketch
+
+import (
+	"fastflex/internal/packet"
+	"time"
+)
+
+// FlowState is the per-flow TCP state a connection-table PPM maintains, the
+// substrate for Dapper/Blink-style low-rate persistent-flow detection
+// (§4.1: "monitor per-flow TCP state in the data plane").
+type FlowState struct {
+	Key       packet.FlowKey
+	FirstSeen time.Duration
+	LastSeen  time.Duration
+	Packets   uint64
+	Bytes     uint64
+	SYNs      uint32
+	FINs      uint32
+	RSTs      uint32
+	// Suspicion accumulates detector scoring; mitigation PPMs act on it.
+	Suspicion uint8
+	// MarkedAt is when Suspicion first became nonzero; escalation clocks
+	// run from here, not from flow start, so long-lived benign flows are
+	// not penalized for their age.
+	MarkedAt time.Duration
+}
+
+// Duration returns how long the flow has been observed.
+func (s *FlowState) Duration() time.Duration { return s.LastSeen - s.FirstSeen }
+
+// RateBps returns the flow's average rate in bits/sec over its lifetime,
+// or 0 if it has been seen for less than a millisecond.
+func (s *FlowState) RateBps() float64 {
+	d := s.Duration()
+	if d < time.Millisecond {
+		return 0
+	}
+	return float64(s.Bytes*8) / d.Seconds()
+}
+
+// FlowTable is a fixed-capacity connection table with LRU eviction,
+// modeling the bounded per-flow state an ASIC stage can hold.
+type FlowTable struct {
+	cap   int
+	flows map[packet.FlowKey]*flowNode
+	head  *flowNode // most recently used
+	tail  *flowNode // least recently used
+	evils uint64    // eviction counter, exported via Evictions
+}
+
+type flowNode struct {
+	state      FlowState
+	prev, next *flowNode
+}
+
+// NewFlowTable returns a table holding at most capacity flows.
+func NewFlowTable(capacity int) *FlowTable {
+	if capacity <= 0 {
+		panic("sketch: flow table capacity must be positive")
+	}
+	return &FlowTable{cap: capacity, flows: make(map[packet.FlowKey]*flowNode, capacity)}
+}
+
+// Observe updates (or inserts) the state for the packet's flow and returns
+// it. now is the virtual time of the observation.
+func (t *FlowTable) Observe(p *packet.Packet, now time.Duration) *FlowState {
+	k := p.Key()
+	n, ok := t.flows[k]
+	if !ok {
+		if len(t.flows) >= t.cap {
+			t.evict()
+		}
+		n = &flowNode{state: FlowState{Key: k, FirstSeen: now}}
+		t.flows[k] = n
+		t.pushFront(n)
+	} else {
+		t.moveFront(n)
+	}
+	s := &n.state
+	s.LastSeen = now
+	s.Packets++
+	s.Bytes += uint64(p.Len())
+	if p.Proto == packet.ProtoTCP {
+		if p.Flags&packet.FlagSYN != 0 {
+			s.SYNs++
+		}
+		if p.Flags&packet.FlagFIN != 0 {
+			s.FINs++
+		}
+		if p.Flags&packet.FlagRST != 0 {
+			s.RSTs++
+		}
+	}
+	return s
+}
+
+// Lookup returns the state for a key without touching recency, or nil.
+func (t *FlowTable) Lookup(k packet.FlowKey) *FlowState {
+	if n, ok := t.flows[k]; ok {
+		return &n.state
+	}
+	return nil
+}
+
+// Len returns the number of tracked flows.
+func (t *FlowTable) Len() int { return len(t.flows) }
+
+// Evictions returns how many flows have been evicted for capacity.
+func (t *FlowTable) Evictions() uint64 { return t.evils }
+
+// Range calls fn for every tracked flow until fn returns false. Iteration
+// order is most- to least-recently used (deterministic).
+func (t *FlowTable) Range(fn func(*FlowState) bool) {
+	for n := t.head; n != nil; n = n.next {
+		if !fn(&n.state) {
+			return
+		}
+	}
+}
+
+// Delete removes a flow from the table.
+func (t *FlowTable) Delete(k packet.FlowKey) {
+	if n, ok := t.flows[k]; ok {
+		t.unlink(n)
+		delete(t.flows, k)
+	}
+}
+
+// Reset clears all flows.
+func (t *FlowTable) Reset() {
+	t.flows = make(map[packet.FlowKey]*flowNode, t.cap)
+	t.head, t.tail = nil, nil
+}
+
+// Bytes returns the SRAM footprint (approximate per-entry cost × capacity),
+// charged whether or not slots are occupied — hardware tables are
+// statically provisioned.
+func (t *FlowTable) Bytes() int { return t.cap * 64 }
+
+func (t *FlowTable) evict() {
+	if t.tail == nil {
+		return
+	}
+	delete(t.flows, t.tail.state.Key)
+	t.unlink(t.tail)
+	t.evils++
+}
+
+func (t *FlowTable) pushFront(n *flowNode) {
+	n.prev, n.next = nil, t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+}
+
+func (t *FlowTable) moveFront(n *flowNode) {
+	if t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}
+
+func (t *FlowTable) unlink(n *flowNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

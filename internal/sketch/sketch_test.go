@@ -1,0 +1,252 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(4, 64)
+	truth := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		h := uint64(rng.Intn(200)) // force collisions
+		truth[h]++
+		cm.Add(h, 1)
+	}
+	for h, want := range truth {
+		if got := cm.Estimate(h); got < want {
+			t.Fatalf("undercount for %d: got %d, want ≥ %d", h, got, want)
+		}
+	}
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cm := NewCountMin(4, 4096)
+	for i := uint64(0); i < 10; i++ {
+		cm.Add(i*7919, i+1)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if got := cm.Estimate(i * 7919); got != i+1 {
+			t.Fatalf("sparse estimate for item %d = %d, want %d", i, got, i+1)
+		}
+	}
+	if cm.Estimate(999999999) != 0 {
+		t.Fatal("unseen item should estimate 0 in a sparse sketch")
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMin(2, 16)
+	cm.Add(42, 100)
+	cm.Reset()
+	if cm.Estimate(42) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestCountMinAddReturnsEstimate(t *testing.T) {
+	cm := NewCountMin(3, 1024)
+	if got := cm.Add(7, 5); got != 5 {
+		t.Fatalf("Add returned %d, want 5", got)
+	}
+	if got := cm.Add(7, 3); got != 8 {
+		t.Fatalf("Add returned %d, want 8", got)
+	}
+}
+
+func TestCountMinPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero width")
+		}
+	}()
+	NewCountMin(2, 0)
+}
+
+// Property: count-min estimate ≥ true count for any insertion sequence.
+func TestQuickCountMinLowerBound(t *testing.T) {
+	f := func(items []uint8) bool {
+		cm := NewCountMin(3, 32)
+		truth := make(map[uint64]uint64)
+		for _, it := range items {
+			truth[uint64(it)]++
+			cm.Add(uint64(it), 1)
+		}
+		for h, want := range truth {
+			if cm.Estimate(h) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1024, 4)
+	for i := uint64(0); i < 50; i++ {
+		b.Add(i * 31)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if !b.Contains(i * 31) {
+			t.Fatalf("false negative for %d", i*31)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRateReasonable(t *testing.T) {
+	b := NewBloom(8192, 5)
+	for i := uint64(0); i < 200; i++ {
+		b.Add(mix(i))
+	}
+	fp := 0
+	const probes = 2000
+	for i := uint64(0); i < probes; i++ {
+		if b.Contains(mix(i + 1e6)) {
+			fp++
+		}
+	}
+	if fp > probes/20 { // < 5% at this load factor
+		t.Fatalf("false positive rate too high: %d/%d", fp, probes)
+	}
+}
+
+func TestBloomReset(t *testing.T) {
+	b := NewBloom(256, 3)
+	b.Add(7)
+	b.Reset()
+	if b.Contains(7) {
+		t.Fatal("reset did not clear filter")
+	}
+}
+
+// Property: bloom filters never report false negatives.
+func TestQuickBloomMembership(t *testing.T) {
+	f := func(items []uint16) bool {
+		b := NewBloom(4096, 4)
+		for _, it := range items {
+			b.Add(uint64(it))
+		}
+		for _, it := range items {
+			if !b.Contains(uint64(it)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPipeTracksHeavyHitters(t *testing.T) {
+	hp := NewHashPipe(4, 64)
+	rng := rand.New(rand.NewSource(2))
+	// 5 elephants at 2000 packets each, 500 mice at ~20 each.
+	for i := 0; i < 2000; i++ {
+		for e := uint64(1); e <= 5; e++ {
+			hp.Add(mix(e))
+		}
+		for m := 0; m < 5; m++ {
+			hp.Add(mix(uint64(100 + rng.Intn(500))))
+		}
+	}
+	top := hp.Top(5)
+	if len(top) != 5 {
+		t.Fatalf("Top returned %d entries", len(top))
+	}
+	elephants := map[uint64]bool{mix(1): true, mix(2): true, mix(3): true, mix(4): true, mix(5): true}
+	for _, e := range top {
+		if !elephants[e.Hash] {
+			t.Fatalf("non-elephant %d in top-5 with count %d", e.Hash, e.Count)
+		}
+		if e.Count < 1000 {
+			t.Fatalf("elephant tracked count %d suspiciously low", e.Count)
+		}
+	}
+}
+
+func TestHashPipeEstimateMatchesSingleFlow(t *testing.T) {
+	hp := NewHashPipe(2, 16)
+	for i := 0; i < 100; i++ {
+		hp.Add(12345)
+	}
+	if got := hp.Estimate(12345); got != 100 {
+		t.Fatalf("single-flow estimate = %d, want 100", got)
+	}
+	if hp.Estimate(54321) != 0 {
+		t.Fatal("unseen flow has nonzero estimate")
+	}
+}
+
+func TestHashPipeTopOrdering(t *testing.T) {
+	hp := NewHashPipe(3, 128)
+	for i := uint64(1); i <= 10; i++ {
+		for j := uint64(0); j < i*10; j++ {
+			hp.Add(mix(i))
+		}
+	}
+	top := hp.Top(3)
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("Top not sorted heaviest-first")
+		}
+	}
+	if top[0].Hash != mix(10) {
+		t.Fatalf("heaviest entry wrong: %d", top[0].Hash)
+	}
+}
+
+func TestHashPipeReset(t *testing.T) {
+	hp := NewHashPipe(2, 8)
+	hp.Add(1)
+	hp.Reset()
+	if hp.Estimate(1) != 0 || len(hp.Top(10)) != 0 {
+		t.Fatal("reset did not clear pipe")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 100; i++ {
+		e.Observe(10)
+	}
+	if v := e.Value(); v < 9.999 || v > 10.001 {
+		t.Fatalf("EWMA of constant 10 = %v", v)
+	}
+}
+
+func TestEWMAFirstSamplePrimes(t *testing.T) {
+	e := NewEWMA(0.01)
+	if got := e.Observe(100); got != 100 {
+		t.Fatalf("first sample = %v, want 100 (no bias toward zero)", got)
+	}
+}
+
+func TestEWMATracksStep(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(0)
+	for i := 0; i < 20; i++ {
+		e.Observe(100)
+	}
+	if e.Value() < 99 {
+		t.Fatalf("EWMA did not converge after step: %v", e.Value())
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}

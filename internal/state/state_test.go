@@ -1,0 +1,189 @@
+package state
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastflex/internal/packet"
+)
+
+func blobOf(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestFECRoundTripNoLoss(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 5000} {
+		blob := blobOf(n, int64(n))
+		probes, err := Encode(1, blob, FECConfig{Parity: true})
+		if err != nil {
+			t.Fatalf("encode %d: %v", n, err)
+		}
+		ra := NewReassembler(FECConfig{Parity: true})
+		for _, pi := range probes {
+			ra.Add(pi)
+		}
+		got, err := ra.Data()
+		if err != nil {
+			t.Fatalf("decode %d: %v", n, err)
+		}
+		if !bytes.Equal(got, blob) {
+			t.Fatalf("round trip mismatch at size %d", n)
+		}
+	}
+}
+
+func TestFECRecoversSingleLossPerGroup(t *testing.T) {
+	blob := blobOf(4000, 7)
+	cfg := FECConfig{ChunkSize: 512, GroupSize: 4, Parity: true}
+	probes, err := Encode(2, blob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop exactly one data chunk from each group.
+	ra := NewReassembler(cfg)
+	droppedInGroup := make(map[uint16]bool)
+	for _, pi := range probes {
+		if !pi.FECParity {
+			g := pi.ChunkIdx / 4
+			if !droppedInGroup[g] {
+				droppedInGroup[g] = true
+				continue // lost
+			}
+		}
+		ra.Add(pi)
+	}
+	got, err := ra.Data()
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("recovered data corrupt")
+	}
+}
+
+func TestFECCannotRecoverDoubleLoss(t *testing.T) {
+	blob := blobOf(2048, 9)
+	cfg := FECConfig{ChunkSize: 512, GroupSize: 4, Parity: true}
+	probes, _ := Encode(3, blob, cfg)
+	ra := NewReassembler(cfg)
+	dropped := 0
+	for _, pi := range probes {
+		if !pi.FECParity && pi.ChunkIdx < 2 && dropped < 2 {
+			dropped++
+			continue // two losses in group 0
+		}
+		ra.Add(pi)
+	}
+	if ra.Complete() {
+		t.Fatal("claimed completeness despite double loss in one group")
+	}
+	if _, err := ra.Data(); err == nil {
+		t.Fatal("produced data despite unrecoverable loss")
+	}
+}
+
+func TestNoParityMeansNoRecovery(t *testing.T) {
+	blob := blobOf(2048, 11)
+	cfg := FECConfig{ChunkSize: 512, Parity: false}
+	probes, _ := Encode(4, blob, cfg)
+	ra := NewReassembler(cfg)
+	for i, pi := range probes {
+		if i == 1 {
+			continue // single loss
+		}
+		ra.Add(pi)
+	}
+	if ra.Complete() {
+		t.Fatal("no-parity transfer recovered a loss")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(1, blobOf(300*4096, 1), FECConfig{ChunkSize: 4096}); err == nil {
+		t.Fatal("oversized blob accepted")
+	}
+	if _, err := Encode(300, []byte{1}, FECConfig{}); err == nil {
+		t.Fatal("oversized stateID accepted")
+	}
+}
+
+func TestReassemblerIgnoresDuplicatesAndForeignKinds(t *testing.T) {
+	blob := blobOf(1000, 13)
+	probes, _ := Encode(5, blob, FECConfig{Parity: true})
+	ra := NewReassembler(FECConfig{Parity: true})
+	for _, pi := range probes {
+		ra.Add(pi)
+		ra.Add(pi) // duplicate
+	}
+	ra.Add(&packet.ProbeInfo{Kind: packet.ProbeUtil}) // foreign
+	got, err := ra.Data()
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatal("duplicates or foreign probes corrupted reassembly")
+	}
+}
+
+// Property: any single-chunk loss pattern with ≤1 loss per group is
+// recoverable; the decoded blob always equals the original.
+func TestQuickFECRecovery(t *testing.T) {
+	f := func(seed int64, size uint16, lossMask uint8) bool {
+		n := int(size)%3000 + 1
+		blob := blobOf(n, seed)
+		cfg := FECConfig{ChunkSize: 256, GroupSize: 4, Parity: true}
+		probes, err := Encode(1, blob, cfg)
+		if err != nil {
+			return false
+		}
+		ra := NewReassembler(cfg)
+		lostInGroup := make(map[uint16]bool)
+		for _, pi := range probes {
+			if !pi.FECParity {
+				g := pi.ChunkIdx / 4
+				// Drop the chunk whose in-group position matches the
+				// mask bit, at most one per group.
+				if !lostInGroup[g] && lossMask&(1<<(pi.ChunkIdx%4)) != 0 {
+					lostInGroup[g] = true
+					continue
+				}
+			}
+			ra.Add(pi)
+		}
+		got, err := ra.Data()
+		return err == nil && bytes.Equal(got, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	in := map[string][]byte{
+		"lfa-detect@2": blobOf(100, 1),
+		"reroute@2":    blobOf(50, 2),
+		"empty":        {},
+	}
+	blob := SnapshotBundle(in)
+	out, err := ParseBundle(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("bundle has %d entries, want %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if !bytes.Equal(out[k], v) {
+			t.Fatalf("entry %q mismatch", k)
+		}
+	}
+	// Deterministic encoding.
+	if !bytes.Equal(blob, SnapshotBundle(in)) {
+		t.Fatal("bundle encoding not deterministic")
+	}
+	if _, err := ParseBundle(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+}

@@ -1,0 +1,276 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fastflex/internal/booster"
+	"fastflex/internal/control"
+	"fastflex/internal/dataplane"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// transferRig: a 4-switch line with hosts at the ends, routes installed,
+// and a state Receiver on the last switch.
+type transferRig struct {
+	n        *netsim.Network
+	recv     *Receiver
+	h0, h1   topo.NodeID
+	received map[uint16][]byte
+}
+
+func newTransferRig(t *testing.T, cfg FECConfig) *transferRig {
+	t.Helper()
+	g := topo.NewLinear(4)
+	h0 := g.AttachHost(0, "h0", topo.DefaultHostBPS, topo.DefaultHostDelay)
+	h1 := g.AttachHost(3, "h1", topo.DefaultHostBPS, topo.DefaultHostDelay)
+	n := netsim.New(g, netsim.DefaultConfig())
+	control.NewTEController(n, control.Config{}).InstallStatic()
+	RouterRoutesForSwitches(n)
+	rig := &transferRig{n: n, h0: h0, h1: h1, received: make(map[uint16][]byte)}
+	rig.recv = NewReceiver(3, cfg)
+	rig.recv.OnComplete = func(origin topo.NodeID, id uint16, blob []byte) {
+		rig.received[id] = blob
+	}
+	if err := n.Switch(3).Install(dataplane.Program{PPM: rig.recv, Priority: dataplane.PriControl, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+func TestTransferOverNetwork(t *testing.T) {
+	rig := newTransferRig(t, FECConfig{Parity: true})
+	blob := blobOf(3000, 21)
+	sent, err := Send(rig.n, 0, 3, 7, blob, FECConfig{Parity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	rig.n.Run(time.Second)
+	got, ok := rig.received[7]
+	if !ok {
+		t.Fatal("transfer never completed")
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("transferred blob corrupt")
+	}
+}
+
+func TestTransferSurvivesLossWithFEC(t *testing.T) {
+	rig := newTransferRig(t, FECConfig{ChunkSize: 256, GroupSize: 4, Parity: true})
+	// 5% random loss on the middle link.
+	mid := rig.n.G.LinkBetween(1, 2)
+	rig.n.SetLinkLoss(mid, 0.05)
+	blob := blobOf(8000, 23)
+	if _, err := Send(rig.n, 0, 3, 8, blob, FECConfig{ChunkSize: 256, GroupSize: 4, Parity: true}); err != nil {
+		t.Fatal(err)
+	}
+	rig.n.Run(time.Second)
+	if rig.n.DropsLoss == 0 {
+		t.Fatal("fault injection inactive — test proves nothing")
+	}
+	got, ok := rig.received[8]
+	if !ok {
+		t.Fatalf("transfer did not survive %d injected losses", rig.n.DropsLoss)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("recovered blob corrupt")
+	}
+}
+
+func TestRepurposeWithFastReroute(t *testing.T) {
+	// Figure-2 topology: repurpose coreA while user traffic flows; with
+	// fast reroute the flow survives the blackout via coreB/detour.
+	f := topo.NewFigure2()
+	users := f.AttachUsers(1)
+	servers := f.AttachServers(1)
+	n := netsim.New(f.G, netsim.DefaultConfig())
+	control.NewTEController(n, control.Config{}).InstallStatic()
+	RouterRoutesForSwitches(n)
+
+	src := netsim.NewCBRSource(n, users[0], packet.HostAddr(int(servers[0])),
+		1, 80, packet.ProtoUDP, 1000, 5e6)
+	src.Start()
+	n.Run(time.Second)
+	before := n.Host(servers[0]).TotalRecvBytes()
+
+	rep := NewRepurposer(n)
+	doneErr := error(nil)
+	called := false
+	err := rep.Repurpose(f.CoreA, RepurposeConfig{Latency: 2 * time.Second, FastReroute: true},
+		func(sw *dataplane.Switch) error { return nil },
+		func(err error) { called = true; doneErr = err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2 * time.Second) // mid-blackout
+	midway := n.Host(servers[0]).TotalRecvBytes()
+	if midway-before < 400e3 {
+		t.Fatalf("traffic stalled during blackout despite fast reroute: %d bytes", midway-before)
+	}
+	n.Run(4 * time.Second)
+	if !called || doneErr != nil {
+		t.Fatalf("done hook: called=%v err=%v", called, doneErr)
+	}
+	if n.Switch(f.CoreA).Reconfiguring {
+		t.Fatal("switch still marked reconfiguring")
+	}
+	if rep.Repurposed != 1 {
+		t.Fatal("counter wrong")
+	}
+}
+
+func TestRepurposeWithoutFastRerouteDropsTraffic(t *testing.T) {
+	f := topo.NewFigure2()
+	users := f.AttachUsers(1)
+	servers := f.AttachServers(1)
+	n := netsim.New(f.G, netsim.DefaultConfig())
+	control.NewTEController(n, control.Config{}).InstallStatic()
+	src := netsim.NewCBRSource(n, users[0], packet.HostAddr(int(servers[0])),
+		1, 80, packet.ProtoUDP, 1000, 5e6)
+	src.Start()
+	n.Run(time.Second)
+	before := n.Host(servers[0]).TotalRecvBytes()
+	rep := NewRepurposer(n)
+	if err := rep.Repurpose(f.CoreA, RepurposeConfig{Latency: 2 * time.Second, FastReroute: false},
+		func(*dataplane.Switch) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2900 * time.Millisecond) // fully inside blackout
+	during := n.Host(servers[0]).TotalRecvBytes() - before
+	if n.DropsDown == 0 {
+		t.Fatal("no blackout drops recorded")
+	}
+	// User 0 sits on ingressA whose default path goes via coreA: nearly
+	// everything in the window dies.
+	if during > 100e3 {
+		t.Fatalf("too much delivered during unmasked blackout: %d bytes", during)
+	}
+}
+
+func TestRepurposeRejectsConcurrent(t *testing.T) {
+	g := topo.NewLinear(2)
+	n := netsim.New(g, netsim.DefaultConfig())
+	rep := NewRepurposer(n)
+	if err := rep.Repurpose(0, RepurposeConfig{Latency: time.Second},
+		func(*dataplane.Switch) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Repurpose(0, RepurposeConfig{Latency: time.Second},
+		func(*dataplane.Switch) error { return nil }, nil); err == nil {
+		t.Fatal("concurrent repurpose accepted")
+	}
+	if err := rep.Repurpose(99, RepurposeConfig{}, nil, nil); err == nil {
+		t.Fatal("repurpose of nonexistent switch accepted")
+	}
+}
+
+func TestRepurposeTransfersAndRestoresState(t *testing.T) {
+	g := topo.NewLinear(3)
+	h := g.AttachHost(0, "h", topo.DefaultHostBPS, topo.DefaultHostDelay)
+	_ = h
+	n := netsim.New(g, netsim.DefaultConfig())
+	control.NewTEController(n, control.Config{}).InstallStatic()
+	RouterRoutesForSwitches(n)
+
+	// A stateful detector on switch 1 with pre-seeded flow state.
+	det := booster.NewLFADetector(1, nil, func(topo.LinkID) float64 { return 0 }, booster.LFAConfig{})
+	if err := n.Switch(1).Install(dataplane.Program{PPM: det, Priority: dataplane.PriDetect, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seed := &packet.Packet{Src: packet.HostAddr(5), Dst: packet.HostAddr(6),
+		Proto: packet.ProtoTCP, SrcPort: 9, DstPort: 80, PayloadLen: 10}
+	det.Process(&dataplane.Context{Now: time.Millisecond, Pkt: seed, InLink: 0, OutLink: -1})
+	want := det.Snapshot()
+	if len(want) == 0 {
+		t.Fatal("setup: empty snapshot")
+	}
+
+	// Peer receiver on switch 2.
+	recv := NewReceiver(2, FECConfig{Parity: true})
+	var peerGot []byte
+	recv.OnComplete = func(_ topo.NodeID, _ uint16, blob []byte) { peerGot = blob }
+	if err := n.Switch(2).Install(dataplane.Program{PPM: recv, Priority: dataplane.PriControl, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := NewRepurposer(n)
+	var doneErr error
+	err := rep.Repurpose(1, RepurposeConfig{
+		Latency: 500 * time.Millisecond, FastReroute: true,
+		TransferState: true, StatePeer: 2, FEC: FECConfig{Parity: true},
+	}, func(sw *dataplane.Switch) error {
+		// Simulate program replacement wiping registers.
+		return det.Restore(det.Snapshot()[:0])
+	}, func(err error) { doneErr = err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2 * time.Second)
+	if doneErr != nil {
+		t.Fatalf("done err: %v", doneErr)
+	}
+	// Peer received the bundle during the blackout.
+	bundle, err := ParseBundle(peerGot)
+	if err != nil {
+		t.Fatalf("peer bundle: %v", err)
+	}
+	if !bytes.Equal(bundle[det.Name()], want) {
+		t.Fatal("peer copy does not match original state")
+	}
+	// And the switch's own state was restored after reconfiguration.
+	if !bytes.Equal(det.Snapshot(), want) {
+		t.Fatal("state not migrated back after repurpose")
+	}
+}
+
+func TestReplicatorShipsAndRestores(t *testing.T) {
+	g := topo.NewLinear(3)
+	n := netsim.New(g, netsim.DefaultConfig())
+	control.NewTEController(n, control.Config{}).InstallStatic()
+	RouterRoutesForSwitches(n)
+
+	det := booster.NewLFADetector(0, nil, func(topo.LinkID) float64 { return 0 }, booster.LFAConfig{})
+	if err := n.Switch(0).Install(dataplane.Program{PPM: det, Priority: dataplane.PriDetect, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seed := &packet.Packet{Src: packet.HostAddr(5), Dst: packet.HostAddr(6),
+		Proto: packet.ProtoTCP, SrcPort: 9, DstPort: 80, PayloadLen: 10}
+	det.Process(&dataplane.Context{Now: time.Millisecond, Pkt: seed, InLink: 0, OutLink: -1})
+	want := det.Snapshot()
+
+	recv := NewReceiver(2, FECConfig{Parity: true})
+	if err := n.Switch(2).Install(dataplane.Program{PPM: recv, Priority: dataplane.PriControl, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	repl := NewReplicator(n, 0, 2, recv, 9, 200*time.Millisecond, FECConfig{Parity: true})
+	n.Run(time.Second)
+	if repl.Shipped < 3 {
+		t.Fatalf("shipped %d bundles, want ≥3 in 1s at 200ms", repl.Shipped)
+	}
+	if repl.Latest() == nil {
+		t.Fatal("no replica received")
+	}
+	if !bytes.Equal(repl.Latest()[det.Name()], want) {
+		t.Fatal("replica does not match source state")
+	}
+	// Failover: restore the replica onto a standby detector at switch 1.
+	standby := booster.NewLFADetector(0, nil, func(topo.LinkID) float64 { return 0 }, booster.LFAConfig{})
+	if err := n.Switch(1).Install(dataplane.Program{PPM: standby, Priority: dataplane.PriDetect, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.RestoreTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(standby.Snapshot(), want) {
+		t.Fatal("failover restore mismatch")
+	}
+	if err := (&Replicator{net: n}).RestoreTo(1); err == nil {
+		t.Fatal("restore without replica accepted")
+	}
+}

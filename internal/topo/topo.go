@@ -1,0 +1,475 @@
+// Package topo models network topologies: switches, hosts, and capacitated
+// links, together with the path algorithms FastFlex's traffic engineering,
+// placement, and attack modules need (Dijkstra, k-shortest paths, link
+// criticality analysis) and builders for the topologies the paper evaluates
+// on (the Figure-2 topology, fat-trees, and random graphs).
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (switch or host) in a topology. IDs are dense
+// indices assigned in creation order so they can index slices directly.
+type NodeID int
+
+// NodeKind distinguishes forwarding elements from traffic endpoints.
+type NodeKind uint8
+
+const (
+	// Switch nodes run dataplane programs and forward traffic.
+	Switch NodeKind = iota
+	// Host nodes originate and sink traffic; they never forward.
+	Host
+)
+
+func (k NodeKind) String() string {
+	if k == Switch {
+		return "switch"
+	}
+	return "host"
+}
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Name string
+}
+
+// LinkID identifies a directed link. Every physical link is represented as
+// two directed links; Reverse maps between them.
+type LinkID int
+
+// Link is a directed edge with transmission capacity and propagation delay.
+// BitsPerSec and DelayNS parameterize the netsim queueing model; Weight is
+// the routing metric (defaults to 1 per hop when zero).
+type Link struct {
+	ID         LinkID
+	From, To   NodeID
+	BitsPerSec float64
+	DelayNS    int64
+	Weight     float64
+	Reverse    LinkID
+}
+
+// Graph is a directed multigraph of nodes and links. The zero value is an
+// empty graph ready to use.
+type Graph struct {
+	Nodes []Node
+	Links []Link
+	out   map[NodeID][]LinkID
+	in    map[NodeID][]LinkID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{out: make(map[NodeID][]LinkID), in: make(map[NodeID][]LinkID)}
+}
+
+// AddNode appends a node of the given kind and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, name string) NodeID {
+	id := NodeID(len(g.Nodes))
+	if name == "" {
+		name = fmt.Sprintf("%s%d", kind, id)
+	}
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Name: name})
+	return id
+}
+
+// AddLink adds a single directed link and returns its ID. Most callers want
+// AddDuplex. Weight zero is treated as 1 by the path algorithms.
+func (g *Graph) AddLink(from, to NodeID, bps float64, delayNS int64) LinkID {
+	id := LinkID(len(g.Links))
+	g.Links = append(g.Links, Link{ID: id, From: from, To: to, BitsPerSec: bps, DelayNS: delayNS, Reverse: -1})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id
+}
+
+// AddDuplex adds a bidirectional link as two directed links that reference
+// each other via Reverse. It returns the forward link's ID.
+func (g *Graph) AddDuplex(a, b NodeID, bps float64, delayNS int64) LinkID {
+	f := g.AddLink(a, b, bps, delayNS)
+	r := g.AddLink(b, a, bps, delayNS)
+	g.Links[f].Reverse = r
+	g.Links[r].Reverse = f
+	return f
+}
+
+// Out returns the IDs of links leaving n.
+func (g *Graph) Out(n NodeID) []LinkID { return g.out[n] }
+
+// In returns the IDs of links entering n.
+func (g *Graph) In(n NodeID) []LinkID { return g.in[n] }
+
+// LinkBetween returns the first link from a to b, or -1 if none exists.
+func (g *Graph) LinkBetween(a, b NodeID) LinkID {
+	for _, lid := range g.out[a] {
+		if g.Links[lid].To == b {
+			return lid
+		}
+	}
+	return -1
+}
+
+// Switches returns the IDs of all switch nodes in ID order.
+func (g *Graph) Switches() []NodeID { return g.kind(Switch) }
+
+// Hosts returns the IDs of all host nodes in ID order.
+func (g *Graph) Hosts() []NodeID { return g.kind(Host) }
+
+func (g *Graph) kind(k NodeKind) []NodeID {
+	var ids []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == k {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Neighbors returns the distinct nodes reachable over one outgoing link.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	for _, lid := range g.out[n] {
+		to := g.Links[lid].To
+		if !seen[to] {
+			seen[to] = true
+			out = append(out, to)
+		}
+	}
+	return out
+}
+
+// AttachHost creates a host, connects it to sw with a duplex link, and
+// returns the host's ID.
+func (g *Graph) AttachHost(sw NodeID, name string, bps float64, delayNS int64) NodeID {
+	h := g.AddNode(Host, name)
+	g.AddDuplex(h, sw, bps, delayNS)
+	return h
+}
+
+// HostEdgeSwitch returns the switch a host is attached to, or -1 if the node
+// is not a host or is unattached.
+func (g *Graph) HostEdgeSwitch(h NodeID) NodeID {
+	if int(h) >= len(g.Nodes) || g.Nodes[h].Kind != Host {
+		return -1
+	}
+	for _, lid := range g.out[h] {
+		to := g.Links[lid].To
+		if g.Nodes[to].Kind == Switch {
+			return to
+		}
+	}
+	return -1
+}
+
+func (g *Graph) weight(l Link) float64 {
+	if l.Weight > 0 {
+		return l.Weight
+	}
+	return 1
+}
+
+// Path is a sequence of directed link IDs forming a contiguous walk.
+type Path struct {
+	Links []LinkID
+}
+
+// Nodes expands a path into the node sequence it traverses, starting from
+// the first link's source. An empty path yields nil.
+func (p Path) Nodes(g *Graph) []NodeID {
+	if len(p.Links) == 0 {
+		return nil
+	}
+	nodes := []NodeID{g.Links[p.Links[0]].From}
+	for _, lid := range p.Links {
+		nodes = append(nodes, g.Links[lid].To)
+	}
+	return nodes
+}
+
+// Cost returns the sum of routing weights along the path.
+func (p Path) Cost(g *Graph) float64 {
+	var c float64
+	for _, lid := range p.Links {
+		c += g.weight(g.Links[lid])
+	}
+	return c
+}
+
+// Contains reports whether the path traverses the given link.
+func (p Path) Contains(lid LinkID) bool {
+	for _, l := range p.Links {
+		if l == lid {
+			return true
+		}
+	}
+	return false
+}
+
+// ShortestPath returns a minimum-weight path from src to dst using Dijkstra,
+// with deterministic tie-breaking by link ID. ok is false if dst is
+// unreachable. banned links (may be nil) are excluded, which is how fast
+// reroute and attack-aware TE avoid failed or congested links.
+func (g *Graph) ShortestPath(src, dst NodeID, banned map[LinkID]bool) (Path, bool) {
+	const inf = 1e18
+	dist := make([]float64, len(g.Nodes))
+	prev := make([]LinkID, len(g.Nodes))
+	done := make([]bool, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		// Linear-scan extract-min: topologies here are small (≤ a few
+		// hundred nodes), and determinism matters more than asymptotics.
+		best := NodeID(-1)
+		bd := inf
+		for i, d := range dist {
+			if !done[i] && d < bd {
+				bd, best = d, NodeID(i)
+			}
+		}
+		if best == -1 {
+			break
+		}
+		done[best] = true
+		if best == dst {
+			break
+		}
+		for _, lid := range g.out[best] {
+			if banned[lid] {
+				continue
+			}
+			l := g.Links[lid]
+			// Hosts never forward transit traffic.
+			if g.Nodes[best].Kind == Host && best != src {
+				continue
+			}
+			nd := dist[best] + g.weight(l)
+			if nd < dist[l.To] || (nd == dist[l.To] && prev[l.To] >= 0 && lid < prev[l.To]) {
+				dist[l.To] = nd
+				prev[l.To] = lid
+			}
+		}
+	}
+	if prev[dst] == -1 && src != dst {
+		return Path{}, false
+	}
+	var rev []LinkID
+	for at := dst; at != src; {
+		lid := prev[at]
+		rev = append(rev, lid)
+		at = g.Links[lid].From
+	}
+	links := make([]LinkID, len(rev))
+	for i := range rev {
+		links[i] = rev[len(rev)-1-i]
+	}
+	return Path{Links: links}, true
+}
+
+// KShortestPaths returns up to k loop-free paths from src to dst in
+// non-decreasing cost order (Yen's algorithm). It is the path inventory the
+// TE controller balances load across.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	first, ok := g.ShortestPath(src, dst, nil)
+	if !ok || k < 1 {
+		return nil
+	}
+	result := []Path{first}
+	var candidates []Path
+	for len(result) < k {
+		prevPath := result[len(result)-1]
+		prevNodes := prevPath.Nodes(g)
+		for i := 0; i < len(prevPath.Links); i++ {
+			spurNode := prevNodes[i]
+			rootLinks := append([]LinkID(nil), prevPath.Links[:i]...)
+			banned := make(map[LinkID]bool)
+			for _, p := range result {
+				if hasPrefix(p.Links, rootLinks) && len(p.Links) > i {
+					banned[p.Links[i]] = true
+				}
+			}
+			// Ban links into root-path nodes to keep the spur loop-free.
+			rootSet := make(map[NodeID]bool)
+			for _, n := range prevNodes[:i] {
+				rootSet[n] = true
+			}
+			for _, l := range g.Links {
+				if rootSet[l.To] {
+					banned[l.ID] = true
+				}
+			}
+			spur, ok := g.ShortestPath(spurNode, dst, banned)
+			if !ok {
+				continue
+			}
+			total := Path{Links: append(append([]LinkID(nil), rootLinks...), spur.Links...)}
+			if !containsPath(result, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(i, j int) bool {
+			ci, cj := candidates[i].Cost(g), candidates[j].Cost(g)
+			if ci != cj {
+				return ci < cj
+			}
+			return lessLinks(candidates[i].Links, candidates[j].Links)
+		})
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+func hasPrefix(p, prefix []LinkID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if len(p.Links) != len(q.Links) {
+			continue
+		}
+		same := true
+		for i := range p.Links {
+			if p.Links[i] != q.Links[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func lessLinks(a, b []LinkID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Diameter returns the maximum finite hop-count shortest-path length between
+// switch pairs. Mode-change latency ablations sweep this.
+func (g *Graph) Diameter() int {
+	max := 0
+	for _, a := range g.Switches() {
+		for _, b := range g.Switches() {
+			if a == b {
+				continue
+			}
+			if p, ok := g.ShortestPath(a, b, nil); ok && len(p.Links) > max {
+				max = len(p.Links)
+			}
+		}
+	}
+	return max
+}
+
+// CriticalLinks ranks switch-to-switch links by how many host-to-victim
+// shortest paths traverse them, breaking ties by proximity to the victims.
+// This is exactly the information a Crossfire attacker extracts from
+// traceroute mapping: the few links near the target area that carry most of
+// a victim's traffic.
+func (g *Graph) CriticalLinks(victims []NodeID) []LinkID {
+	count := make(map[LinkID]int)
+	for _, src := range g.Hosts() {
+		for _, dst := range victims {
+			if src == dst {
+				continue
+			}
+			p, ok := g.ShortestPath(src, dst, nil)
+			if !ok {
+				continue
+			}
+			for _, lid := range p.Links {
+				l := g.Links[lid]
+				if g.Nodes[l.From].Kind == Switch && g.Nodes[l.To].Kind == Switch {
+					count[lid]++
+				}
+			}
+		}
+	}
+	// Distance from a link's head to the nearest victim edge switch:
+	// Crossfire prefers links in the target area.
+	dist := func(lid LinkID) int {
+		best := 1 << 30
+		for _, v := range victims {
+			target := v
+			if g.Nodes[v].Kind == Host {
+				target = g.HostEdgeSwitch(v)
+			}
+			if target < 0 {
+				continue
+			}
+			if p, ok := g.ShortestPath(g.Links[lid].To, target, nil); ok && len(p.Links) < best {
+				best = len(p.Links)
+			}
+		}
+		return best
+	}
+	ids := make([]LinkID, 0, len(count))
+	for lid := range count {
+		ids = append(ids, lid)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if count[ids[i]] != count[ids[j]] {
+			return count[ids[i]] > count[ids[j]]
+		}
+		di, dj := dist(ids[i]), dist(ids[j])
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Connected reports whether every node can reach every other node.
+func (g *Graph) Connected() bool {
+	if len(g.Nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, lid := range g.out[n] {
+			to := g.Links[lid].To
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
