@@ -1,0 +1,69 @@
+// Command ffvet is FastFlex's own static verifier. It type-checks the
+// module from source (stdlib-only — no go/packages) and enforces the
+// invariants DESIGN.md documents:
+//
+//	determinism    all randomness flows from eventsim; no time.Now, no
+//	               private rand sources, no goroutines or unordered map
+//	               iteration inside simulation packages
+//	layering       the import DAG of DESIGN.md §2
+//	ppm-lint       booster blueprints are acyclic, fit every registered
+//	               switch profile, and pass the equivalence-signature audit
+//	mode-conflict  no two co-active boosters write one register array
+//	               without an ordering edge
+//
+// Usage:
+//
+//	ffvet [./...]
+//
+// ffvet always analyzes the whole module containing the working
+// directory; the ./... argument is accepted for familiarity. Findings
+// print as file:line:col: [analyzer] message, and the exit status is
+// nonzero when there are any.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fastflex/internal/analysis"
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAll(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffvet:", err)
+		os.Exit(2)
+	}
+	diags = append(diags, analysis.Domain()...)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ffvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

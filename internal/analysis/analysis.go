@@ -1,0 +1,37 @@
+package analysis
+
+import "go/token"
+
+// An Analyzer inspects typechecked packages and reports findings.
+type Analyzer struct {
+	Name string
+	Run  func(fset *token.FileSet, pkgs []*Package) []Diagnostic
+}
+
+// Analyzers is the full ffvet suite, in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		{Name: "determinism", Run: Determinism},
+		{Name: "layering", Run: Layering},
+		{Name: "ppm-lint", Run: PPMLint},
+		{Name: "mode-conflict", Run: ModeConflict},
+	}
+}
+
+// RunAll loads the module rooted at root and runs every AST analyzer
+// over its non-test packages. Domain-level findings (Domain) are
+// appended by the ffvet command, not here, so tests can run the two
+// halves independently.
+func RunAll(root string) ([]Diagnostic, error) {
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	pkgs := mod.Packages()
+	for _, a := range Analyzers() {
+		diags = append(diags, a.Run(mod.Fset, pkgs)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

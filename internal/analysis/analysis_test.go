@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var repoRoot = func() string {
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}()
+
+var (
+	modOnce sync.Once
+	mod     *Module
+	modErr  error
+)
+
+func loadModule(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() { mod, modErr = LoadModule(repoRoot) })
+	if modErr != nil {
+		t.Fatalf("LoadModule: %v", modErr)
+	}
+	return mod
+}
+
+// wantDiag is one expectation parsed from a fixture's
+// `// want <analyzer> "<substring>"` comments.
+type wantDiag struct{ analyzer, substr string }
+
+var wantRe = regexp.MustCompile(`// want ([a-z-]+) "([^"]+)"`)
+
+func parseWants(t *testing.T, file string) map[int][]wantDiag {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	out := make(map[int][]wantDiag)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			out[i+1] = append(out[i+1], wantDiag{analyzer: m[1], substr: m[2]})
+		}
+	}
+	return out
+}
+
+// runFixture type-checks one testdata file at the claimed module import
+// path and runs a single analyzer over it.
+func runFixture(t *testing.T, importPath, file string,
+	run func(*token.FileSet, []*Package) []Diagnostic) []Diagnostic {
+	t.Helper()
+	m := loadModule(t)
+	pkg, err := m.CheckFixture(importPath, filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatalf("CheckFixture(%s): %v", file, err)
+	}
+	return run(m.Fset, []*Package{pkg})
+}
+
+// checkFixture matches an analyzer's diagnostics against the fixture's
+// want comments, both ways: no unexpected findings, no unmet wants.
+func checkFixture(t *testing.T, importPath, file string,
+	run func(*token.FileSet, []*Package) []Diagnostic) {
+	t.Helper()
+	diags := runFixture(t, importPath, file, run)
+	wants := parseWants(t, filepath.Join("testdata", file))
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Line] {
+			if w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			hit := false
+			for _, d := range diags {
+				if d.Pos.Line == line && d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+					hit = true
+				}
+			}
+			if !hit {
+				t.Errorf("%s:%d: want [%s] diagnostic containing %q, got none", file, line, w.analyzer, w.substr)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/netsim", "det_bad.go", Determinism)
+	checkFixture(t, "fastflex/internal/netsim", "det_ok.go", Determinism)
+}
+
+func TestDeterminismBareWaiver(t *testing.T) {
+	diags := runFixture(t, "fastflex/internal/netsim", "det_bare.go", Determinism)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Fatalf("want exactly one bare-waiver diagnostic, got %v", diags)
+	}
+}
+
+func TestLayeringFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/dataplane", "layer_bad.go", Layering)
+	checkFixture(t, "fastflex/internal/dataplane", "layer_ok.go", Layering)
+}
+
+func TestPPMLintFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/core", "ppmlint_bad.go", PPMLint)
+	checkFixture(t, "fastflex/internal/core", "ppmlint_ok.go", PPMLint)
+}
+
+func TestModeConflictFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/core", "modeconflict_bad.go", ModeConflict)
+	checkFixture(t, "fastflex/internal/core", "modeconflict_ok.go", ModeConflict)
+}
+
+// TestRealTreeClean is the gate the repository itself must pass: every
+// analyzer and the domain verifiers, zero findings.
+func TestRealTreeClean(t *testing.T) {
+	diags, err := RunAll(repoRoot)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding in tree: %s", d)
+	}
+	for _, d := range Domain() {
+		t.Errorf("domain finding: %s", d)
+	}
+}
+
+// TestLayerTableCoversModule pins the layer table to reality: every
+// internal package in the tree must be listed, so a new package cannot
+// silently dodge the purity rules.
+func TestLayerTableCoversModule(t *testing.T) {
+	m := loadModule(t)
+	for _, pkg := range m.Packages() {
+		rel := modRelPath(pkg)
+		if !strings.HasPrefix(rel, "internal/") {
+			continue
+		}
+		if _, ok := layerTable[rel]; !ok {
+			t.Errorf("package %s missing from the layering table", rel)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simPackages are the packages whose code runs inside the discrete-event
+// simulation. DESIGN.md §4 requires these to be bit-identical across
+// same-seed runs, so wall clocks, ambient randomness, goroutines, and
+// order-leaking map iteration are all banned here.
+var simPackages = map[string]bool{
+	"internal/netsim":     true,
+	"internal/mode":       true,
+	"internal/core":       true,
+	"internal/state":      true,
+	"internal/booster":    true,
+	"internal/place":      true,
+	"internal/control":    true,
+	"internal/experiment": true,
+}
+
+// rngPackage is the one package allowed to construct rand.Rand sources:
+// the deterministic engine all model randomness must flow from.
+const rngPackage = "internal/eventsim"
+
+// Determinism flags, in simulation packages: time.Now, calls to global
+// math/rand top-level functions, rand.New/rand.NewSource outside
+// internal/eventsim, goroutine launches, and range over a map — unless the
+// range statement carries an //ffvet:ok waiver or only feeds a sort.
+func Determinism(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		rel := modRelPath(pkg)
+		sim := simPackages[rel]
+		allowRNG := rel == rngPackage
+		for _, file := range pkg.Files {
+			dirs := directives(fset, file, &diags)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkFunc(fset, pkg, fn, sim, allowRNG, dirs, &diags)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// modRelPath strips the module prefix: "fastflex/internal/netsim" →
+// "internal/netsim". Fixture packages already use module-relative paths.
+func modRelPath(pkg *Package) string {
+	p := pkg.Path
+	if i := strings.Index(p, "internal/"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}
+
+func checkFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, sim, allowRNG bool,
+	dirs map[int]string, diags *[]Diagnostic) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			checkCall(fset, pkg, node, sim, allowRNG, diags)
+		case *ast.GoStmt:
+			if sim {
+				*diags = append(*diags, Diagnostic{
+					Pos:      fset.Position(node.Pos()),
+					Analyzer: "determinism",
+					Message:  "goroutine launch in a simulation package: event ordering must come from eventsim, not the Go scheduler",
+				})
+			}
+		case *ast.RangeStmt:
+			if sim {
+				checkMapRange(fset, pkg, fn, node, dirs, diags)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock and ambient-randomness calls. These are
+// banned in every simulation package; rand.New/NewSource are banned
+// everywhere outside internal/eventsim, since a private source breaks the
+// single-RNG invariant even when seeded.
+func checkCall(fset *token.FileSet, pkg *Package, call *ast.CallExpr, sim, allowRNG bool, diags *[]Diagnostic) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pkg.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	report := func(msg string) {
+		*diags = append(*diags, Diagnostic{
+			Pos: fset.Position(call.Pos()), Analyzer: "determinism", Message: msg,
+		})
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sim && sel.Sel.Name == "Now" {
+			report("time.Now in a simulation package: use the eventsim virtual clock")
+		}
+	case "math/rand", "math/rand/v2":
+		if allowRNG {
+			return
+		}
+		switch sel.Sel.Name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			report("private " + pn.Imported().Path() + "." + sel.Sel.Name +
+				" outside internal/eventsim: all randomness must flow from eventsim.RNG")
+		default:
+			if sim {
+				report("global " + pn.Imported().Path() + "." + sel.Sel.Name +
+					" in a simulation package: all randomness must flow from eventsim.RNG")
+			}
+		}
+	}
+}
+
+// checkMapRange flags `range` over a map unless the statement is waived or
+// its only escaping effect is filling a slice that the enclosing function
+// later sorts.
+func checkMapRange(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, rng *ast.RangeStmt,
+	dirs map[int]string, diags *[]Diagnostic) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if waived(fset, dirs, rng) {
+		return
+	}
+	if feedsSort(pkg, fn, rng) {
+		return
+	}
+	*diags = append(*diags, Diagnostic{
+		Pos:      fset.Position(rng.Pos()),
+		Analyzer: "determinism",
+		Message:  "map iteration in a simulation package: iteration order is nondeterministic; sort the keys or waive with //ffvet:ok <reason>",
+	})
+}
+
+// feedsSort reports whether every variable the range body writes through
+// (other than the loop variables themselves) is later passed to a sort in
+// the same function — the canonical collect-then-sort idiom, whose final
+// order is deterministic.
+func feedsSort(pkg *Package, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	written := writtenObjects(pkg, rng)
+	if len(written) == 0 {
+		return false
+	}
+	sorted := sortedObjects(pkg, fn, rng.End())
+	for obj := range written {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// writtenObjects collects the root objects assigned or appended to inside
+// the range body, excluding the loop's own key/value variables.
+func writtenObjects(pkg *Package, rng *ast.RangeStmt) map[types.Object]bool {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	written := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if obj := rootObject(pkg, e); obj != nil && !loopVars[obj] {
+			written[obj] = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(node.X)
+		case *ast.CallExpr:
+			// A call with side effects on captured state is opaque; be
+			// conservative and treat method receivers as writes.
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if _, isPkg := pkg.Info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+					add(sel.X)
+				}
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// sortedObjects collects root objects passed to sort.* or slices.Sort*
+// calls after pos in the function body.
+func sortedObjects(pkg *Package, fn *ast.FuncDecl, pos token.Pos) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if obj := rootObject(pkg, arg); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves an expression like x, x.f, x[i], or *x to the
+// object of its root identifier.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.FuncLit:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+
+	"fastflex/internal/core"
+	"fastflex/internal/dataplane"
+	"fastflex/internal/place"
+	"fastflex/internal/ppm"
+	"fastflex/internal/topo"
+)
+
+// Domain runs the domain-level verifiers against the live catalog — not
+// against source text but against the same values the fabric deploys.
+// It complements the AST passes: those catch what is written, this
+// catches what is assembled.
+//
+// Checks: ppm.Lint over the standard boosters and every registered
+// switch profile (acyclicity, per-module resource admission, the
+// equivalence-signature audit); ppm.ModeConflicts over core.Catalog
+// (write-write conflicts without an ordering edge); and a full
+// schedule-then-verify exercise of the merged standard boosters on the
+// paper's Figure-2 topology under each profile budget (place.Verify).
+func Domain() []Diagnostic {
+	var diags []Diagnostic
+	domain := func(analyzer, format string, args ...any) {
+		diags = append(diags, Diagnostic{Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
+	}
+
+	for _, iss := range ppm.Lint(ppm.StandardBoosters(), dataplane.Profiles()) {
+		domain("ppm-lint", "%s", iss)
+	}
+	for _, iss := range ppm.ModeConflicts(core.Catalog()) {
+		domain("mode-conflict", "%s", iss)
+	}
+
+	// Catalog leads must exist in the merged graph: a typo here silently
+	// deploys no booster at all.
+	merged, err := ppm.Merge(ppm.StandardBoosters(), true)
+	if err != nil {
+		domain("ppm-lint", "merging standard boosters: %v", err)
+		return diags
+	}
+	owners := make(map[string]bool)
+	for _, m := range merged.Modules {
+		for _, o := range m.Owners {
+			owners[o] = true
+		}
+	}
+	for _, ent := range core.Catalog() {
+		if !owners[ent.Lead] {
+			domain("mode-conflict", "catalog: booster %q lead module %q does not exist in the merged dataflow",
+				ent.Booster, ent.Lead)
+		}
+	}
+
+	// Placement soundness: schedule the merged boosters on Figure 2 under
+	// every profile budget and prove the scheduler's output.
+	fig := topo.NewFigure2()
+	fig.AttachUsers(2)
+	fig.AttachServers(1)
+	var paths []topo.Path
+	for _, a := range fig.G.Hosts() {
+		for _, b := range fig.G.Hosts() {
+			if a == b {
+				continue
+			}
+			if p, ok := fig.G.ShortestPath(a, b, nil); ok {
+				paths = append(paths, p)
+			}
+		}
+	}
+	profiles := dataplane.Profiles()
+	for _, name := range dataplane.ProfileNames() {
+		in := place.Input{
+			G:      fig.G,
+			Merged: merged,
+			Budget: place.UniformBudget(fig.G, profiles[name]),
+			Paths:  paths,
+		}
+		p, err := place.Schedule(in)
+		if err != nil {
+			domain("ppm-lint", "scheduling standard boosters under profile %q: %v", name, err)
+			continue
+		}
+		if err := place.Verify(in, p); err != nil {
+			domain("ppm-lint", "placement under profile %q fails verification: %v", name, err)
+		}
+	}
+	return diags
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// layerTable is the import DAG of DESIGN.md §2, stated declaratively:
+// each internal package may import exactly the listed internal packages
+// (plus anything outside the module). The table is the enforcement of the
+// "dataplane purity" invariant — boosters act only through the
+// dataplane.PPM interface and can never see the controller or the
+// simulator; the dataplane never sees the control plane.
+//
+// Packages not listed here (cmd/*, examples/*, the module root) are
+// unrestricted: binaries and examples wire everything together.
+var layerTable = map[string][]string{
+	// Substrates.
+	"internal/topo":     {},
+	"internal/packet":   {},
+	"internal/eventsim": {},
+	"internal/sketch":   {"internal/packet"},
+	"internal/metrics":  {"internal/eventsim"},
+	"internal/dataplane": {
+		"internal/packet", "internal/topo",
+	},
+	"internal/netsim": {
+		"internal/dataplane", "internal/eventsim", "internal/packet",
+		"internal/sketch", "internal/topo",
+	},
+
+	// The paper's contribution. booster/mode/state/ppm/place live strictly
+	// below control and netsim orchestration: a booster that imported
+	// control would collapse the RTT-vs-controller asymmetry of Figure 3.
+	"internal/ppm": {
+		"internal/dataplane", "internal/packet", "internal/topo",
+	},
+	"internal/place": {
+		"internal/dataplane", "internal/eventsim", "internal/ppm",
+		"internal/packet", "internal/topo",
+	},
+	"internal/mode": {
+		"internal/dataplane", "internal/eventsim", "internal/packet", "internal/topo",
+	},
+	"internal/booster": {
+		"internal/dataplane", "internal/eventsim", "internal/packet",
+		"internal/sketch", "internal/topo",
+	},
+	"internal/state": {
+		"internal/control", "internal/dataplane", "internal/eventsim",
+		"internal/netsim", "internal/packet", "internal/topo",
+	},
+	"internal/control": {
+		"internal/eventsim", "internal/netsim", "internal/packet", "internal/topo",
+	},
+	"internal/attack": {
+		"internal/eventsim", "internal/netsim", "internal/packet", "internal/topo",
+	},
+
+	// Assembly layers.
+	"internal/core": {
+		"internal/booster", "internal/control", "internal/dataplane",
+		"internal/eventsim", "internal/metrics", "internal/mode",
+		"internal/netsim", "internal/packet", "internal/place",
+		"internal/ppm", "internal/sketch", "internal/state", "internal/topo",
+	},
+	"internal/experiment": {
+		"internal/attack", "internal/booster", "internal/control",
+		"internal/core", "internal/dataplane", "internal/eventsim",
+		"internal/metrics", "internal/mode", "internal/netsim",
+		"internal/packet", "internal/place", "internal/ppm",
+		"internal/sketch", "internal/state", "internal/topo",
+	},
+
+	// Tooling: the static analyzer may read the domain model it audits,
+	// but nothing imports it back.
+	"internal/analysis": {
+		"internal/booster", "internal/control", "internal/core",
+		"internal/dataplane", "internal/eventsim", "internal/metrics",
+		"internal/mode", "internal/netsim", "internal/packet",
+		"internal/place", "internal/ppm", "internal/sketch",
+		"internal/state", "internal/topo",
+	},
+}
+
+// Layering enforces the import DAG above over every loaded package.
+func Layering(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		rel := modRelPath(pkg)
+		allowedList, restricted := layerTable[rel]
+		if !restricted {
+			continue
+		}
+		allowed := make(map[string]bool, len(allowedList))
+		for _, a := range allowedList {
+			allowed[a] = true
+		}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				i := strings.Index(path, "internal/")
+				if i < 0 {
+					continue // stdlib or module root
+				}
+				dep := path[i:]
+				if !allowed[dep] {
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(imp.Pos()),
+						Analyzer: "layering",
+						Message: rel + " may not import " + dep +
+							" (allowed: " + strings.Join(sortedAllowed(allowedList), ", ") + ")",
+					})
+				}
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortedAllowed(list []string) []string {
+	if len(list) == 0 {
+		return []string{"none"}
+	}
+	out := append([]string(nil), list...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,273 @@
+// Package analysis implements ffvet, the repository's static-analysis
+// pass. It enforces the three load-bearing invariants of DESIGN.md §4 —
+// determinism (all randomness flows from eventsim.RNG; same-seed runs are
+// bit-identical), dataplane purity (the import DAG of DESIGN.md §2), and
+// real resource admission (booster blueprints fit every registered switch
+// profile) — plus a mode-conflict audit over the booster catalog.
+//
+// The package is dependency-free: it uses only the standard library's
+// go/ast, go/parser, go/token, and go/types. Module-internal imports are
+// resolved from the parsed source tree itself; standard-library imports
+// are resolved with the stdlib source importer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("fastflex/internal/netsim").
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Files are the parsed non-test files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression facts.
+	Info *types.Info
+}
+
+// Module is a fully loaded and type-checked module.
+type Module struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	Fset *token.FileSet
+	// Pkgs maps import path → package.
+	Pkgs map[string]*Package
+}
+
+// Packages returns the module's packages sorted by import path.
+func (m *Module) Packages() []*Package {
+	paths := make([]string, 0, len(m.Pkgs))
+	for p := range m.Pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, m.Pkgs[p])
+	}
+	return out
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (skipping testdata, vendor, and hidden directories). Test files are
+// excluded: the invariants govern production simulation code, and tests
+// legitimately reach across layers.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: modPath, Fset: token.NewFileSet(), Pkgs: make(map[string]*Package)}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(m)
+	for _, dir := range dirs {
+		if err := ld.load(dir); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// CheckFixture type-checks the given files as a package with the stated
+// import path, resolving imports against the module (and stdlib) without
+// registering the result. Analyzer tests use this to compile testdata
+// fixtures as if they lived at real module paths.
+func (m *Module) CheckFixture(importPath string, filenames ...string) (*Package, error) {
+	ld := newLoader(m)
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(m.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return ld.check(importPath, filepath.Dir(filenames[0]), files, false)
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// packageDirs lists directories under root containing non-test Go files.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// loader type-checks module packages on demand, memoizing into the Module.
+type loader struct {
+	m        *Module
+	std      types.ImporterFrom
+	checking map[string]bool
+}
+
+func newLoader(m *Module) *loader {
+	return &loader{
+		m:        m,
+		std:      importer.ForCompiler(m.Fset, "source", nil).(types.ImporterFrom),
+		checking: make(map[string]bool),
+	}
+}
+
+// importPathFor maps a source directory to its import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.m.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.m.Path, nil
+	}
+	return l.m.Path + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *loader) dirFor(path string) string {
+	if path == l.m.Path {
+		return l.m.Root
+	}
+	return filepath.Join(l.m.Root, filepath.FromSlash(strings.TrimPrefix(path, l.m.Path+"/")))
+}
+
+// load parses and checks the package in dir (memoized).
+func (l *loader) load(dir string) error {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return err
+	}
+	_, err = l.importModulePkg(path)
+	return err
+}
+
+func (l *loader) importModulePkg(path string) (*Package, error) {
+	if p, ok := l.m.Pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer func() { l.checking[path] = false }()
+
+	dir := l.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.check(path, dir, files, true)
+}
+
+// check runs the type checker over the files. register memoizes the result
+// into the module (false for fixtures).
+func (l *loader) check(path, dir string, files []*ast.File, register bool) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &chainImporter{l: l, dir: dir},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.m.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	if register {
+		l.m.Pkgs[path] = p
+	}
+	return p, nil
+}
+
+// chainImporter resolves module-internal imports from source via the
+// loader and everything else via the stdlib source importer.
+type chainImporter struct {
+	l   *loader
+	dir string
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, c.dir, 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == c.l.m.Path || strings.HasPrefix(path, c.l.m.Path+"/") {
+		p, err := c.l.importModulePkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return c.l.std.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+)
+
+// ModeConflict audits every []ppm.CatalogEntry literal in the tree for
+// write-write conflicts: two entries whose modes can be co-active (any
+// two can — a switch holds a mode set) writing the same register array
+// at the same pipeline priority, i.e. with no ordering edge. Entries
+// whose fields do not fold to constants are skipped; the domain pass
+// audits the assembled core.Catalog at tool runtime regardless.
+func ModeConflict(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if !isCatalogSlice(pkg.Info.Types[lit].Type) {
+					return true
+				}
+				checkCatalogLit(fset, pkg, lit, &diags)
+				return false // entry literals inside are handled above
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// isCatalogSlice reports whether t is []ppm.CatalogEntry (possibly via a
+// named slice type).
+func isCatalogSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamed(sl.Elem(), "internal/ppm", "CatalogEntry")
+}
+
+// checkCatalogLit folds the entries of one catalog literal and reports
+// conflicting pairs at both offending entries.
+func checkCatalogLit(fset *token.FileSet, pkg *Package, lit *ast.CompositeLit, diags *[]Diagnostic) {
+	var entries []ppm.CatalogEntry
+	var positions []token.Position
+	for _, el := range lit.Elts {
+		elit, ok := el.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		ent, ok := foldCatalogEntry(pkg, elit)
+		if !ok {
+			continue
+		}
+		entries = append(entries, ent)
+		positions = append(positions, fset.Position(elit.Pos()))
+	}
+	for _, pair := range ppm.ConflictPairs(entries) {
+		a, b := entries[pair[0]], entries[pair[1]]
+		msg := ppm.ModeConflicts([]ppm.CatalogEntry{a, b})[0].Msg
+		*diags = append(*diags, Diagnostic{
+			Pos: positions[pair[1]], Analyzer: "mode-conflict", Message: msg,
+		})
+	}
+}
+
+// foldCatalogEntry folds one ppm.CatalogEntry literal; Priority, Modes,
+// and Writes must all be constant for the entry to participate.
+func foldCatalogEntry(pkg *Package, lit *ast.CompositeLit) (ppm.CatalogEntry, bool) {
+	var ent ppm.CatalogEntry
+	if name, ok := foldStringField(pkg, lit, "Booster"); ok {
+		ent.Booster = name
+	}
+	pri, ok := foldIntField(pkg, lit, "Priority")
+	if !ok {
+		return ent, false
+	}
+	ent.Priority = int(pri)
+	if me := fieldExpr(pkg, lit, "Modes"); me != nil {
+		ml, ok := me.(*ast.CompositeLit)
+		if !ok {
+			return ent, false
+		}
+		for _, el := range ml.Elts {
+			m, ok := foldInt(pkg, el)
+			if !ok {
+				return ent, false
+			}
+			ent.Modes = append(ent.Modes, dataplane.ModeID(m))
+		}
+	}
+	if we := fieldExpr(pkg, lit, "Writes"); we != nil {
+		wl, ok := we.(*ast.CompositeLit)
+		if !ok {
+			return ent, false
+		}
+		for _, el := range wl.Elts {
+			w, ok := foldString(pkg, el)
+			if !ok {
+				return ent, false
+			}
+			ent.Writes = append(ent.Writes, w)
+		}
+	}
+	return ent, true
+}

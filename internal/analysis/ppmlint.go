@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+)
+
+// PPMLint statically verifies booster blueprints where they are declared:
+// it folds ppm.Graph, ppm.Spec, and dataplane.Resources composite
+// literals out of the source and checks dataflow-graph acyclicity, edge
+// validity, per-module resource vectors against every registered switch
+// profile, and the equivalence-signature audit across all folded specs.
+// Literals with non-constant fields are skipped (the domain-level
+// ppm.Lint covers the assembled catalog at tool runtime).
+func PPMLint(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	var specs []ppm.SpecRef
+	specPos := make(map[string]token.Position)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				switch {
+				case isNamed(pkg.Info.Types[lit].Type, "internal/ppm", "Graph"):
+					checkGraphLit(fset, pkg, lit, &diags)
+				case isNamed(pkg.Info.Types[lit].Type, "internal/ppm", "Spec"):
+					if ref, ok := foldSpec(fset, pkg, lit); ok {
+						specs = append(specs, ref)
+						specPos[ref.Owner] = fset.Position(lit.Pos())
+						checkResourcesAgainstProfiles(fset, lit, ref.Spec.Res, &diags)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Cross-literal equivalence-signature audit over everything foldable.
+	for _, iss := range ppm.AuditSpecs(specs) {
+		pos := token.Position{}
+		for owner, p := range specPos {
+			if strings.Contains(iss.Msg, owner) && (pos.Filename == "" || p.Offset > pos.Offset) {
+				pos = p
+			}
+		}
+		diags = append(diags, Diagnostic{Pos: pos, Analyzer: "ppm-lint", Message: iss.Msg})
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// isNamed reports whether t is the named type pkgSuffix.name.
+func isNamed(t types.Type, pkgSuffix, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// checkGraphLit verifies one ppm.Graph composite literal.
+func checkGraphLit(fset *token.FileSet, pkg *Package, lit *ast.CompositeLit, diags *[]Diagnostic) {
+	report := func(n ast.Node, format string, args ...any) {
+		*diags = append(*diags, Diagnostic{
+			Pos: fset.Position(n.Pos()), Analyzer: "ppm-lint",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	modulesLit := fieldExpr(pkg, lit, "Modules")
+	edgesLit := fieldExpr(pkg, lit, "Edges")
+	nModules := -1
+	if ml, ok := modulesLit.(*ast.CompositeLit); ok {
+		nModules = len(ml.Elts)
+	}
+	el, ok := edgesLit.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	type edge struct{ from, to int }
+	var edges []edge
+	allFolded := true
+	for _, e := range el.Elts {
+		elit, ok := e.(*ast.CompositeLit)
+		if !ok {
+			allFolded = false
+			continue
+		}
+		from, okF := foldIntField(pkg, elit, "From")
+		to, okT := foldIntField(pkg, elit, "To")
+		if !okF || !okT {
+			allFolded = false
+			continue
+		}
+		if w, okW := foldFloatField(pkg, elit, "Weight"); okW && w < 0 {
+			report(elit, "negative dataflow edge weight %g", w)
+		}
+		if nModules >= 0 && (from < 0 || from >= int64(nModules) || to < 0 || to >= int64(nModules)) {
+			report(elit, "dataflow edge %d→%d references a module outside [0,%d)", from, to, nModules)
+			continue
+		}
+		edges = append(edges, edge{int(from), int(to)})
+	}
+	if !allFolded {
+		return
+	}
+	// Acyclicity over the folded edges.
+	n := nModules
+	for _, e := range edges {
+		if e.from >= n {
+			n = e.from + 1
+		}
+		if e.to >= n {
+			n = e.to + 1
+		}
+	}
+	if n <= 0 {
+		return
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e.from >= 0 && e.to >= 0 {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	if cyc := findCycleInts(adj); cyc != nil {
+		report(el, "dataflow graph has a cycle through modules %v — PPM dataflow must be a DAG", cyc)
+	}
+}
+
+// foldSpec folds a ppm.Spec literal into a SpecRef when Kind, Params,
+// Shareable, and Res are all constant.
+func foldSpec(fset *token.FileSet, pkg *Package, lit *ast.CompositeLit) (ppm.SpecRef, bool) {
+	kind, ok := foldStringField(pkg, lit, "Kind")
+	if !ok {
+		return ppm.SpecRef{}, false
+	}
+	params := map[string]int64{}
+	if pe := fieldExpr(pkg, lit, "Params"); pe != nil {
+		pl, ok := pe.(*ast.CompositeLit)
+		if !ok {
+			return ppm.SpecRef{}, false
+		}
+		for _, el := range pl.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				return ppm.SpecRef{}, false
+			}
+			k, okK := foldString(pkg, kv.Key)
+			v, okV := foldInt(pkg, kv.Value)
+			if !okK || !okV {
+				return ppm.SpecRef{}, false
+			}
+			params[k] = v
+		}
+	}
+	shareable := false
+	if se := fieldExpr(pkg, lit, "Shareable"); se != nil {
+		b, ok := foldBool(pkg, se)
+		if !ok {
+			return ppm.SpecRef{}, false
+		}
+		shareable = b
+	}
+	res := dataplane.Resources{}
+	if re := fieldExpr(pkg, lit, "Res"); re != nil {
+		rl, ok := re.(*ast.CompositeLit)
+		if !ok {
+			return ppm.SpecRef{}, false
+		}
+		r, ok := foldResources(pkg, rl)
+		if !ok {
+			return ppm.SpecRef{}, false
+		}
+		res = r
+	}
+	pos := fset.Position(lit.Pos())
+	owner := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	return ppm.SpecRef{Owner: owner, Spec: ppm.Spec{
+		Kind: kind, Params: params, Res: res, Shareable: shareable,
+	}}, true
+}
+
+// checkResourcesAgainstProfiles verifies a folded Spec.Res vector
+// against every registered switch profile: a module that cannot fit the
+// smallest deployed switch class can never be placed pervasively.
+func checkResourcesAgainstProfiles(fset *token.FileSet, lit *ast.CompositeLit,
+	res dataplane.Resources, diags *[]Diagnostic) {
+	profiles := dataplane.Profiles()
+	for _, name := range dataplane.ProfileNames() {
+		if !profiles[name].Fits(res) {
+			*diags = append(*diags, Diagnostic{
+				Pos: fset.Position(lit.Pos()), Analyzer: "ppm-lint",
+				Message: fmt.Sprintf("resource vector %v exceeds switch profile %q budget %v",
+					res, name, profiles[name]),
+			})
+		}
+	}
+}
+
+func foldResources(pkg *Package, lit *ast.CompositeLit) (dataplane.Resources, bool) {
+	var r dataplane.Resources
+	get := func(name string) (float64, bool) {
+		e := fieldExpr(pkg, lit, name)
+		if e == nil {
+			return 0, true // zero value
+		}
+		return foldFloat(pkg, e)
+	}
+	st, ok1 := get("Stages")
+	sr, ok2 := get("SRAMKB")
+	tc, ok3 := get("TCAM")
+	al, ok4 := get("ALUs")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return r, false
+	}
+	r.Stages, r.SRAMKB, r.TCAM, r.ALUs = int(st), sr, int(tc), int(al)
+	return r, true
+}
+
+// fieldExpr returns the value expression for a struct-literal field,
+// handling both keyed and positional forms.
+func fieldExpr(pkg *Package, lit *ast.CompositeLit, name string) ast.Expr {
+	var st *types.Struct
+	if t := pkg.Info.Types[lit].Type; t != nil {
+		if s, ok := t.Underlying().(*types.Struct); ok {
+			st = s
+		}
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+				return kv.Value
+			}
+		}
+	}
+	if keyed || st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields() && i < len(lit.Elts); i++ {
+		if st.Field(i).Name() == name {
+			return lit.Elts[i]
+		}
+	}
+	return nil
+}
+
+func foldIntField(pkg *Package, lit *ast.CompositeLit, name string) (int64, bool) {
+	e := fieldExpr(pkg, lit, name)
+	if e == nil {
+		return 0, true // zero value
+	}
+	return foldInt(pkg, e)
+}
+
+func foldFloatField(pkg *Package, lit *ast.CompositeLit, name string) (float64, bool) {
+	e := fieldExpr(pkg, lit, name)
+	if e == nil {
+		return 0, true
+	}
+	return foldFloat(pkg, e)
+}
+
+func foldStringField(pkg *Package, lit *ast.CompositeLit, name string) (string, bool) {
+	e := fieldExpr(pkg, lit, name)
+	if e == nil {
+		return "", false
+	}
+	return foldString(pkg, e)
+}
+
+func foldInt(pkg *Package, e ast.Expr) (int64, bool) {
+	v := pkg.Info.Types[e].Value
+	if v == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(v))
+}
+
+func foldFloat(pkg *Package, e ast.Expr) (float64, bool) {
+	v := pkg.Info.Types[e].Value
+	if v == nil {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(v))
+	return f, true
+}
+
+func foldString(pkg *Package, e ast.Expr) (string, bool) {
+	v := pkg.Info.Types[e].Value
+	if v == nil || v.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(v), true
+}
+
+func foldBool(pkg *Package, e ast.Expr) (bool, bool) {
+	v := pkg.Info.Types[e].Value
+	if v == nil || v.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(v), true
+}
+
+// findCycleInts runs DFS cycle detection over an adjacency list.
+func findCycleInts(adj [][]int) []int {
+	const (
+		unseen = iota
+		active
+		done
+	)
+	state := make([]int, len(adj))
+	var stack []int
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		state[v] = active
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			switch state[w] {
+			case active:
+				for i, s := range stack {
+					if s == w {
+						cycle = append([]int(nil), stack[i:]...)
+						return true
+					}
+				}
+			case unseen:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[v] = done
+		return false
+	}
+	for v := range adj {
+		if state[v] == unseen && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Positive determinism fixture: checked as if it were part of
+// fastflex/internal/netsim, so every construct below must be flagged.
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now in a simulation package"
+}
+
+func privateRNG() float64 {
+	src := rand.NewSource(7) // want determinism "math/rand.NewSource outside internal/eventsim"
+	r := rand.New(src)       // want determinism "math/rand.New outside internal/eventsim"
+	return r.Float64()
+}
+
+func globalRNG() float64 {
+	return rand.Float64() // want determinism "global math/rand.Float64 in a simulation package"
+}
+
+func spawn(done chan struct{}) {
+	go close(done) // want determinism "goroutine launch in a simulation package"
+}
+
+func leakOrder(counts map[string]int) []string {
+	var out []string
+	for k := range counts { // want determinism "map iteration in a simulation package"
+		out = append(out, k)
+	}
+	return out
+}

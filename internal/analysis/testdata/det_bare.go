@@ -1,0 +1,16 @@
+package netsim
+
+import "sort"
+
+// A waiver without a reason is itself a finding; the loop below is
+// exempt anyway because it only feeds a sort.
+
+func bareWaiver(m map[string]int) []string {
+	var keys []string
+	//ffvet:ok
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

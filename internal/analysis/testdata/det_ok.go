@@ -1,0 +1,35 @@
+package netsim
+
+import "sort"
+
+// Negative determinism fixture: nothing here may be flagged.
+
+// sortedIteration is the canonical collect-then-sort idiom: the only
+// state escaping the loop is sorted before use.
+func sortedIteration(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// waivedSum carries a reasoned waiver.
+func waivedSum(m map[string]uint64) uint64 {
+	var t uint64
+	//ffvet:ok summing is order-independent
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// sliceRange ranges over a slice, which is always ordered.
+func sliceRange(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

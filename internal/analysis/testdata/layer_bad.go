@@ -1,0 +1,10 @@
+package dataplane
+
+// Positive layering fixture: checked as if it were part of
+// fastflex/internal/dataplane, which must never see the simulator or the
+// control plane.
+
+import (
+	_ "fastflex/internal/control" // want layering "may not import internal/control"
+	_ "fastflex/internal/netsim"  // want layering "may not import internal/netsim"
+)

@@ -1,0 +1,8 @@
+package dataplane
+
+// Negative layering fixture: the dataplane's allowed substrate imports.
+
+import (
+	_ "fastflex/internal/packet"
+	_ "fastflex/internal/topo"
+)

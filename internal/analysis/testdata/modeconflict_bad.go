@@ -1,0 +1,16 @@
+package core
+
+import (
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+)
+
+// Positive mode-conflict fixture: pairs of boosters writing the same
+// register array at the same pipeline priority (no ordering edge).
+
+var conflicted = []ppm.CatalogEntry{
+	{Booster: "alpha", Priority: 100, Writes: []string{"shared-table"}},
+	{Booster: "beta", Priority: 100, Modes: []dataplane.ModeID{2}, Writes: []string{"shared-table"}}, // want mode-conflict "alpha"
+	{Booster: "gamma", Priority: 200, Writes: []string{"quarantine"}},
+	{Booster: "delta", Priority: 200, Writes: []string{"other", "quarantine"}}, // want mode-conflict "gamma"
+}

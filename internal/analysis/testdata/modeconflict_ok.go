@@ -1,0 +1,13 @@
+package core
+
+import "fastflex/internal/ppm"
+
+// Negative mode-conflict fixture: shared writes are fine across distinct
+// priorities (the pipeline is the ordering edge), and equal priorities
+// are fine with disjoint writes.
+
+var ordered = []ppm.CatalogEntry{
+	{Booster: "alpha", Priority: 100, Writes: []string{"shared-table"}},
+	{Booster: "beta", Priority: 110, Writes: []string{"shared-table"}},
+	{Booster: "gamma", Priority: 110, Writes: []string{"other"}},
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+)
+
+// Positive ppm-lint fixture: malformed blueprints and a catalog that
+// fails the equivalence-signature audit.
+
+var cyclic = ppm.Graph{
+	Booster: "cyclic",
+	Modules: []ppm.Module{{Name: "a"}, {Name: "b"}},
+	Edges: []ppm.Edge{ // want ppm-lint "cycle"
+		{From: 0, To: 1},
+		{From: 1, To: 0},
+	},
+}
+
+var outOfRange = ppm.Graph{
+	Booster: "oob",
+	Modules: []ppm.Module{{Name: "a"}},
+	Edges:   []ppm.Edge{{From: 0, To: 3}}, // want ppm-lint "outside"
+}
+
+var negWeight = ppm.Graph{
+	Booster: "neg",
+	Modules: []ppm.Module{{Name: "a"}, {Name: "b"}},
+	Edges:   []ppm.Edge{{From: 0, To: 1, Weight: -2}}, // want ppm-lint "negative dataflow edge weight"
+}
+
+var oversized = ppm.Spec{ // want ppm-lint "exceeds switch profile"
+	Kind: "giant-table",
+	Res:  dataplane.Resources{Stages: 64, SRAMKB: 1 << 20},
+}
+
+var shareA = ppm.Spec{
+	Kind:   "lpm",
+	Params: map[string]int64{"width": 32},
+	Res:    dataplane.Resources{Stages: 1, SRAMKB: 64}, Shareable: true,
+}
+
+var shareB = ppm.Spec{ // want ppm-lint "inconsistent shareability"
+	Kind:   "lpm",
+	Params: map[string]int64{"width": 32},
+	Res:    dataplane.Resources{Stages: 1, SRAMKB: 64},
+}
+
+var skewA = ppm.Spec{
+	Kind:   "counter",
+	Params: map[string]int64{"d": 2},
+	Res:    dataplane.Resources{Stages: 1, SRAMKB: 8}, Shareable: true,
+}
+
+var skewB = ppm.Spec{ // want ppm-lint "footprint skew"
+	Kind:   "counter",
+	Params: map[string]int64{"d": 2},
+	Res:    dataplane.Resources{Stages: 1, SRAMKB: 64}, Shareable: true,
+}

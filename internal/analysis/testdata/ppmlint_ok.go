@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+)
+
+// Negative ppm-lint fixture: a well-formed blueprint — acyclic dataflow,
+// modules that fit every switch profile, distinct spec signatures.
+
+var chain = ppm.Graph{
+	Booster: "chain",
+	Modules: []ppm.Module{
+		{
+			Name: "parse",
+			Spec: ppm.Spec{
+				Kind:   "parser",
+				Params: map[string]int64{"depth": 4},
+				Res:    dataplane.Resources{Stages: 1, SRAMKB: 16, ALUs: 1}, Shareable: true,
+			},
+			Role: ppm.RoleTransport,
+		},
+		{
+			Name: "count",
+			Spec: ppm.Spec{
+				Kind:   "sketch",
+				Params: map[string]int64{"rows": 4},
+				Res:    dataplane.Resources{Stages: 2, SRAMKB: 96, ALUs: 2},
+			},
+			Role: ppm.RoleDetection,
+		},
+	},
+	Edges: []ppm.Edge{{From: 0, To: 1, Weight: 4}},
+}

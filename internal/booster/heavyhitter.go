@@ -143,6 +143,7 @@ func (h *HeavyHitter) Process(ctx *dataplane.Context) dataplane.Verdict {
 // alarm clears.
 func (h *HeavyHitter) rollEpoch(ctx *dataplane.Context) {
 	h.pipe.Reset()
+	//ffvet:ok per-entry age/delete is order-independent
 	for hash, epochs := range h.banned {
 		if epochs <= 1 {
 			delete(h.banned, hash)

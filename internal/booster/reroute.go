@@ -128,6 +128,7 @@ func (r *Reroute) Resources() dataplane.Resources {
 func (r *Reroute) BestVia(dst topo.NodeID, now time.Duration, exclude topo.LinkID) (topo.LinkID, float64, bool) {
 	best := topo.LinkID(-1)
 	bestU := 0.0
+	//ffvet:ok min with a link-ID tie-break is order-independent
 	for via, e := range r.table[dst] {
 		if via == exclude || now-e.at > r.cfg.StaleAfter {
 			continue
@@ -221,6 +222,7 @@ func (r *Reroute) recordFlowlet(key packet.FlowKey, via topo.LinkID, now time.Du
 		return
 	}
 	if len(r.flowlets) >= r.cfg.FlowletCapacity {
+		//ffvet:ok evicting every stale entry is order-independent
 		for k, fl := range r.flowlets {
 			if now-fl.lastSeen >= r.cfg.FlowletTimeout {
 				delete(r.flowlets, k)

@@ -103,6 +103,7 @@ func ComputeRoutes(g *topo.Graph, cost CostFunc) Routes {
 	for _, h := range g.Hosts() {
 		hops := NextHops(g, h, cost)
 		addr := packet.HostAddr(int(h))
+		//ffvet:ok filling distinct per-switch keys is order-independent
 		for sw, l := range hops {
 			routes[sw][addr] = l
 		}
@@ -243,6 +244,7 @@ func computeSpreadRoutes(g *topo.Graph, perDstBps float64, base CostFunc) Routes
 		} else if len(candidates) == 1 {
 			assignedBps[candidates[0].lid] += perDstBps
 		}
+		//ffvet:ok filling distinct per-switch keys is order-independent
 		for sw, lid := range NextHops(g, h, cost) {
 			routes[sw][addr] = lid
 		}
@@ -263,6 +265,7 @@ func accessCost(g *topo.Graph, srcEdges map[topo.NodeID]bool, dstEdge topo.NodeI
 	for i := range dist {
 		dist[i] = inf
 	}
+	//ffvet:ok zeroing distinct Dijkstra sources is order-independent
 	for s := range srcEdges {
 		if s == dstEdge {
 			continue
@@ -299,11 +302,13 @@ func accessCost(g *topo.Graph, srcEdges map[topo.NodeID]bool, dstEdge topo.NodeI
 
 // Install writes a route configuration into every switch's router.
 func Install(n *netsim.Network, routes Routes) {
+	//ffvet:ok each route write targets a distinct (switch, dst) slot
 	for sw, table := range routes {
 		r := n.Router(sw)
 		if r == nil {
 			continue
 		}
+		//ffvet:ok each route write targets a distinct (switch, dst) slot
 		for dst, l := range table {
 			r.SetRoute(dst, l)
 		}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fastflex/internal/booster"
+	"fastflex/internal/dataplane"
+	"fastflex/internal/ppm"
+)
+
+// Catalog declares how each standard booster deploys: its lead module,
+// pipeline priority, gating modes, and the register arrays it writes.
+// installBoosters derives gates and priorities from this table, so the
+// declaration and the runtime cannot drift, and ffvet's mode-conflict
+// analyzer audits the same table offline: two boosters whose modes can be
+// co-active in one mode set must not write the same register array
+// without an ordering edge (a distinct priority).
+func Catalog() []ppm.CatalogEntry {
+	return []ppm.CatalogEntry{
+		{
+			Booster:  "lfa-detect",
+			Lead:     "lfa-detect/classifier",
+			Priority: dataplane.PriDetect,
+			Modes:    []dataplane.ModeID{},
+			Writes:   []string{"flow-table", "link-load"},
+		},
+		{
+			Booster:  "heavyhitter",
+			Lead:     "heavyhitter/topk",
+			Priority: dataplane.PriDetect + 1,
+			Modes:    []dataplane.ModeID{},
+			Writes:   []string{"hh-sketch", "hh-topk"},
+		},
+		{
+			Booster:  "obfuscate",
+			Lead:     "obfuscate/virtual-topo",
+			Priority: dataplane.PriDetect + 50,
+			Modes:    []dataplane.ModeID{booster.ModeMitigate},
+			Writes:   []string{},
+		},
+		{
+			Booster:  "reroute",
+			Lead:     "reroute/util-table",
+			Priority: dataplane.PriReroute,
+			Modes:    []dataplane.ModeID{booster.ModeReroute, booster.ModeMitigate},
+			Writes:   []string{"best-path-table", "flowlet-table"},
+		},
+		{
+			Booster:  "dropper",
+			Lead:     "dropper/verdict",
+			Priority: dataplane.PriMitigate,
+			Modes:    []dataplane.ModeID{booster.ModeMitigate, booster.ModeDDoS},
+			Writes:   []string{"drop-counters"},
+		},
+	}
+}
+
+// catalogEntry returns the catalog row for a booster. Unknown names panic:
+// the catalog and installBoosters ship together, so a miss is a build bug.
+func catalogEntry(name string) ppm.CatalogEntry {
+	for _, e := range Catalog() {
+		if e.Booster == name {
+			return e
+		}
+	}
+	panic("core: booster " + name + " missing from Catalog")
+}
+
+// gateFor builds the dataplane mode gate for a catalog entry: the listed
+// modes, or the always-on default mode when none are listed.
+func gateFor(e ppm.CatalogEntry) dataplane.ModeSet {
+	if len(e.Modes) == 0 {
+		return 1 // gated on the default mode: always on
+	}
+	var s dataplane.ModeSet
+	for _, m := range e.Modes {
+		s = s.With(m)
+	}
+	return s
+}

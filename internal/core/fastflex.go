@@ -124,14 +124,19 @@ func New(g *topo.Graph, cfg Config) (*Fabric, error) {
 	}
 	f.Merged = merged
 
-	// (c): schedule the merged graph over the default traffic paths.
+	// (c): schedule the merged graph over the default traffic paths, and
+	// prove the result resource-sound before installing anything.
 	paths := defaultPaths(g)
 	budget := place.UniformBudget(g, remainingBudget())
-	placement, err := place.Schedule(place.Input{
+	scheduleIn := place.Input{
 		G: g, Merged: merged, Budget: budget, Paths: paths, Policy: cfg.Policy,
-	})
+	}
+	placement, err := place.Schedule(scheduleIn)
 	if err != nil {
 		return nil, err
+	}
+	if err := place.Verify(scheduleIn, placement); err != nil {
+		return nil, fmt.Errorf("core: placement failed verification: %w", err)
 	}
 	f.Placement = placement
 
@@ -221,16 +226,6 @@ func (f *Fabric) installControl(sw topo.NodeID) error {
 	return s.Install(dataplane.Program{PPM: recv, Priority: dataplane.PriControl + 1, Modes: 1})
 }
 
-// leadModule maps each executable booster to the merged-graph module whose
-// placement decides where the booster runs.
-var leadModule = map[string]string{
-	"lfa":  "lfa-detect/classifier",
-	"drop": "dropper/verdict",
-	"rrt":  "reroute/util-table",
-	"obf":  "obfuscate/virtual-topo",
-	"hh":   "heavyhitter/topk",
-}
-
 // switchesFor returns the switches hosting the named lead module.
 func (f *Fabric) switchesFor(lead string) []topo.NodeID {
 	for mi, m := range f.Merged.Modules {
@@ -247,7 +242,8 @@ func (f *Fabric) installBoosters() error {
 	g := f.Net.G
 	dstSwitch := booster.EdgeSwitchMap(g)
 
-	for _, sw := range f.switchesFor(leadModule["lfa"]) {
+	lfaEnt := catalogEntry("lfa-detect")
+	for _, sw := range f.switchesFor(lfaEnt.Lead) {
 		sw := sw
 		lfaCfg := f.Cfg.LFA
 		lfaCfg.Protected = f.Cfg.Protected
@@ -265,56 +261,57 @@ func (f *Fabric) installBoosters() error {
 		det.Alarm = f.lfaAlarm(sw)
 		f.Detectors[sw] = det
 		if err := f.Net.Switch(sw).Install(dataplane.Program{
-			PPM: det, Priority: dataplane.PriDetect, Modes: 1,
+			PPM: det, Priority: lfaEnt.Priority, Modes: gateFor(lfaEnt),
 		}); err != nil {
 			return fmt.Errorf("core: installing LFA detector: %w", err)
 		}
 	}
 	if f.Cfg.EnableHeavyHitter {
-		for _, sw := range f.switchesFor(leadModule["hh"]) {
+		ent := catalogEntry("heavyhitter")
+		for _, sw := range f.switchesFor(ent.Lead) {
 			sw := sw
 			hh := booster.NewHeavyHitter(sw, f.Cfg.HH)
 			hh.Alarm = f.hhAlarm(sw)
 			f.HeavyHit[sw] = hh
 			if err := f.Net.Switch(sw).Install(dataplane.Program{
-				PPM: hh, Priority: dataplane.PriDetect + 1, Modes: 1,
+				PPM: hh, Priority: ent.Priority, Modes: gateFor(ent),
 			}); err != nil {
 				return fmt.Errorf("core: installing heavy hitter: %w", err)
 			}
 		}
 	}
 	if !f.Cfg.DisableObfuscation {
-		for _, sw := range f.switchesFor(leadModule["obf"]) {
+		ent := catalogEntry("obfuscate")
+		for _, sw := range f.switchesFor(ent.Lead) {
 			obf := booster.NewObfuscator(sw, f.Cfg.Obfuscate)
 			f.Obfuscators[sw] = obf
 			if err := f.Net.Switch(sw).Install(dataplane.Program{
-				PPM: obf, Priority: dataplane.PriDetect + 50,
-				Modes: dataplane.ModeSet(0).With(booster.ModeMitigate),
+				PPM: obf, Priority: ent.Priority, Modes: gateFor(ent),
 			}); err != nil {
 				return fmt.Errorf("core: installing obfuscator: %w", err)
 			}
 		}
 	}
 	if !f.Cfg.DisableReroute {
-		for _, sw := range f.switchesFor(leadModule["rrt"]) {
+		ent := catalogEntry("reroute")
+		for _, sw := range f.switchesFor(ent.Lead) {
 			s := f.Net.Switch(sw)
 			rr := booster.NewReroute(sw, g, dstSwitch, f.Net.LinkLoad, s.SeenProbe, f.Cfg.Reroute)
 			f.Reroutes[sw] = rr
 			if err := s.Install(dataplane.Program{
-				PPM: rr, Priority: dataplane.PriReroute,
-				Modes: dataplane.ModeSet(0).With(booster.ModeReroute).With(booster.ModeMitigate),
+				PPM: rr, Priority: ent.Priority, Modes: gateFor(ent),
 			}); err != nil {
 				return fmt.Errorf("core: installing reroute: %w", err)
 			}
 		}
 	}
 	if !f.Cfg.DisableDropper {
-		for _, sw := range f.switchesFor(leadModule["drop"]) {
+		ent := catalogEntry("dropper")
+		for _, sw := range f.switchesFor(ent.Lead) {
 			dr := booster.NewDropper(sw, f.Cfg.Dropper)
 			f.Droppers[sw] = dr
 			if err := f.Net.Switch(sw).Install(dataplane.Program{
-				PPM: dr, Priority: dataplane.PriMitigate,
-				Modes: dataplane.ModeSet(0).With(booster.ModeMitigate).With(booster.ModeDDoS),
+				PPM: dr, Priority: ent.Priority, Modes: gateFor(ent),
 			}); err != nil {
 				return fmt.Errorf("core: installing dropper: %w", err)
 			}
@@ -397,6 +394,7 @@ func (f *Fabric) ModeActiveAt(sw topo.NodeID, m dataplane.ModeID) bool {
 // AttackDetected reports whether any LFA detector currently flags an
 // attack.
 func (f *Fabric) AttackDetected() bool {
+	//ffvet:ok boolean OR over detectors is order-independent
 	for _, d := range f.Detectors {
 		if d.Active() {
 			return true

@@ -1,0 +1,21 @@
+package eventsim
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns a map's keys in ascending order. Go map iteration
+// order is deliberately randomized, so any simulation-path loop over a
+// map must either iterate via SortedKeys or prove the order cannot escape
+// (see the determinism invariant in DESIGN.md §4 and the ffvet
+// determinism analyzer). It lives in eventsim because deterministic
+// iteration is part of the same contract as the seeded RNG.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

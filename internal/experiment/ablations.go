@@ -2,13 +2,13 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"fastflex/internal/attack"
 	"fastflex/internal/control"
 	"fastflex/internal/core"
 	"fastflex/internal/dataplane"
+	"fastflex/internal/eventsim"
 	"fastflex/internal/metrics"
 	"fastflex/internal/mode"
 	"fastflex/internal/netsim"
@@ -197,11 +197,15 @@ func AblationRepurpose() *Result {
 
 // AblationFEC (A5) sweeps random chunk loss against the XOR-parity FEC used
 // for piggybacked state transfer.
-func AblationFEC() *Result {
+func AblationFEC() *Result { return ablationFEC(42) }
+
+// ablationFEC draws its loss trials from a seeded eventsim engine, the
+// same substrate every other experiment's randomness flows from.
+func ablationFEC(seed int64) *Result {
 	res := &Result{Name: "A5: FEC for state transfer under loss"}
 	tb := &metrics.Table{Header: []string{"loss", "parity", "transfers recovered", "overhead"}}
 	const trials = 400
-	rng := rand.New(rand.NewSource(42))
+	rng := eventsim.New(seed).RNG()
 	blob := make([]byte, 4096)
 	rng.Read(blob)
 	for _, loss := range []float64{0, 0.02, 0.05, 0.10} {
@@ -307,6 +311,7 @@ func AblationStability() *Result {
 		n.Eng.Schedule(5*time.Second, pulse.Start)
 		fab.Run(60 * time.Second)
 		var suppressed uint64
+		//ffvet:ok summing counters is order-independent
 		for _, c := range fab.Controllers {
 			suppressed += c.Suppressed
 		}

@@ -86,6 +86,7 @@ func Figure1Place() *Result {
 			panic(err)
 		}
 		instances := 0
+		//ffvet:ok summing instance counts is order-independent
 		for _, sws := range p.ByModule {
 			instances += len(sws)
 		}

@@ -66,6 +66,7 @@ func Figure2Modes() *Result {
 		}
 	}
 	var probes uint64
+	//ffvet:ok summing counters is order-independent
 	for _, rr := range fab.Reroutes {
 		probes += rr.Probes
 	}
@@ -74,12 +75,15 @@ func Figure2Modes() *Result {
 
 	// Phase (c): mitigation evidence.
 	var rerouted, dropped, fabricated uint64
+	//ffvet:ok summing counters is order-independent
 	for _, rr := range fab.Reroutes {
 		rerouted += rr.Rerouted
 	}
+	//ffvet:ok summing counters is order-independent
 	for _, d := range fab.Droppers {
 		dropped += d.DroppedHigh
 	}
+	//ffvet:ok summing counters is order-independent
 	for _, o := range fab.Obfuscators {
 		fabricated += o.Fabricated
 	}

@@ -115,6 +115,7 @@ func Figure1dScale() *Result {
 	after := norm.MeanBetween(45*time.Second, 60*time.Second)
 
 	var dropped uint64
+	//ffvet:ok summing counters is order-independent
 	for _, d := range fab.Droppers {
 		dropped += d.DroppedHigh
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fastflex/internal/dataplane"
+	"fastflex/internal/eventsim"
 	"fastflex/internal/packet"
 	"fastflex/internal/topo"
 )
@@ -151,8 +152,10 @@ func (c *Controller) expire(now time.Duration) {
 	if c.cfg.SoftTTL <= 0 {
 		return
 	}
-	for m, at := range c.activatedAt {
-		if now-at > c.cfg.SoftTTL {
+	// Sorted so that OnChange observers see expirations in mode order, not
+	// map order, when several leases lapse on the same tick.
+	for _, m := range eventsim.SortedKeys(c.activatedAt) {
+		if at := c.activatedAt[m]; now-at > c.cfg.SoftTTL {
 			delete(c.activatedAt, m)
 			c.setMode(m, false)
 			c.Expired++
@@ -292,7 +295,10 @@ func (c *Controller) RegisterMetric(id uint8, fn func() uint32) {
 }
 
 func (c *Controller) broadcastSync(ctx *dataplane.Context) {
-	for id, fn := range c.metrics {
+	// Sorted so sequence numbers and probe emission order are reproducible
+	// across runs regardless of metric registration history.
+	for _, id := range eventsim.SortedKeys(c.metrics) {
+		fn := c.metrics[id]
 		c.seq++
 		pr := &packet.Packet{
 			Src:   packet.RouterAddr(int(c.self)),
@@ -340,6 +346,7 @@ func (c *Controller) GlobalValue(id uint8, now time.Duration) uint64 {
 	if fn, ok := c.metrics[id]; ok {
 		total += uint64(fn())
 	}
+	//ffvet:ok summing samples is order-independent
 	for _, s := range c.view[id] {
 		if c.cfg.SyncStale == 0 || now-s.at <= c.cfg.SyncStale {
 			total += uint64(s.value)
@@ -352,6 +359,7 @@ func (c *Controller) GlobalValue(id uint8, now time.Duration) uint64 {
 // for the metric.
 func (c *Controller) PeerCount(id uint8, now time.Duration) int {
 	n := 0
+	//ffvet:ok counting fresh samples is order-independent
 	for _, s := range c.view[id] {
 		if c.cfg.SyncStale == 0 || now-s.at <= c.cfg.SyncStale {
 			n++

@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"fastflex/internal/eventsim"
 	"fastflex/internal/packet"
 	"fastflex/internal/topo"
 )
@@ -53,6 +54,7 @@ func (h *Host) RecvBytes(src packet.Addr) uint64 { return h.recvBytes[src] }
 // TotalRecvBytes returns all application bytes received.
 func (h *Host) TotalRecvBytes() uint64 {
 	var t uint64
+	//ffvet:ok summing byte counts is order-independent
 	for _, b := range h.recvBytes {
 		t += b
 	}
@@ -77,8 +79,10 @@ func (h *Host) receive(p *packet.Packet, in topo.LinkID) {
 	}
 	switch p.Proto {
 	case packet.ProtoICMP:
-		for _, fn := range h.icmpHandlers {
-			fn(p)
+		// Sorted so handlers with side effects fire in registration order,
+		// not map order.
+		for _, id := range eventsim.SortedKeys(h.icmpHandlers) {
+			h.icmpHandlers[id](p)
 		}
 	case packet.ProtoTCP:
 		if p.Flags&packet.FlagACK != 0 && p.PayloadLen == 0 {

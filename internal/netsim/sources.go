@@ -174,6 +174,7 @@ func (s *AIMDSource) Start() {
 // Stop halts transmission and cancels outstanding timers.
 func (s *AIMDSource) Stop() {
 	s.running = false
+	//ffvet:ok cancelling every pending timer is order-independent
 	for seq, ev := range s.inflight {
 		s.net.Eng.Cancel(ev)
 		delete(s.inflight, seq)

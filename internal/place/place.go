@@ -68,6 +68,7 @@ func Schedule(in Input) (*Placement, error) {
 		return nil, fmt.Errorf("place: nil graph or merged dataflow")
 	}
 	residual := make(map[topo.NodeID]dataplane.Resources, len(in.Budget))
+	//ffvet:ok copying a map is order-independent
 	for sw, b := range in.Budget {
 		residual[sw] = b
 	}
@@ -228,6 +229,7 @@ func splitByRole(m *ppm.Merged) (detection, mitigation, transport []int) {
 func detectionSwitches(p *Placement, m *ppm.Merged) []topo.NodeID {
 	seen := make(map[topo.NodeID]bool)
 	var out []topo.NodeID
+	//ffvet:ok result is de-duplicated and sorted before returning
 	for mi, sws := range p.ByModule {
 		if m.Modules[mi].Role != ppm.RoleDetection {
 			continue

@@ -1,0 +1,113 @@
+package place
+
+import (
+	"fmt"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/eventsim"
+	"fastflex/internal/topo"
+)
+
+// Verify checks that a placement honors the resource-admission invariant
+// of DESIGN.md §4 and is internally consistent. It is the offline
+// counterpart of Switch.Install's runtime admission: the scheduler's
+// output is proven sound before a single program is installed. ffvet and
+// core.New both run it.
+//
+// Checks: every placed module index is valid; ByModule and BySwitch agree;
+// every hosting switch appears in the input budget; per-switch usage plus
+// the reported residual equals the budget, with a non-negative residual;
+// and no module is both placed and listed as unplaced.
+func Verify(in Input, p *Placement) error {
+	if p == nil {
+		return fmt.Errorf("place: nil placement")
+	}
+	if in.Merged == nil {
+		return fmt.Errorf("place: nil merged dataflow in input")
+	}
+	n := len(in.Merged.Modules)
+
+	// instKey packs a (switch, module) pair into an ordered map key.
+	instKey := func(sw topo.NodeID, mi int) int64 { return int64(sw)<<32 | int64(mi) }
+
+	// ByModule ↔ BySwitch agreement, index validity, budget membership.
+	fromModules := make(map[int64]int) // (switch, module) → instance count
+	for _, mi := range eventsim.SortedKeys(p.ByModule) {
+		if mi < 0 || mi >= n {
+			return fmt.Errorf("place: ByModule references module %d outside [0,%d)", mi, n)
+		}
+		for _, sw := range p.ByModule[mi] {
+			if _, ok := in.Budget[sw]; !ok {
+				return fmt.Errorf("place: module %d placed on switch %d, which has no budget", mi, sw)
+			}
+			fromModules[instKey(sw, mi)]++
+		}
+	}
+	fromSwitches := make(map[int64]int)
+	for _, sw := range eventsim.SortedKeys(p.BySwitch) {
+		for _, mi := range p.BySwitch[sw] {
+			if mi < 0 || mi >= n {
+				return fmt.Errorf("place: BySwitch references module %d outside [0,%d)", mi, n)
+			}
+			fromSwitches[instKey(sw, mi)]++
+		}
+	}
+	for _, k := range eventsim.SortedKeys(fromModules) {
+		if fromModules[k] != fromSwitches[k] {
+			return fmt.Errorf("place: switch %d / module %d: ByModule lists %d instances, BySwitch %d",
+				k>>32, k&0xFFFFFFFF, fromModules[k], fromSwitches[k])
+		}
+	}
+	for _, k := range eventsim.SortedKeys(fromSwitches) {
+		if fromModules[k] != fromSwitches[k] {
+			return fmt.Errorf("place: switch %d / module %d: ByModule lists %d instances, BySwitch %d",
+				k>>32, k&0xFFFFFFFF, fromModules[k], fromSwitches[k])
+		}
+	}
+
+	// Resource admission: used + residual == budget, residual ≥ 0.
+	for _, sw := range eventsim.SortedKeys(in.Budget) {
+		var used dataplane.Resources
+		for _, mi := range p.BySwitch[sw] {
+			used = used.Add(in.Merged.Modules[mi].Spec.Res)
+		}
+		res, ok := p.Residual[sw]
+		if !ok {
+			return fmt.Errorf("place: switch %d has a budget but no residual entry", sw)
+		}
+		if res.Stages < 0 || res.TCAM < 0 || res.ALUs < 0 || res.SRAMKB < -sramTolKB {
+			return fmt.Errorf("place: switch %d over-packed: residual %v is negative", sw, res)
+		}
+		if want := in.Budget[sw].Sub(used); !resourcesClose(res, want) {
+			return fmt.Errorf("place: switch %d residual %v does not equal budget−used %v", sw, res, want)
+		}
+		b := in.Budget[sw]
+		if used.Stages > b.Stages || used.TCAM > b.TCAM || used.ALUs > b.ALUs ||
+			used.SRAMKB > b.SRAMKB+sramTolKB {
+			return fmt.Errorf("place: switch %d usage %v exceeds budget %v", sw, used, b)
+		}
+	}
+
+	// Unplaced really means unplaced.
+	for _, mi := range p.Unplaced {
+		if mi < 0 || mi >= n {
+			return fmt.Errorf("place: Unplaced references module %d outside [0,%d)", mi, n)
+		}
+		if len(p.ByModule[mi]) > 0 {
+			return fmt.Errorf("place: module %d is listed unplaced but has %d instances", mi, len(p.ByModule[mi]))
+		}
+	}
+	return nil
+}
+
+// sramTolKB absorbs float-accumulation differences between the
+// scheduler's running subtraction and the verifier's sum-then-subtract.
+const sramTolKB = 1e-6
+
+func resourcesClose(a, b dataplane.Resources) bool {
+	d := a.SRAMKB - b.SRAMKB
+	if d < 0 {
+		d = -d
+	}
+	return a.Stages == b.Stages && a.TCAM == b.TCAM && a.ALUs == b.ALUs && d <= sramTolKB
+}

@@ -1,0 +1,292 @@
+package ppm
+
+import (
+	"fmt"
+	"sort"
+
+	"fastflex/internal/dataplane"
+)
+
+// This file is the domain half of ffvet (see internal/analysis): an
+// offline verifier for booster blueprints and the booster catalog, in the
+// spirit of the paper's netdiff-style equivalence oracle (§3.1) — program
+// properties are checked before anything is installed on a switch.
+
+// Issue is one offline-verification finding.
+type Issue struct {
+	// Booster names the blueprint (or "catalog" for cross-blueprint
+	// findings).
+	Booster string
+	Msg     string
+}
+
+func (i Issue) String() string { return i.Booster + ": " + i.Msg }
+
+// Lint verifies booster blueprints offline against the registered switch
+// profiles. It checks, per graph: structural validity (Validate),
+// dataflow-graph acyclicity, and that every module's resource vector fits
+// within every profile's <Θ1..Θk> budget — a module that cannot fit the
+// smallest deployed switch class can never be placed pervasively. Across
+// the catalog it audits equivalence signatures: same-signature specs must
+// agree structurally (no hash collisions), on shareability, and roughly
+// on footprint (a shared instance keeps the component-wise max, so wildly
+// unequal footprints indicate modules that are not actually the same
+// function).
+func Lint(graphs []*Graph, profiles map[string]dataplane.Resources) []Issue {
+	var issues []Issue
+	profNames := make([]string, 0, len(profiles))
+	for n := range profiles {
+		profNames = append(profNames, n)
+	}
+	sort.Strings(profNames)
+
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			issues = append(issues, Issue{Booster: g.Booster, Msg: err.Error()})
+			continue
+		}
+		if cyc := findCycle(g); cyc != nil {
+			issues = append(issues, Issue{
+				Booster: g.Booster,
+				Msg:     "dataflow graph has a cycle: " + cycleString(g, cyc),
+			})
+		}
+		for _, m := range g.Modules {
+			for _, pn := range profNames {
+				if !profiles[pn].Fits(m.Spec.Res) {
+					issues = append(issues, Issue{
+						Booster: g.Booster,
+						Msg: fmt.Sprintf("module %q needs %v, exceeding switch profile %q budget %v",
+							m.Name, m.Spec.Res, pn, profiles[pn]),
+					})
+				}
+			}
+		}
+	}
+
+	issues = append(issues, auditSignatures(graphs)...)
+	return issues
+}
+
+// findCycle returns the module indices of one dataflow cycle, or nil.
+func findCycle(g *Graph) []int {
+	adj := make([][]int, len(g.Modules))
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	const (
+		unseen = iota
+		active
+		done
+	)
+	state := make([]int, len(g.Modules))
+	var stack []int
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		state[v] = active
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			switch state[w] {
+			case active:
+				for i, s := range stack {
+					if s == w {
+						cycle = append([]int(nil), stack[i:]...)
+						return true
+					}
+				}
+			case unseen:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[v] = done
+		return false
+	}
+	for v := range g.Modules {
+		if state[v] == unseen && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+func cycleString(g *Graph, cyc []int) string {
+	s := ""
+	for _, v := range cyc {
+		s += g.Modules[v].Name + " → "
+	}
+	return s + g.Modules[cyc[0]].Name
+}
+
+// footprintSkew is the maximum tolerated ratio between any two resource
+// components of same-signature specs. Shared instances keep the
+// component-wise max, so a larger skew silently inflates every co-owner.
+const footprintSkew = 4.0
+
+// auditSignatures cross-checks every pair of same-signature specs in the
+// catalog.
+func auditSignatures(graphs []*Graph) []Issue {
+	var refs []SpecRef
+	for _, g := range graphs {
+		for _, m := range g.Modules {
+			refs = append(refs, SpecRef{Owner: g.Booster + "/" + m.Name, Spec: m.Spec})
+		}
+	}
+	return AuditSpecs(refs)
+}
+
+// SpecRef is a spec plus where it came from, for audit messages.
+type SpecRef struct {
+	Owner string
+	Spec  Spec
+}
+
+// AuditSpecs cross-checks every pair of same-signature specs: structural
+// hash collisions, inconsistent shareability annotations, and footprint
+// skew between supposedly equivalent modules. ffvet's AST pass feeds it
+// specs it folds out of source literals; Lint feeds it whole blueprints.
+func AuditSpecs(refs []SpecRef) []Issue {
+	var issues []Issue
+	bySig := make(map[uint64][]SpecRef)
+	var sigs []uint64
+	for _, r := range refs {
+		sig := r.Spec.Signature()
+		if len(bySig[sig]) == 0 {
+			sigs = append(sigs, sig)
+		}
+		bySig[sig] = append(bySig[sig], r)
+	}
+	for _, sig := range sigs {
+		group := bySig[sig]
+		for i := 1; i < len(group); i++ {
+			a, b := group[0], group[i]
+			if a.Spec.Kind != b.Spec.Kind || !paramsEqual(a.Spec.Params, b.Spec.Params) {
+				issues = append(issues, Issue{
+					Booster: "catalog",
+					Msg: fmt.Sprintf("signature collision: %s and %s hash equal (%#x) but are structurally different — sharing would merge distinct functions",
+						a.Owner, b.Owner, sig),
+				})
+				continue
+			}
+			if a.Spec.Shareable != b.Spec.Shareable {
+				issues = append(issues, Issue{
+					Booster: "catalog",
+					Msg: fmt.Sprintf("inconsistent shareability: %s and %s are equivalent but only one is marked Shareable — the merger will keep both instances",
+						a.Owner, b.Owner),
+				})
+			}
+			if skewed(a.Spec.Res, b.Spec.Res) {
+				issues = append(issues, Issue{
+					Booster: "catalog",
+					Msg: fmt.Sprintf("footprint skew: equivalent modules %s (%v) and %s (%v) differ by more than %.0f× — are they really the same function?",
+						a.Owner, a.Spec.Res, b.Owner, b.Spec.Res, footprintSkew),
+				})
+			}
+		}
+	}
+	return issues
+}
+
+func paramsEqual(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func skewed(a, b dataplane.Resources) bool {
+	ratio := func(x, y float64) bool {
+		if x < y {
+			x, y = y, x
+		}
+		return y > 0 && x/y > footprintSkew || y == 0 && x > 0
+	}
+	return ratio(float64(a.Stages), float64(b.Stages)) ||
+		ratio(a.SRAMKB, b.SRAMKB) ||
+		ratio(float64(a.TCAM), float64(b.TCAM)) ||
+		ratio(float64(a.ALUs), float64(b.ALUs))
+}
+
+// CatalogEntry declares how one booster is deployed: the pipeline
+// priority it installs at, the defense modes that gate it, and the
+// register arrays it writes. core.Catalog is the live table; ffvet's
+// mode-conflict analyzer audits any such table it finds.
+type CatalogEntry struct {
+	// Booster is the blueprint name ("dropper").
+	Booster string
+	// Lead is the merged-graph module whose placement decides where the
+	// booster runs ("dropper/verdict").
+	Lead string
+	// Priority is the pipeline priority the booster installs at. Distinct
+	// priorities are ordering edges: they fix the order in which co-active
+	// programs touch shared state.
+	Priority int
+	// Modes lists the defense modes gating the booster; empty means
+	// always-on (gated on the default mode).
+	Modes []dataplane.ModeID
+	// Writes names the register arrays the booster writes.
+	Writes []string
+}
+
+// ModeConflicts audits a booster catalog for write-write conflicts: two
+// entries whose modes can be co-active in one mode set (any two modes
+// can — a switch holds a set, §2) writing the same register array without
+// an ordering edge between them, i.e. at the same pipeline priority. The
+// result of such a pair depends on installation order, not on the
+// declared pipeline — a silent nondeterminism the paper's multimode
+// semantics forbid.
+func ModeConflicts(entries []CatalogEntry) []Issue {
+	var issues []Issue
+	for _, pair := range ConflictPairs(entries) {
+		a, b := entries[pair[0]], entries[pair[1]]
+		issues = append(issues, Issue{
+			Booster: "catalog",
+			Msg: fmt.Sprintf("mode conflict: %q (modes %v) and %q (modes %v) both write %v at priority %d with no ordering edge",
+				a.Booster, a.Modes, b.Booster, b.Modes, sharedWrites(a.Writes, b.Writes), a.Priority),
+		})
+	}
+	return issues
+}
+
+// ConflictPairs returns the index pairs of catalog entries that conflict:
+// same written register array, same pipeline priority. ffvet's AST pass
+// uses the indices to report at the offending source literals.
+func ConflictPairs(entries []CatalogEntry) [][2]int {
+	var pairs [][2]int
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			a, b := entries[i], entries[j]
+			if a.Priority != b.Priority {
+				continue // ordering edge: the pipeline fixes who writes first
+			}
+			if len(sharedWrites(a.Writes, b.Writes)) == 0 {
+				continue
+			}
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}
+
+func sharedWrites(a, b []string) []string {
+	in := make(map[string]bool, len(a))
+	for _, w := range a {
+		in[w] = true
+	}
+	var out []string
+	for _, w := range b {
+		if in[w] {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -145,6 +145,7 @@ func (r *Reassembler) recover() {
 	if !r.cfg.Parity {
 		return
 	}
+	//ffvet:ok groups recover disjoint chunk ranges; order-independent
 	for g, par := range r.parity {
 		lo := int(g) * r.cfg.GroupSize
 		hi := lo + r.cfg.GroupSize
