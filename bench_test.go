@@ -12,7 +12,11 @@ import (
 	"testing"
 	"time"
 
+	"fastflex/internal/eventsim"
 	"fastflex/internal/experiment"
+	"fastflex/internal/netsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
 )
 
 // benchDuration keeps the per-iteration simulations tractable; the shapes
@@ -21,16 +25,21 @@ const benchDuration = 60 * time.Second
 
 func fig3(b *testing.B, d experiment.Defense, mutate func(*experiment.Figure3Config)) {
 	b.ReportAllocs()
+	var last *experiment.Figure3Result
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.Figure3Config{Defense: d, Duration: benchDuration}
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		r := experiment.Figure3(cfg)
-		b.ReportMetric(r.AttackMean, "attack-mean")
-		b.ReportMetric(r.FractionDegraded, "degraded-frac")
-		b.ReportMetric(float64(r.Rolls), "rolls")
+		last = experiment.Figure3(cfg)
 	}
+	// Custom metrics are per-benchmark values, not per-iteration samples:
+	// report once after the loop (same-seed runs are identical anyway, and
+	// calling ReportMetric inside the loop would just overwrite b.N times
+	// while bloating the timed region).
+	b.ReportMetric(last.AttackMean, "attack-mean")
+	b.ReportMetric(last.FractionDegraded, "degraded-frac")
+	b.ReportMetric(float64(last.Rolls), "rolls")
 }
 
 // BenchmarkFigure3FastFlex regenerates the FastFlex arm of Figure 3.
@@ -46,10 +55,12 @@ func BenchmarkFigure3Undefended(b *testing.B) { fig3(b, experiment.DefenseNone, 
 // BenchmarkTable1Analyzer regenerates the Figure-1(a) module resource table.
 func BenchmarkTable1Analyzer(b *testing.B) {
 	b.ReportAllocs()
+	var rows int
 	for i := 0; i < b.N; i++ {
 		r := experiment.Table1Analyzer()
-		b.ReportMetric(float64(len(r.Table.Rows)), "modules")
+		rows = len(r.Table.Rows)
 	}
+	b.ReportMetric(float64(rows), "modules")
 }
 
 // BenchmarkFigure1Merge regenerates the Figure-1(b) merged dataflow graph.
@@ -120,7 +131,7 @@ func BenchmarkAblationRepurpose(b *testing.B) {
 func BenchmarkAblationFEC(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		experiment.AblationFEC()
+		experiment.AblationFEC(42)
 	}
 }
 
@@ -129,7 +140,7 @@ func BenchmarkAblationFEC(b *testing.B) {
 func BenchmarkAblationPinning(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		experiment.AblationPinning()
+		experiment.AblationPinning(1)
 	}
 }
 
@@ -138,6 +149,64 @@ func BenchmarkAblationPinning(b *testing.B) {
 func BenchmarkAblationStability(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		experiment.AblationStability()
+		experiment.AblationStability(1)
+	}
+}
+
+// BenchmarkEventsimStep measures the simulator's innermost loop — schedule
+// one event, pop and fire it — which the concrete-typed heap and the Event
+// free list keep allocation-free (0 allocs/op is asserted by
+// eventsim's TestScheduleSteadyStateZeroAlloc).
+func BenchmarkEventsimStep(b *testing.B) {
+	eng := eventsim.New(1)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		eng.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	for eng.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(time.Microsecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkLinkEnqueue measures one full packet lifetime on the netsim hot
+// path: pooled allocation, host send, link FIFO, transmission, pipeline
+// traversal at two switches, delivery, recycling. Zero steady-state
+// allocations are asserted by netsim's TestForwardSteadyStateZeroAlloc.
+func BenchmarkLinkEnqueue(b *testing.B) {
+	g := topo.NewFigure2()
+	users := g.AttachUsers(1)
+	servers := g.AttachServers(1)
+	n := netsim.New(g.G, netsim.DefaultConfig())
+	for _, sw := range g.G.Switches() {
+		r := n.Router(sw)
+		for _, h := range g.G.Hosts() {
+			if p, ok := g.G.ShortestPath(sw, h, nil); ok {
+				r.SetRoute(packet.HostAddr(int(h)), p.Links[0])
+			}
+		}
+	}
+	dst := packet.HostAddr(int(servers[0]))
+	send := func() {
+		p := n.NewPacket()
+		p.Src, p.Dst, p.TTL = packet.HostAddr(int(users[0])), dst, 64
+		p.Proto, p.SrcPort, p.DstPort = packet.ProtoUDP, 1, 2
+		p.PayloadLen = 100
+		n.SendFromHost(users[0], p)
+	}
+	// Warm the pools and rings before timing.
+	for i := 0; i < 64; i++ {
+		send()
+		n.Run(n.Now() + 10*time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+		n.Run(n.Now() + 10*time.Millisecond)
 	}
 }

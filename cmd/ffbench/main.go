@@ -1,77 +1,199 @@
 // Command ffbench regenerates every table and figure from the paper plus
 // the ablations in DESIGN.md, printing each result as text (and optionally
-// CSV). This is the harness behind EXPERIMENTS.md.
+// CSV). This is the harness behind EXPERIMENTS.md and the CI benchmark
+// smoke job.
+//
+// Runs fan out across a worker pool (experiment.Runner); each run is an
+// independent seed-deterministic simulation, and results print in registry
+// order with wall times confined to the JSON report, so serial and
+// parallel invocations emit byte-identical text.
 //
 // Usage:
 //
-//	ffbench                  # run everything (the full Figure 3 takes ~1min)
-//	ffbench -run fig3        # one experiment by id
-//	ffbench -list            # list experiment ids
-//	ffbench -csv             # also emit CSV blocks
+//	ffbench                     # run everything (the full Figure 3 takes ~1min)
+//	ffbench -run fig3           # one experiment by id
+//	ffbench -list               # list experiment ids
+//	ffbench -csv                # also emit CSV blocks
+//	ffbench -parallel 4         # worker-pool size (default: all CPUs)
+//	ffbench -seeds 5            # run seeded experiments over seeds 1..5
+//	ffbench -json               # write BENCH_ffbench.json
+//	ffbench -short              # cut-down horizons (CI smoke)
+//	ffbench -check              # exit 1 if shape checks fail
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"fastflex/internal/experiment"
 )
 
-type entry struct {
-	id   string
-	desc string
-	run  func() *experiment.Result
+// report is the BENCH_ffbench.json schema.
+type report struct {
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Workers     int                `json:"workers"`
+	Seeds       []int64            `json:"seeds"`
+	Short       bool               `json:"short"`
+	TotalWallMS float64            `json:"total_wall_ms"`
+	Experiments []experimentReport `json:"experiments"`
+	ShapeErrors []string           `json:"shape_errors"`
 }
 
-func registry() []entry {
-	return []entry{
-		{"table1", "Figure 1(a): analyzer module resource table", experiment.Table1Analyzer},
-		{"fig1merge", "Figure 1(b): merged dataflow graph with sharing", experiment.Figure1Merge},
-		{"fig1place", "Figure 1(c): placement onto topologies", experiment.Figure1Place},
-		{"fig2", "Figure 2: multimode progression", experiment.Figure2Modes},
-		{"fig1d", "Figure 1(d): dynamic scaling at runtime", experiment.Figure1dScale},
-		{"fig3", "Figure 3: FastFlex vs baseline under rolling LFA", func() *experiment.Result {
-			return experiment.Figure3Compare(experiment.Figure3Config{})
-		}},
-		{"a1", "A1: mode-change latency vs diameter", experiment.AblationModeLatency},
-		{"a2", "A2: PPM sharing", experiment.AblationSharing},
-		{"a3", "A3: placement policies", experiment.AblationPlacement},
-		{"a4", "A4: repurposing disruption vs fast reroute", experiment.AblationRepurpose},
-		{"a5", "A5: FEC for state transfer", experiment.AblationFEC},
-		{"a6", "A6: pinning normal flows", experiment.AblationPinning},
-		{"a7", "A7: stability under pulsing attacks", experiment.AblationStability},
-	}
+type experimentReport struct {
+	ID      string                `json:"id"`
+	Desc    string                `json:"desc"`
+	Runs    []runReport           `json:"runs"`
+	Metrics map[string]metricJSON `json:"metrics"`
+}
+
+type runReport struct {
+	Seed    int64   `json:"seed"`
+	WallMS  float64 `json:"wall_ms"`
+	AllocMB float64 `json:"alloc_mb"`
+	Error   string  `json:"error,omitempty"`
+}
+
+type metricJSON struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	N      int     `json:"n"`
 }
 
 func main() {
 	runID := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csv := flag.Bool("csv", false, "also print CSV blocks")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool size for independent runs")
+	seeds := flag.Int("seeds", 1, "number of seeds (1..N) for seeded experiments")
+	jsonOut := flag.Bool("json", false, "write BENCH_ffbench.json")
+	short := flag.Bool("short", false, "run cut-down experiment variants (CI smoke)")
+	check := flag.Bool("check", false, "exit 1 if the result shape checks fail")
 	flag.Parse()
 
-	entries := registry()
+	defs := experiment.Registry()
 	if *list {
-		for _, e := range entries {
-			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		for _, d := range defs {
+			fmt.Printf("%-10s %s\n", d.ID, d.Desc)
 		}
 		return
 	}
-	ran := 0
-	for _, e := range entries {
-		if *runID != "" && !strings.EqualFold(*runID, e.id) {
-			continue
+	if *runID != "" {
+		var picked []experiment.Def
+		for _, d := range defs {
+			if strings.EqualFold(*runID, d.ID) {
+				picked = append(picked, d)
+			}
 		}
-		ran++
-		res := e.run()
-		fmt.Println(res.String())
-		if *csv && res.Table != nil {
-			fmt.Println(res.Table.CSV())
+		if len(picked) == 0 {
+			fmt.Fprintf(os.Stderr, "ffbench: unknown experiment %q (try -list)\n", *runID)
+			os.Exit(2)
+		}
+		defs = picked
+	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+
+	specs := experiment.Specs(defs, seedList, *short)
+	start := time.Now()
+	results := (&experiment.Runner{Workers: *parallel}).Run(specs)
+	totalWall := time.Since(start)
+	agg := experiment.Aggregate(results)
+
+	// Render in registry order: the first seed's full Result, then the
+	// cross-seed metric aggregates. Nothing here depends on worker count
+	// or scheduling, so the text output is byte-identical for any
+	// -parallel value.
+	failed := false
+	for _, d := range defs {
+		for _, rr := range results {
+			if rr.ID != d.ID {
+				continue
+			}
+			if rr.Err != nil {
+				failed = true
+				fmt.Fprintf(os.Stderr, "ffbench: %v\n", rr.Err)
+				continue
+			}
+			if rr.Seed == seedList[0] {
+				fmt.Println(rr.Result.String())
+				if *csv && rr.Result.Table != nil {
+					fmt.Println(rr.Result.Table.CSV())
+				}
+			}
+		}
+		if m := agg[d.ID]; *seeds > 1 && d.Seeded && len(m) > 0 {
+			fmt.Printf("-- %s over %d seeds --\n", d.ID, *seeds)
+			for _, name := range experiment.MetricNames(m) {
+				fmt.Printf("  %-28s %s\n", name, m[name])
+			}
+			fmt.Println()
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "ffbench: unknown experiment %q (try -list)\n", *runID)
-		os.Exit(2)
+
+	shapeErrs := experiment.ShapeChecks(agg)
+	for _, e := range shapeErrs {
+		fmt.Fprintf(os.Stderr, "ffbench: shape check failed: %s\n", e)
 	}
+
+	if *jsonOut {
+		if err := writeReport(defs, seedList, *parallel, *short, totalWall, results, agg, shapeErrs); err != nil {
+			fmt.Fprintf(os.Stderr, "ffbench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed || (*check && len(shapeErrs) > 0) {
+		os.Exit(1)
+	}
+}
+
+func writeReport(defs []experiment.Def, seeds []int64, workers int, short bool,
+	totalWall time.Duration, results []experiment.RunResult,
+	agg map[string]map[string]experiment.Agg, shapeErrs []string) error {
+	rep := report{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Seeds:       seeds,
+		Short:       short,
+		TotalWallMS: float64(totalWall.Microseconds()) / 1e3,
+		ShapeErrors: shapeErrs,
+	}
+	if rep.ShapeErrors == nil {
+		rep.ShapeErrors = []string{}
+	}
+	for _, d := range defs {
+		er := experimentReport{ID: d.ID, Desc: d.Desc, Metrics: map[string]metricJSON{}}
+		for _, rr := range results {
+			if rr.ID != d.ID {
+				continue
+			}
+			run := runReport{
+				Seed:    rr.Seed,
+				WallMS:  float64(rr.Wall.Microseconds()) / 1e3,
+				AllocMB: float64(rr.AllocBytes) / (1 << 20),
+			}
+			if rr.Err != nil {
+				run.Error = rr.Err.Error()
+			}
+			er.Runs = append(er.Runs, run)
+		}
+		for name, a := range agg[d.ID] {
+			er.Metrics[name] = metricJSON{Mean: a.Mean, Stddev: a.Stddev, N: a.N}
+		}
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_ffbench.json", append(buf, '\n'), 0o644)
 }

@@ -105,6 +105,16 @@ func TestDeterminismFixtures(t *testing.T) {
 	checkFixture(t, "fastflex/internal/netsim", "det_ok.go", Determinism)
 }
 
+// TestDeterminismBoundaryFixtures pins the analyzer's knowledge of the
+// concurrency boundary: the runner layer (internal/experiment) may spawn
+// goroutines and read the wall clock but not use ambient randomness or
+// leak map order; the serial substrate (internal/dataplane et al.) gets
+// only the goroutine ban.
+func TestDeterminismBoundaryFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/experiment", "det_runner.go", Determinism)
+	checkFixture(t, "fastflex/internal/dataplane", "det_serial.go", Determinism)
+}
+
 func TestDeterminismBareWaiver(t *testing.T) {
 	diags := runFixture(t, "fastflex/internal/netsim", "det_bare.go", Determinism)
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {

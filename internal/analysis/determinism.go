@@ -7,18 +7,48 @@ import (
 	"strings"
 )
 
+// The determinism analyzer knows the repository's concurrency boundary
+// (DESIGN.md, "Concurrency boundary — parallel runs, serial simulations"):
+// everything at or below the simulation is strictly single-threaded and
+// seed-deterministic, while the experiment runner above it may fan
+// independent runs across goroutines and read the wall clock to time them.
+
 // simPackages are the packages whose code runs inside the discrete-event
 // simulation. DESIGN.md §4 requires these to be bit-identical across
 // same-seed runs, so wall clocks, ambient randomness, goroutines, and
 // order-leaking map iteration are all banned here.
 var simPackages = map[string]bool{
-	"internal/netsim":     true,
-	"internal/mode":       true,
-	"internal/core":       true,
-	"internal/state":      true,
-	"internal/booster":    true,
-	"internal/place":      true,
-	"internal/control":    true,
+	"internal/netsim":  true,
+	"internal/mode":    true,
+	"internal/core":    true,
+	"internal/state":   true,
+	"internal/booster": true,
+	"internal/place":   true,
+	"internal/control": true,
+}
+
+// serialPackages are the substrate packages beneath the simulation layer
+// (and in-simulation leaf packages) that are deterministic by construction
+// — pure data and functions of injected inputs — so they only need the
+// goroutine ban: a goroutine anywhere below the runner boundary would let
+// the Go scheduler order events.
+var serialPackages = map[string]bool{
+	"internal/eventsim":  true,
+	"internal/dataplane": true,
+	"internal/packet":    true,
+	"internal/sketch":    true,
+	"internal/topo":      true,
+	"internal/attack":    true,
+	"internal/metrics":   true,
+	"internal/ppm":       true,
+}
+
+// runnerPackages sit *above* the boundary: the experiment harness that
+// fans out independent simulations across a worker pool. Goroutines and
+// time.Now (wall-clock timing of real work) are allowed; ambient
+// randomness and order-leaking map iteration are still banned, because
+// per-seed results must stay byte-identical whatever the worker count.
+var runnerPackages = map[string]bool{
 	"internal/experiment": true,
 }
 
@@ -26,16 +56,39 @@ var simPackages = map[string]bool{
 // the deterministic engine all model randomness must flow from.
 const rngPackage = "internal/eventsim"
 
-// Determinism flags, in simulation packages: time.Now, calls to global
-// math/rand top-level functions, rand.New/rand.NewSource outside
-// internal/eventsim, goroutine launches, and range over a map — unless the
-// range statement carries an //ffvet:ok waiver or only feeds a sort.
+// rules is the per-package determinism rule set, derived from which side
+// of the concurrency boundary the package is on.
+type rules struct {
+	banGo       bool // no goroutine launches
+	banWall     bool // no time.Now
+	banRand     bool // no global math/rand top-level calls
+	banMapRange bool // no un-waived range over a map
+	allowRNG    bool // may construct rand sources (eventsim only)
+}
+
+func rulesFor(rel string) rules {
+	switch {
+	case simPackages[rel]:
+		return rules{banGo: true, banWall: true, banRand: true, banMapRange: true}
+	case runnerPackages[rel]:
+		return rules{banRand: true, banMapRange: true}
+	case serialPackages[rel]:
+		return rules{banGo: true, allowRNG: rel == rngPackage}
+	}
+	return rules{}
+}
+
+// Determinism flags, by layer: time.Now, calls to global math/rand
+// top-level functions, goroutine launches, and range over a map — unless
+// the range statement carries an //ffvet:ok waiver or only feeds a sort —
+// in simulation packages; goroutine launches in the serial substrate;
+// ambient randomness and map iteration (but not goroutines or time.Now)
+// in the runner layer. rand.New/rand.NewSource are banned everywhere
+// outside internal/eventsim.
 func Determinism(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		rel := modRelPath(pkg)
-		sim := simPackages[rel]
-		allowRNG := rel == rngPackage
+		r := rulesFor(modRelPath(pkg))
 		for _, file := range pkg.Files {
 			dirs := directives(fset, file, &diags)
 			for _, decl := range file.Decls {
@@ -43,7 +96,7 @@ func Determinism(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 				if !ok || fn.Body == nil {
 					continue
 				}
-				checkFunc(fset, pkg, fn, sim, allowRNG, dirs, &diags)
+				checkFunc(fset, pkg, fn, r, dirs, &diags)
 			}
 		}
 	}
@@ -61,22 +114,22 @@ func modRelPath(pkg *Package) string {
 	return p
 }
 
-func checkFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, sim, allowRNG bool,
+func checkFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, r rules,
 	dirs map[int]string, diags *[]Diagnostic) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
-			checkCall(fset, pkg, node, sim, allowRNG, diags)
+			checkCall(fset, pkg, node, r, diags)
 		case *ast.GoStmt:
-			if sim {
+			if r.banGo {
 				*diags = append(*diags, Diagnostic{
 					Pos:      fset.Position(node.Pos()),
 					Analyzer: "determinism",
-					Message:  "goroutine launch in a simulation package: event ordering must come from eventsim, not the Go scheduler",
+					Message:  "goroutine launch below the concurrency boundary: event ordering must come from eventsim, not the Go scheduler (only experiment.Runner may spawn goroutines)",
 				})
 			}
 		case *ast.RangeStmt:
-			if sim {
+			if r.banMapRange {
 				checkMapRange(fset, pkg, fn, node, dirs, diags)
 			}
 		}
@@ -84,11 +137,11 @@ func checkFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, sim, allowRN
 	})
 }
 
-// checkCall flags wall-clock and ambient-randomness calls. These are
-// banned in every simulation package; rand.New/NewSource are banned
-// everywhere outside internal/eventsim, since a private source breaks the
-// single-RNG invariant even when seeded.
-func checkCall(fset *token.FileSet, pkg *Package, call *ast.CallExpr, sim, allowRNG bool, diags *[]Diagnostic) {
+// checkCall flags wall-clock and ambient-randomness calls per the
+// package's rule set; rand.New/NewSource are banned everywhere outside
+// internal/eventsim, since a private source breaks the single-RNG
+// invariant even when seeded.
+func checkCall(fset *token.FileSet, pkg *Package, call *ast.CallExpr, r rules, diags *[]Diagnostic) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -108,11 +161,11 @@ func checkCall(fset *token.FileSet, pkg *Package, call *ast.CallExpr, sim, allow
 	}
 	switch pn.Imported().Path() {
 	case "time":
-		if sim && sel.Sel.Name == "Now" {
+		if r.banWall && sel.Sel.Name == "Now" {
 			report("time.Now in a simulation package: use the eventsim virtual clock")
 		}
 	case "math/rand", "math/rand/v2":
-		if allowRNG {
+		if r.allowRNG {
 			return
 		}
 		switch sel.Sel.Name {
@@ -120,9 +173,9 @@ func checkCall(fset *token.FileSet, pkg *Package, call *ast.CallExpr, sim, allow
 			report("private " + pn.Imported().Path() + "." + sel.Sel.Name +
 				" outside internal/eventsim: all randomness must flow from eventsim.RNG")
 		default:
-			if sim {
+			if r.banRand {
 				report("global " + pn.Imported().Path() + "." + sel.Sel.Name +
-					" in a simulation package: all randomness must flow from eventsim.RNG")
+					" below or at the concurrency boundary: all randomness must flow from eventsim.RNG")
 			}
 		}
 	}

@@ -19,11 +19,11 @@ func privateRNG() float64 {
 }
 
 func globalRNG() float64 {
-	return rand.Float64() // want determinism "global math/rand.Float64 in a simulation package"
+	return rand.Float64() // want determinism "global math/rand.Float64 below or at the concurrency boundary"
 }
 
 func spawn(done chan struct{}) {
-	go close(done) // want determinism "goroutine launch in a simulation package"
+	go close(done) // want determinism "goroutine launch below the concurrency boundary"
 }
 
 func leakOrder(counts map[string]int) []string {

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Runner-layer determinism fixture: checked as if it were part of
+// fastflex/internal/experiment, the one internal package *above* the
+// concurrency boundary. Goroutine launches and time.Now are legal here —
+// the Runner fans out independent simulations and times real work — but
+// ambient randomness and order-leaking map iteration are still banned,
+// because per-seed results must not depend on worker count.
+
+func fanOut(jobs []func()) time.Duration {
+	start := time.Now() // allowed: wall-clock timing of real work
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func() { // allowed: concurrency across independent runs
+			defer wg.Done()
+			jobs[i]()
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func pickSeed() int64 {
+	return rand.Int63() // want determinism "global math/rand.Int63 below or at the concurrency boundary"
+}
+
+func shuffleWork(seeds map[string]int64) []int64 {
+	src := rand.NewSource(1) // want determinism "math/rand.NewSource outside internal/eventsim"
+	_ = src
+	var out []int64
+	for _, s := range seeds { // want determinism "map iteration in a simulation package"
+		out = append(out, s)
+	}
+	return out
+}

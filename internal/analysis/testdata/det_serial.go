@@ -1,0 +1,22 @@
+package dataplane
+
+// Serial-substrate determinism fixture: checked as if it were part of
+// fastflex/internal/dataplane, a package below the concurrency boundary
+// that is deterministic by construction (pure functions of injected
+// inputs). The only rule that applies is the goroutine ban: a goroutine
+// anywhere below experiment.Runner hands event ordering to the Go
+// scheduler.
+
+func fineHelpers(counts map[string]int) int {
+	// Map iteration is not flagged in substrate packages (their outputs
+	// are order-independent aggregates by construction).
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+func spawnPipeline(done chan struct{}) {
+	go close(done) // want determinism "goroutine launch below the concurrency boundary"
+}

@@ -1,9 +1,3 @@
-// Package dataplane models a programmable switch as FastFlex sees one: a
-// pipeline of packet-processing modules (PPMs) installed under explicit
-// per-switch resource budgets, gated by a set of currently active defense
-// modes. This is the "multimode data plane" abstraction at the heart of the
-// paper: programs are installed by the (slow, centralized) scheduler, but
-// modes flip on and off entirely in the data plane via probe packets.
 package dataplane
 
 import (
@@ -123,6 +117,18 @@ func (c *Context) Emit(p *packet.Packet, via topo.LinkID) {
 
 // Emissions returns the packets emitted during this pipeline pass.
 func (c *Context) Emissions() []Emission { return c.emissions }
+
+// Reset clears the context for reuse, keeping the emissions backing array
+// so pooled contexts (netsim recycles one per pipeline pass) stop
+// allocating once the array has grown to the pipeline's emission high-water
+// mark.
+func (c *Context) Reset() {
+	em := c.emissions[:0]
+	for i := range c.emissions {
+		c.emissions[i] = Emission{}
+	}
+	*c = Context{emissions: em}
+}
 
 // PPM is a packet-processing module: the unit of installation, sharing, and
 // placement. Process is called once per packet in pipeline priority order.

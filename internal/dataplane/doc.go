@@ -1,0 +1,17 @@
+// Package dataplane models a programmable switch as FastFlex sees one: a
+// pipeline of packet-processing modules (PPMs) installed under explicit
+// per-switch resource budgets, gated by a set of currently active defense
+// modes. This is the "multimode data plane" abstraction at the heart of the
+// paper: programs are installed by the (slow, centralized) scheduler, but
+// modes flip on and off entirely in the data plane via probe packets.
+//
+// Layer (DESIGN.md Â§2): sits on packet and topo only; netsim drives it and
+// boosters plug PPMs into it.
+//
+// Determinism contract: Process runs synchronously on the caller's
+// goroutine with no clocks or global randomness â the only time is ctx.Now
+// and the only randomness is ctx.RNG, both injected by the simulator, and
+// pipeline order is the deterministic priority order. Spawning goroutines
+// here is banned (ffvet determinism analyzer): a PPM that raced the event
+// loop would break same-seed reproducibility.
+package dataplane

@@ -1,0 +1,47 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleSteadyStateZeroAlloc pins the hot-path guarantee the Engine's
+// free list exists for: once the heap backing array has grown and fired
+// events populate the recycle list (Engine.alloc / Engine.release), a
+// Schedule+Step cycle allocates nothing. A regression here usually means an
+// Event escaped recycling or the heap went back to interface-based storage.
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	eng := New(1)
+	fn := func() {}
+	// Warm-up: grow the heap and seed the free list.
+	for i := 0; i < 128; i++ {
+		eng.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	for eng.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.After(time.Microsecond, fn)
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestCancelledEventsNotRecycled documents why the free list only takes
+// cleanly fired events: a caller may hold the handle of a cancelled event
+// and must keep observing that event, not a recycled stranger.
+func TestCancelledEventsNotRecycled(t *testing.T) {
+	eng := New(1)
+	ev := eng.After(time.Millisecond, func() {})
+	eng.Cancel(ev)
+	ev2 := eng.After(time.Millisecond, func() {})
+	if ev == ev2 {
+		t.Fatal("cancelled event was recycled; stale handles would alias new events")
+	}
+	for eng.Step() {
+	}
+	if !ev.Cancelled() || ev2.Cancelled() {
+		t.Fatalf("handle aliasing: ev.Cancelled=%v ev2.Cancelled=%v", ev.Cancelled(), ev2.Cancelled())
+	}
+}

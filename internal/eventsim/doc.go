@@ -1,0 +1,16 @@
+// Package eventsim provides a deterministic discrete-event simulation engine.
+//
+// Layer (DESIGN.md §2): substrate, the bottom of the import DAG — it imports
+// no other internal package, and everything that simulates (netsim, mode,
+// state, control, attack, core, experiment) schedules its callbacks here.
+//
+// Determinism contract: the engine drives everything else in this
+// repository on a single virtual clock. All randomness flows from the
+// engine's seeded RNG — this is the only package allowed to construct a
+// rand source (enforced by ffvet's determinism analyzer) — and events
+// scheduled for the same instant fire in insertion order, so a seed fully
+// determines an execution. Engines are strictly single-threaded: one
+// goroutine may drive Run/Step at a time, which is what lets the
+// experiment.Runner execute many engines concurrently, one per run,
+// without any locking below the runner layer.
+package eventsim

@@ -1,20 +1,19 @@
-// Package eventsim provides a deterministic discrete-event simulation engine.
-//
-// The engine drives everything else in this repository: the network
-// simulator, traffic generators, controllers, and attackers all schedule
-// callbacks on a shared virtual clock. Determinism is a hard requirement
-// (see DESIGN.md): all randomness flows from the engine's seeded RNG, and
-// events scheduled for the same instant fire in insertion order.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
 // Event is a callback scheduled to run at a virtual time.
+//
+// Lifecycle: the engine owns fired events. Once an event has fired, its
+// *Event may be recycled for a later Schedule/After call, so handles must
+// only be retained for *pending* events (cancel-and-forget, as Ticker and
+// the netsim sources do). Cancelling the currently-firing event from
+// inside its own callback is safe; cancelling a stale handle after the
+// event fired is not.
 type Event struct {
 	At   time.Duration // virtual time at which the event fires
 	Fn   func()        // callback; runs with the clock set to At
@@ -26,44 +25,28 @@ type Event struct {
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.dead }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
+//
+// The event queue is a concrete-typed binary heap rather than
+// container/heap: the hot path (Schedule/Step, executed once or twice per
+// simulated packet per hop) avoids the interface-method indirection of
+// heap.Push/heap.Pop, and fired events are recycled through a free list so
+// steady-state scheduling performs no allocations (pinned by
+// TestScheduleSteadyStateZeroAlloc).
 type Engine struct {
 	now     time.Duration
-	queue   eventHeap
+	queue   []*Event
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// free is the recycle list for fired events. Cancelled events are
+	// deliberately *not* recycled: callers may retain their handles (to
+	// call Cancel again, or Cancelled), and reusing them would redirect
+	// those stale handles at unrelated events.
+	free []*Event
 }
 
 // New returns an engine whose RNG is seeded with seed. The same seed and the
@@ -86,15 +69,119 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // events that have not yet been popped).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// less orders the heap by time, then insertion order (FIFO tie-break).
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev *Event) {
+	ev.idx = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.idx)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	ev := e.queue[0]
+	last := len(e.queue) - 1
+	e.queue[0] = e.queue[last]
+	e.queue[0].idx = 0
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	ev.idx = -1
+	return ev
+}
+
+// removeAt deletes the event at heap index i.
+func (e *Engine) removeAt(i int) {
+	last := len(e.queue) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if i != last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+// alloc returns a reset Event, reusing a fired one when possible.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release recycles a cleanly fired event (see the free-list comment).
+func (e *Engine) release(ev *Event) {
+	ev.Fn = nil
+	ev.dead = false
+	ev.idx = -1
+	e.free = append(e.free, ev)
+}
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a model bug.
 func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	ev := e.alloc()
+	ev.At = at
+	ev.Fn = fn
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -106,8 +193,10 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// has already fired (or was already cancelled) is a no-op.
+// Cancel prevents a scheduled event from firing. Cancelling a pending or
+// currently-firing event (or nil) is always safe; re-cancelling the same
+// handle is a no-op. Handles to events that already fired must not be
+// cancelled — the engine may have recycled them (see Event).
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.dead || ev.idx < 0 {
 		if ev != nil {
@@ -116,7 +205,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.dead = true
-	heap.Remove(&e.queue, ev.idx)
+	e.removeAt(ev.idx)
 	ev.idx = -1
 }
 
@@ -127,13 +216,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // It returns false when the queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.popMin()
 		if ev.dead {
 			continue
 		}
 		e.now = ev.At
 		e.fired++
 		ev.Fn()
+		// Recycle only events that fired cleanly: a Cancel from inside the
+		// callback means the caller still holds (and may re-cancel) the
+		// handle, so it must keep pointing at this event.
+		if !ev.dead {
+			e.release(ev)
+		}
 		return true
 	}
 	return false
@@ -147,15 +242,13 @@ func (e *Engine) Run(horizon time.Duration) uint64 {
 	e.stopped = false
 	for !e.stopped {
 		// Peek without popping so an over-horizon event stays queued.
-		var next *Event
 		for len(e.queue) > 0 && e.queue[0].dead {
-			heap.Pop(&e.queue)
+			e.popMin()
 		}
 		if len(e.queue) == 0 {
 			break
 		}
-		next = e.queue[0]
-		if next.At > horizon {
+		if e.queue[0].At > horizon {
 			break
 		}
 		e.Step()
@@ -173,6 +266,7 @@ type Ticker struct {
 	eng     *Engine
 	period  time.Duration
 	fn      func()
+	arming  func() // preallocated re-arm closure, one per ticker
 	pending *Event
 	stopped bool
 }
@@ -184,12 +278,7 @@ func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
 		panic(fmt.Sprintf("eventsim: ticker period %v must be positive", period))
 	}
 	t := &Ticker{eng: eng, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.pending = t.eng.After(t.period, func() {
+	t.arming = func() {
 		if t.stopped {
 			return
 		}
@@ -197,11 +286,20 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.eng.After(t.period, t.arming)
 }
 
 // Stop halts the ticker. Safe to call multiple times.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.eng.Cancel(t.pending)
+	if t.pending != nil {
+		t.eng.Cancel(t.pending)
+		t.pending = nil
+	}
 }

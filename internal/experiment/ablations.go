@@ -195,13 +195,11 @@ func AblationRepurpose() *Result {
 	return res
 }
 
-// AblationFEC (A5) sweeps random chunk loss against the XOR-parity FEC used
-// for piggybacked state transfer.
-func AblationFEC() *Result { return ablationFEC(42) }
-
-// ablationFEC draws its loss trials from a seeded eventsim engine, the
-// same substrate every other experiment's randomness flows from.
-func ablationFEC(seed int64) *Result {
+// AblationFEC (A5) sweeps random chunk loss against the XOR-parity FEC
+// used for piggybacked state transfer, drawing its loss trials from a
+// seeded eventsim engine — the same substrate every other experiment's
+// randomness flows from.
+func AblationFEC(seed int64) *Result {
 	res := &Result{Name: "A5: FEC for state transfer under loss"}
 	tb := &metrics.Table{Header: []string{"loss", "parity", "transfers recovered", "overhead"}}
 	const trials = 400
@@ -246,19 +244,34 @@ func ablationFEC(seed int64) *Result {
 
 // AblationPinning (A6) compares the §4.2 pin-normal-flows policy against
 // rerouting everything, using shortened Figure-3 runs.
-func AblationPinning() *Result {
+func AblationPinning(seed int64) *Result { return ablationPinning(seed, false) }
+
+// AblationPinningShort is the CI-smoke variant: half the horizon, earlier
+// attack, same policies and shape checks.
+func AblationPinningShort(seed int64) *Result { return ablationPinning(seed, true) }
+
+func ablationPinning(seed int64, short bool) *Result {
 	res := &Result{Name: "A6: pinning normal flows vs rerouting all"}
 	tb := &metrics.Table{Header: []string{"policy", "attack-window goodput", "degraded<80%"}}
 	for _, all := range []bool{false, true} {
-		r := Figure3(Figure3Config{
+		cfg := Figure3Config{
 			Defense: DefenseFastFlex, Duration: 60 * time.Second,
-			RerouteAllOverride: all,
-		})
+			RerouteAllOverride: all, Seed: seed,
+		}
+		if short {
+			cfg.Duration = 30 * time.Second
+			cfg.AttackStart = 10 * time.Second
+			cfg.ScoutEvery = 5 * time.Second
+		}
+		r := Figure3(cfg)
 		name := "pin normal flows (FastFlex)"
+		metric := "attack_mean_pin"
 		if all {
 			name = "reroute all flows"
+			metric = "attack_mean_reroute_all"
 		}
 		tb.AddRow(name, fmt.Sprintf("%.2f", r.AttackMean), fmt.Sprintf("%.2f", r.FractionDegraded))
+		res.Metric(metric, r.AttackMean)
 	}
 	res.Table = tb
 	res.Note("pinning keeps normal flows on their short TE paths; rerouting everything drags them onto longer detours shared with attack traffic")
@@ -268,7 +281,7 @@ func AblationPinning() *Result {
 // AblationStability (A7) pits a pulsing attacker (trying to induce mode
 // flapping) against the protocol's hysteresis, comparing against a
 // deliberately destabilized configuration.
-func AblationStability() *Result {
+func AblationStability(seed int64) *Result {
 	res := &Result{Name: "A7: stability under pulsing attacks"}
 	tb := &metrics.Table{Header: []string{"hysteresis", "mode transitions", "suppressed", "goodput"}}
 	for _, stable := range []bool{true, false} {
@@ -282,6 +295,7 @@ func AblationStability() *Result {
 		}
 		cfg := core.Config{Protected: srvAddr}
 		cfg.Net = netsim.DefaultConfig()
+		cfg.Net.Seed = seed
 		if !stable {
 			cfg.Mode = mode.Config{MinDwell: time.Millisecond, ChangeBudget: 1 << 20,
 				BudgetWindow: time.Hour, SoftTTL: 600 * time.Millisecond}
@@ -320,12 +334,15 @@ func AblationStability() *Result {
 			good += s.AckedBytes()
 		}
 		name := "dwell+budget+TTL (FastFlex)"
+		metric := "transitions_stable"
 		if !stable {
 			name = "disabled (ablation)"
+			metric = "transitions_unstable"
 		}
 		tb.AddRow(name, fmt.Sprintf("%d", len(fab.ModeEvents)),
 			fmt.Sprintf("%d", suppressed),
 			fmt.Sprintf("%.1f Mbps", float64(good)*8/60e6))
+		res.Metric(metric, float64(len(fab.ModeEvents)))
 	}
 	res.Table = tb
 	res.Note("hysteresis bounds attacker-induced mode churn; without it every pulse flips the whole network's modes")

@@ -1,7 +1,3 @@
-// Package experiment is the evaluation harness: it regenerates every table
-// and figure in the paper plus the ablations listed in DESIGN.md §3. Each
-// experiment is a pure function from a config to a Result that carries the
-// series/table a figure plots; cmd/ffbench and bench_test.go drive them.
 package experiment
 
 import (
@@ -17,11 +13,25 @@ type Result struct {
 	Table  *metrics.Table
 	Series []*metrics.Series
 	Notes  []string
+
+	// Metrics holds the headline numbers of the run keyed by a stable
+	// name (e.g. "attack_mean_fastflex"). The Runner aggregates these
+	// across seeds into mean±stddev, ffbench emits them as JSON, and the
+	// shape checks gate CI on them.
+	Metrics map[string]float64
 }
 
 // Note appends a formatted observation to the result.
 func (r *Result) Note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Metric records a headline number under a stable name.
+func (r *Result) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // String renders the result for terminal output.

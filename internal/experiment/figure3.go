@@ -264,6 +264,9 @@ func Figure3Compare(base Figure3Config) *Result {
 			fmt.Sprintf("%d", r.Rolls))
 		res.Series = append(res.Series, r.Throughput)
 		res.Notes = append(res.Notes, r.Notes...)
+		res.Metric("attack_mean_"+d.String(), r.AttackMean)
+		res.Metric("degraded_"+d.String(), r.FractionDegraded)
+		res.Metric("stable_mbps_"+d.String(), r.StableMean*8/1e6)
 	}
 	res.Table = tb
 	return res

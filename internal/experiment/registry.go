@@ -1,0 +1,72 @@
+package experiment
+
+import "time"
+
+// Def describes one registered experiment: the unit ffbench lists, the
+// Runner schedules, and CI smoke-tests.
+type Def struct {
+	// ID is the stable short name ("fig3", "a5", ...).
+	ID string
+	// Desc is the one-line description shown by ffbench -list.
+	Desc string
+	// Seeded reports whether the result varies with the seed. Unseeded
+	// experiments (pure resource-accounting tables) run once regardless of
+	// how many seeds were requested.
+	Seeded bool
+	// Run executes the experiment. Unseeded experiments ignore the seed.
+	Run func(seed int64) *Result
+	// ShortRun, if non-nil, is a cut-down variant for CI smoke runs
+	// (ffbench -short): same code paths and shape checks, much shorter
+	// simulated horizon.
+	ShortRun func(seed int64) *Result
+}
+
+// shortFig3Compare shrinks the Figure-3 horizon from 120 s to 30 s of simulated
+// time: long enough for the attack to land and the defense to respond, so
+// the shape checks still discriminate, short enough for a CI smoke job.
+func shortFig3Compare(seed int64) *Result {
+	return Figure3Compare(Figure3Config{
+		Duration:    30 * time.Second,
+		AttackStart: 10 * time.Second,
+		ScoutEvery:  5 * time.Second,
+		Seed:        seed,
+	})
+}
+
+// Registry enumerates every experiment in the order EXPERIMENTS.md
+// presents them. The order is part of the output contract: ffbench prints
+// results in registry order no matter how many workers ran them, so serial
+// and parallel runs produce byte-identical text.
+func Registry() []Def {
+	return []Def{
+		{ID: "table1", Desc: "Figure 1(a): analyzer module resource table",
+			Run: func(int64) *Result { return Table1Analyzer() }},
+		{ID: "fig1merge", Desc: "Figure 1(b): merged dataflow graph with sharing",
+			Run: func(int64) *Result { return Figure1Merge() }},
+		{ID: "fig1place", Desc: "Figure 1(c): placement onto topologies",
+			Run: func(int64) *Result { return Figure1Place() }},
+		{ID: "fig2", Desc: "Figure 2: multimode progression",
+			Run: func(int64) *Result { return Figure2Modes() }},
+		{ID: "fig1d", Desc: "Figure 1(d): dynamic scaling at runtime",
+			Run: func(int64) *Result { return Figure1dScale() }},
+		{ID: "fig3", Desc: "Figure 3: FastFlex vs baseline under rolling LFA", Seeded: true,
+			Run: func(seed int64) *Result {
+				return Figure3Compare(Figure3Config{Seed: seed})
+			},
+			ShortRun: shortFig3Compare},
+		{ID: "a1", Desc: "A1: mode-change latency vs diameter",
+			Run: func(int64) *Result { return AblationModeLatency() }},
+		{ID: "a2", Desc: "A2: PPM sharing",
+			Run: func(int64) *Result { return AblationSharing() }},
+		{ID: "a3", Desc: "A3: placement policies",
+			Run: func(int64) *Result { return AblationPlacement() }},
+		{ID: "a4", Desc: "A4: repurposing disruption vs fast reroute",
+			Run: func(int64) *Result { return AblationRepurpose() }},
+		{ID: "a5", Desc: "A5: FEC for state transfer", Seeded: true,
+			Run: AblationFEC},
+		{ID: "a6", Desc: "A6: pinning normal flows", Seeded: true,
+			Run: AblationPinning, ShortRun: AblationPinningShort},
+		{ID: "a7", Desc: "A7: stability under pulsing attacks", Seeded: true,
+			Run: AblationStability},
+	}
+}

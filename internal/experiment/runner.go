@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Spec is one unit of work for the Runner: an experiment at a seed.
+type Spec struct {
+	Def  Def
+	Seed int64
+	// Short selects the Def's cut-down variant when it has one.
+	Short bool
+}
+
+// RunResult is the outcome of one Spec, with the measurements ffbench's
+// JSON report records.
+type RunResult struct {
+	ID     string
+	Seed   int64
+	Result *Result
+	// Err holds a recovered panic, if the experiment crashed.
+	Err error
+	// Wall is the real (not simulated) execution time of this run.
+	Wall time.Duration
+	// AllocBytes is the heap allocated during the run, from TotalAlloc
+	// deltas. Exact with one worker; with several, concurrent runs bleed
+	// into each other's deltas, so treat it as indicative only.
+	AllocBytes uint64
+}
+
+// Runner executes experiment Specs across a pool of worker goroutines.
+//
+// This is the repository's concurrency boundary (DESIGN.md, "Concurrency
+// boundary"): every simulation below this type is strictly single-threaded
+// and seed-deterministic, and the Runner only ever parallelizes *across*
+// runs, never within one. Because a run builds its own Network, engine,
+// and RNG from its seed, per-seed results are byte-identical whatever the
+// worker count or completion order; Run returns results indexed by Spec
+// position, so callers iterate them deterministically.
+type Runner struct {
+	// Workers is the pool size; 0 or less means runtime.NumCPU().
+	Workers int
+}
+
+// Run executes all specs and returns one RunResult per spec, in spec
+// order. A panicking experiment is reported in its RunResult.Err and does
+// not take the pool down.
+func (r *Runner) Run(specs []Spec) []RunResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]RunResult, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func runOne(spec Spec) (rr RunResult) {
+	rr.ID = spec.Def.ID
+	rr.Seed = spec.Seed
+	defer func() {
+		if p := recover(); p != nil {
+			rr.Err = fmt.Errorf("experiment %s (seed %d) panicked: %v", rr.ID, rr.Seed, p)
+		}
+	}()
+	run := spec.Def.Run
+	if spec.Short && spec.Def.ShortRun != nil {
+		run = spec.Def.ShortRun
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rr.Result = run(spec.Seed)
+	rr.Wall = time.Since(start)
+	runtime.ReadMemStats(&after)
+	rr.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	return rr
+}
+
+// Specs expands a set of experiment definitions over seeds: seeded
+// experiments get one Spec per seed, unseeded ones a single Spec. The
+// expansion order (definition-major) is the deterministic order ffbench
+// reports in.
+func Specs(defs []Def, seeds []int64, short bool) []Spec {
+	var specs []Spec
+	for _, d := range defs {
+		if !d.Seeded || len(seeds) == 0 {
+			seed := int64(1)
+			if len(seeds) > 0 {
+				seed = seeds[0]
+			}
+			specs = append(specs, Spec{Def: d, Seed: seed, Short: short})
+			continue
+		}
+		for _, s := range seeds {
+			specs = append(specs, Spec{Def: d, Seed: s, Short: short})
+		}
+	}
+	return specs
+}

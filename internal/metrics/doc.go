@@ -1,0 +1,13 @@
+// Package metrics provides the time-series collection and rendering used
+// by the experiment harness: periodic samplers over the simulation clock,
+// normalized-throughput computation for Figure 3, and ASCII/CSV rendering
+// for EXPERIMENTS.md.
+//
+// Layer (DESIGN.md Â§2): sits on eventsim only (samplers are tickers over
+// the virtual clock); experiment builds its tables and plots from it.
+//
+// Determinism contract: samplers fire on the simulation clock, never wall
+// time, and rendering iterates series in insertion order â so the same
+// seed renders byte-identical tables. Goroutines are banned here (ffvet):
+// samplers run inside the single-threaded engine.
+package metrics

@@ -1,7 +1,3 @@
-// Package metrics provides the time-series collection and rendering used
-// by the experiment harness: periodic samplers over the simulation clock,
-// normalized-throughput computation for Figure 3, and ASCII/CSV rendering
-// for EXPERIMENTS.md.
 package metrics
 
 import (

@@ -1,0 +1,23 @@
+// Package netsim is the discrete-event network simulator: links with
+// store-and-forward transmission, finite tail-drop queues, and utilization
+// accounting; switch nodes running dataplane pipelines; host endpoints
+// with CBR and AIMD traffic sources, auto-ACK, and traceroute.
+//
+// Layer (DESIGN.md §2): sits on eventsim, topo, packet, and dataplane;
+// boosters, state, attack, and experiment build on it.
+//
+// Determinism contract: a Network is single-threaded — everything runs as
+// eventsim callbacks on one engine, and the only randomness is the
+// engine's seeded RNG (loss injection, source phase desync). Same seed,
+// same event trace, byte-identical results. Concurrency lives strictly
+// above this package, in experiment.Runner, which runs independent
+// Networks on separate goroutines; nothing here may spawn goroutines
+// (enforced by ffvet's determinism analyzer).
+//
+// The forwarding hot path (enqueue → transmit → deliver → pipeline) is
+// allocation-free in steady state: packets come from a per-Network pool
+// and are recycled at end-of-life, per-link FIFO rings and preallocated
+// event callbacks avoid per-packet closures, and pipeline contexts and
+// switch-latency hop events are pooled. TestForwardSteadyStateZeroAlloc
+// pins this.
+package netsim

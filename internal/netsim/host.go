@@ -95,11 +95,10 @@ func (h *Host) receive(p *packet.Packet, in topo.LinkID) {
 		h.recvBytes[p.Src] += uint64(p.PayloadLen)
 		h.recvPackets[p.Src]++
 		// Auto-ACK data so window-based senders can clock themselves.
-		ack := &packet.Packet{
-			Src: h.addr, Dst: p.Src, TTL: 64, Proto: packet.ProtoTCP,
-			SrcPort: p.DstPort, DstPort: p.SrcPort,
-			Flags: packet.FlagACK, Seq: p.Seq,
-		}
+		ack := h.net.NewPacket()
+		ack.Src, ack.Dst, ack.TTL, ack.Proto = h.addr, p.Src, 64, packet.ProtoTCP
+		ack.SrcPort, ack.DstPort = p.DstPort, p.SrcPort
+		ack.Flags, ack.Seq = packet.FlagACK, p.Seq
 		h.net.SendFromHost(h.node, ack)
 	default:
 		h.recvBytes[p.Src] += uint64(p.PayloadLen)
@@ -125,10 +124,10 @@ func (h *Host) Traceroute(dst packet.Addr, maxTTL int, timeout time.Duration, do
 		}
 	})
 	for ttl := 1; ttl <= maxTTL; ttl++ {
-		pkt := &packet.Packet{
-			Src: h.addr, Dst: dst, TTL: uint8(ttl), Proto: packet.ProtoUDP,
-			SrcPort: 33434, DstPort: 33434, Seq: base + uint32(ttl-1),
-		}
+		pkt := h.net.NewPacket()
+		pkt.Src, pkt.Dst, pkt.TTL, pkt.Proto = h.addr, dst, uint8(ttl), packet.ProtoUDP
+		pkt.SrcPort, pkt.DstPort = 33434, 33434
+		pkt.Seq = base + uint32(ttl-1)
 		h.net.SendFromHost(h.node, pkt)
 	}
 	h.net.Eng.After(timeout, func() {

@@ -8,6 +8,47 @@ import (
 	"fastflex/internal/topo"
 )
 
+// pktRing is a preallocated power-of-two FIFO ring of packets. It replaces
+// the append/reslice queue that grew (and leaked its prefix) on every
+// enqueue: in steady state push/pop touch only the preexisting backing
+// array, which is what makes link forwarding allocation-free.
+type pktRing struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *packet.Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*packet.Packet, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // linkState is the runtime of one directed link: a store-and-forward
 // transmitter with a finite tail-drop FIFO queue, plus utilization
 // accounting over rolling windows.
@@ -15,9 +56,15 @@ type linkState struct {
 	net  *Network
 	link topo.Link
 
-	queue       []*packet.Packet
+	queue       pktRing // awaiting transmission
+	inflight    pktRing // transmitted, propagating toward the far end
 	queuedBytes int
 	busy        bool
+
+	// Preallocated event callbacks, one pair per link, so per-packet
+	// scheduling closes over nothing.
+	txDone  func()
+	deliver func()
 
 	sentPkts  uint64
 	sentBytes uint64
@@ -33,7 +80,15 @@ type linkState struct {
 }
 
 func newLinkState(n *Network, l topo.Link) *linkState {
-	return &linkState{net: n, link: l, smoothedUtil: sketch.NewEWMA(n.Cfg.UtilAlpha)}
+	ls := &linkState{net: n, link: l, smoothedUtil: sketch.NewEWMA(n.Cfg.UtilAlpha)}
+	ls.txDone = ls.transmitNext
+	// Arrivals are FIFO: transmissions serialize on the link and every
+	// packet adds the same propagation delay, so the earliest-scheduled
+	// delivery is always the head of the inflight ring.
+	ls.deliver = func() {
+		ls.net.arrive(ls.link.ID, ls.inflight.pop())
+	}
+	return ls
 }
 
 // enqueue admits a packet to the FIFO or tail-drops it.
@@ -41,15 +96,17 @@ func (ls *linkState) enqueue(pkt *packet.Packet) {
 	if ls.lossRate > 0 && ls.net.Eng.RNG().Float64() < ls.lossRate {
 		ls.drops++
 		ls.net.DropsLoss++
+		ls.net.freePacket(pkt)
 		return
 	}
 	size := pkt.Len()
 	if ls.queuedBytes+size > ls.net.Cfg.QueueBytes {
 		ls.drops++
 		ls.net.DropsQueue++
+		ls.net.freePacket(pkt)
 		return
 	}
-	ls.queue = append(ls.queue, pkt)
+	ls.queue.push(pkt)
 	ls.queuedBytes += size
 	if !ls.busy {
 		ls.transmitNext()
@@ -60,13 +117,12 @@ func (ls *linkState) enqueue(pkt *packet.Packet) {
 // end happens after transmission + propagation; the transmitter frees up
 // after transmission alone, pipelining with propagation.
 func (ls *linkState) transmitNext() {
-	if len(ls.queue) == 0 {
+	if ls.queue.len() == 0 {
 		ls.busy = false
 		return
 	}
 	ls.busy = true
-	pkt := ls.queue[0]
-	ls.queue = ls.queue[1:]
+	pkt := ls.queue.pop()
 	size := pkt.Len()
 	ls.queuedBytes -= size
 	tx := time.Duration(float64(size*8) / ls.link.BitsPerSec * float64(time.Second))
@@ -77,12 +133,9 @@ func (ls *linkState) transmitNext() {
 	ls.sentBytes += uint64(size)
 	ls.windowBytes += uint64(size)
 	prop := time.Duration(ls.link.DelayNS)
-	ls.net.Eng.After(tx, func() {
-		ls.transmitNext()
-	})
-	ls.net.Eng.After(tx+prop, func() {
-		ls.net.arrive(ls.link.ID, pkt)
-	})
+	ls.inflight.push(pkt)
+	ls.net.Eng.After(tx, ls.txDone)
+	ls.net.Eng.After(tx+prop, ls.deliver)
 }
 
 // rollWindow closes the current utilization window.

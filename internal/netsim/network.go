@@ -1,9 +1,3 @@
-// Package netsim is the packet-level network simulator that substitutes for
-// the paper's customized ns-3 + bmv2 setup (see DESIGN.md §1). It ties the
-// discrete-event engine, the topology, and the multimode dataplane switches
-// together: links have transmission rate, propagation delay, and finite
-// tail-drop FIFO queues; switches run their PPM pipelines on every packet;
-// hosts run traffic sources and sinks.
 package netsim
 
 import (
@@ -41,6 +35,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// hopEvent is a pooled pending switch-latency hop: the packet has cleared
+// a switch pipeline and is waiting to enter its egress queue. fire is
+// allocated once per pool entry, so the per-packet hop schedules no closure.
+type hopEvent struct {
+	n    *Network
+	out  topo.LinkID
+	pkt  *packet.Packet
+	fire func()
+}
+
 // Network is a running simulation instance.
 type Network struct {
 	Eng *eventsim.Engine
@@ -51,6 +55,13 @@ type Network struct {
 	hosts    map[topo.NodeID]*Host
 	links    []*linkState
 
+	// Hot-path pools. All three are per-Network (simulations are
+	// single-threaded below the experiment.Runner boundary) and LIFO, so
+	// reuse order is deterministic for a given seed.
+	pool    packet.Pool
+	ctxFree []*dataplane.Context
+	hopFree []*hopEvent
+
 	// Global drop accounting by cause.
 	DropsNoRoute  uint64
 	DropsQueue    uint64
@@ -60,7 +71,8 @@ type Network struct {
 	Delivered     uint64 // packets delivered to hosts
 
 	// Tracer, if set, observes every packet arrival at a node (debugging
-	// and assertion hooks in tests).
+	// and assertion hooks in tests). Attaching a tracer disables packet
+	// recycling so traced packets may be retained.
 	Tracer func(now time.Duration, at topo.NodeID, pkt *packet.Packet)
 }
 
@@ -105,6 +117,42 @@ func New(g *topo.Graph, cfg Config) *Network {
 		}
 	})
 	return n
+}
+
+// NewPacket returns a zeroed packet from the network's pool. Traffic
+// sources allocate here so delivered/dropped packets recycle instead of
+// churning the garbage collector.
+func (n *Network) NewPacket() *packet.Packet { return n.pool.Get() }
+
+// freePacket returns a packet whose simulation lifetime ended (delivered
+// or dropped). Recycling is disabled while a Tracer is attached, since
+// trace hooks may retain packets past the callback.
+func (n *Network) freePacket(p *packet.Packet) {
+	if n.Tracer != nil {
+		return
+	}
+	n.pool.Put(p)
+}
+
+// PoolStats reports packet-pool traffic: total Get calls and how many had
+// to allocate. In steady state news stops growing; ffbench surfaces the
+// ratio in its JSON report.
+func (n *Network) PoolStats() (gets, news uint64) { return n.pool.Gets, n.pool.News }
+
+// getCtx returns a reset pipeline context from the pool.
+func (n *Network) getCtx() *dataplane.Context {
+	if ln := len(n.ctxFree); ln > 0 {
+		ctx := n.ctxFree[ln-1]
+		n.ctxFree[ln-1] = nil
+		n.ctxFree = n.ctxFree[:ln-1]
+		return ctx
+	}
+	return &dataplane.Context{}
+}
+
+func (n *Network) putCtx(ctx *dataplane.Context) {
+	ctx.Reset()
+	n.ctxFree = append(n.ctxFree, ctx)
 }
 
 // Switch returns the dataplane switch at node id (nil for hosts).
@@ -185,6 +233,12 @@ func (n *Network) arrive(l topo.LinkID, pkt *packet.Packet) {
 	if host, ok := n.hosts[to]; ok {
 		n.Delivered++
 		host.receive(pkt, l)
+		// End of the packet's life: handlers and sinks run synchronously
+		// inside receive. Hosts with an OnSink observer opt out of
+		// recycling, since sinks (tests, examples) may retain packets.
+		if host.sink == nil {
+			n.freePacket(pkt)
+		}
 		return
 	}
 	n.processAtSwitch(to, pkt, l, 0)
@@ -197,6 +251,7 @@ const maxLocalHops = 4
 func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.LinkID, depth int) {
 	if depth > maxLocalHops {
 		n.DropsPipeline++
+		n.freePacket(pkt)
 		return
 	}
 	sw := n.switches[id]
@@ -205,40 +260,66 @@ func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.Li
 	}
 	if sw.Reconfiguring {
 		n.DropsDown++
+		n.freePacket(pkt)
 		return
 	}
-	ctx := &dataplane.Context{
-		Now:     n.Eng.Now(),
-		Switch:  id,
-		InLink:  in,
-		Pkt:     pkt,
-		RNG:     n.Eng.RNG(),
-		Modes:   sw.Modes(),
-		OutLink: -1,
-	}
+	ctx := n.getCtx()
+	ctx.Now = n.Eng.Now()
+	ctx.Switch = id
+	ctx.InLink = in
+	ctx.Pkt = pkt
+	ctx.RNG = n.Eng.RNG()
+	ctx.Modes = sw.Modes()
+	ctx.OutLink = -1
 	verdict := sw.Process(ctx)
 	// Emissions are dispatched regardless of the main packet's fate.
 	for _, em := range ctx.Emissions() {
 		n.dispatchEmission(id, em, in, depth)
 	}
+	out := ctx.OutLink
+	n.putCtx(ctx)
 	switch verdict {
 	case dataplane.Drop:
 		n.DropsPipeline++
+		n.freePacket(pkt)
 		return
 	case dataplane.Consume:
+		n.freePacket(pkt)
 		return
 	}
-	if ctx.OutLink < 0 {
+	if out < 0 {
 		n.DropsNoRoute++
+		n.freePacket(pkt)
 		return
 	}
-	if n.G.Links[ctx.OutLink].From != id {
+	if n.G.Links[out].From != id {
 		panic(fmt.Sprintf("netsim: switch %d chose egress link %d owned by node %d",
-			id, ctx.OutLink, n.G.Links[ctx.OutLink].From))
+			id, out, n.G.Links[out].From))
 	}
 	// Fixed pipeline latency, then the egress queue.
-	out := ctx.OutLink
-	n.Eng.After(n.Cfg.SwitchLatency, func() { n.Enqueue(out, pkt) })
+	n.scheduleHop(out, pkt)
+}
+
+// scheduleHop delays a pipeline-cleared packet by the switch latency
+// before it joins the egress queue, reusing pooled hop events so the per
+// packet cost is one (pooled) eventsim entry and no closure.
+func (n *Network) scheduleHop(out topo.LinkID, pkt *packet.Packet) {
+	var h *hopEvent
+	if ln := len(n.hopFree); ln > 0 {
+		h = n.hopFree[ln-1]
+		n.hopFree[ln-1] = nil
+		n.hopFree = n.hopFree[:ln-1]
+	} else {
+		h = &hopEvent{n: n}
+		h.fire = func() {
+			pkt, out := h.pkt, h.out
+			h.pkt = nil
+			h.n.hopFree = append(h.n.hopFree, h)
+			h.n.Enqueue(out, pkt)
+		}
+	}
+	h.out, h.pkt = out, pkt
+	n.Eng.After(n.Cfg.SwitchLatency, h.fire)
 }
 
 func (n *Network) dispatchEmission(at topo.NodeID, em dataplane.Emission, in topo.LinkID, depth int) {

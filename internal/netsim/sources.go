@@ -94,11 +94,10 @@ func (s *CBRSource) scheduleNext(first bool) {
 }
 
 func (s *CBRSource) emit() {
-	p := &packet.Packet{
-		Src: packet.HostAddr(int(s.host)), Dst: s.dst, TTL: 64,
-		Proto: s.proto, SrcPort: s.sport, DstPort: s.dport,
-		PayloadLen: s.payload, Seq: s.seq,
-	}
+	p := s.net.NewPacket()
+	p.Src, p.Dst, p.TTL = packet.HostAddr(int(s.host)), s.dst, 64
+	p.Proto, p.SrcPort, p.DstPort = s.proto, s.sport, s.dport
+	p.PayloadLen, p.Seq = s.payload, s.seq
 	if s.proto == packet.ProtoTCP {
 		if !s.sentSYN {
 			p.Flags = packet.FlagSYN
@@ -236,11 +235,10 @@ func (s *AIMDSource) transmit(seq uint32) {
 	if seq == 0 {
 		flags |= packet.FlagSYN
 	}
-	p := &packet.Packet{
-		Src: packet.HostAddr(int(s.host)), Dst: s.dst, TTL: 64,
-		Proto: packet.ProtoTCP, SrcPort: s.sport, DstPort: s.dport,
-		Flags: flags, Seq: seq, PayloadLen: s.payload,
-	}
+	p := s.net.NewPacket()
+	p.Src, p.Dst, p.TTL = packet.HostAddr(int(s.host)), s.dst, 64
+	p.Proto, p.SrcPort, p.DstPort = packet.ProtoTCP, s.sport, s.dport
+	p.Flags, p.Seq, p.PayloadLen = flags, seq, s.payload
 	s.sentPackets++
 	if old, ok := s.inflight[seq]; ok {
 		s.net.Eng.Cancel(old)

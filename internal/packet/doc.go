@@ -1,0 +1,17 @@
+// Package packet defines the wire format used by the simulated network:
+// an IPv4-like header, TCP/UDP/ICMP layers, and the FastFlex probe header
+// that carries mode changes, path-utilization samples, detector
+// synchronization, and piggybacked state transfers.
+//
+// Layer (DESIGN.md §2): substrate, imports no other internal package.
+// Everything above — sketch, dataplane, netsim, the boosters — speaks in
+// these types.
+//
+// Determinism contract: the package is pure data plus pure functions of
+// that data; nothing here reads a clock or randomness. Following the
+// gopacket idioms from the networking guides, decoding writes into
+// caller-owned structs without allocation on the hot path, FlowKey is a
+// fixed-size array so it can be used directly as a map key, and Pool
+// recycles data packets deterministically (a per-Network LIFO free list,
+// not a sync.Pool) so forwarding allocates nothing in steady state.
+package packet

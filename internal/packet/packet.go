@@ -1,11 +1,3 @@
-// Package packet defines the wire format used by the simulated network:
-// an IPv4-like header, TCP/UDP/ICMP layers, and the FastFlex probe header
-// that carries mode changes, path-utilization samples, detector
-// synchronization, and piggybacked state transfers.
-//
-// Following the gopacket idioms from the networking guides, decoding writes
-// into caller-owned structs without allocation on the hot path, and FlowKey
-// is a fixed-size array so it can be used directly as a map key.
 package packet
 
 import (
