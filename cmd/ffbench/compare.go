@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fastflex/internal/experiment"
+)
+
+// Benchstat-style baseline comparison: load a committed BENCH_ffbench.json,
+// line up per-experiment mean wall times with the current run, print a
+// delta table, and report regression when an experiment (or the total) is
+// slower than the baseline by more than the threshold.
+//
+// Wall time is noisy — CI machines share cores — so two guards keep the
+// gate from flapping: experiments whose baseline mean is under
+// compareMinWallMS are reported but never gate, and the threshold applies
+// to the mean over the run's seeds, not any single run.
+const compareMinWallMS = 200
+
+// meanWallByID averages wall ms over each experiment's non-failed runs.
+func meanWallByID(exps []experimentReport) map[string]float64 {
+	out := make(map[string]float64, len(exps))
+	for _, er := range exps {
+		var sum float64
+		var n int
+		for _, r := range er.Runs {
+			if r.Error == "" {
+				sum += r.WallMS
+				n++
+			}
+		}
+		if n > 0 {
+			out[er.ID] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// compareBaseline prints the comparison table and returns whether any
+// gated row regressed beyond thresholdPct.
+func compareBaseline(path string, thresholdPct float64,
+	defs []experiment.Def, results []experiment.RunResult) (regressed bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseWall := meanWallByID(base.Experiments)
+
+	// Current per-experiment means, computed the same way as the report.
+	curWall := make(map[string]float64)
+	curN := make(map[string]int)
+	for _, rr := range results {
+		if rr.Err != nil {
+			continue
+		}
+		curWall[rr.ID] += float64(rr.Wall.Microseconds()) / 1e3
+		curN[rr.ID]++
+	}
+
+	fmt.Printf("-- wall-time vs %s (threshold %+.0f%%) --\n", path, thresholdPct)
+	fmt.Printf("  %-10s %12s %12s %8s\n", "experiment", "base ms", "now ms", "delta")
+	var baseTotal, curTotal float64
+	for _, d := range defs {
+		b, okB := baseWall[d.ID]
+		if n := curN[d.ID]; n > 0 {
+			curWall[d.ID] /= float64(n)
+		}
+		c, okC := curWall[d.ID]
+		if !okB || !okC {
+			fmt.Printf("  %-10s %12s %12s %8s\n", d.ID, dash(okB, b), dash(okC, c), "n/a")
+			continue
+		}
+		baseTotal += b
+		curTotal += c
+		delta := (c - b) / b * 100
+		mark := ""
+		if delta > thresholdPct {
+			if b >= compareMinWallMS {
+				regressed = true
+				mark = "  REGRESSION"
+			} else {
+				mark = "  (under min wall, not gated)"
+			}
+		}
+		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%%%s\n", d.ID, b, c, delta, mark)
+	}
+	if baseTotal > 0 {
+		delta := (curTotal - baseTotal) / baseTotal * 100
+		mark := ""
+		if delta > thresholdPct {
+			if baseTotal >= compareMinWallMS {
+				regressed = true
+				mark = "  REGRESSION"
+			} else {
+				mark = "  (under min wall, not gated)"
+			}
+		}
+		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%%%s\n", "total", baseTotal, curTotal, delta, mark)
+	}
+	fmt.Println()
+	return regressed, nil
+}
+
+func dash(ok bool, v float64) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

@@ -19,6 +19,10 @@
 //	ffbench -json               # write BENCH_ffbench.json
 //	ffbench -short              # cut-down horizons (CI smoke)
 //	ffbench -check              # exit 1 if shape checks fail
+//	ffbench -compare BENCH_ffbench.json   # exit 1 on >15% wall-time regression
+//	ffbench -cpuprofile cpu.pb.gz         # pprof CPU profile of the whole run
+//	ffbench -memprofile mem.pb.gz         # pprof allocation profile at exit
+//	ffbench -trace trace.out              # runtime execution trace
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -73,7 +79,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write BENCH_ffbench.json")
 	short := flag.Bool("short", false, "run cut-down experiment variants (CI smoke)")
 	check := flag.Bool("check", false, "exit 1 if the result shape checks fail")
+	compare := flag.String("compare", "", "baseline BENCH_ffbench.json: print a wall-time comparison and exit 1 on regression")
+	regress := flag.Float64("regress", 15, "regression threshold for -compare, percent")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	defs := experiment.Registry()
 	if *list {
@@ -145,15 +162,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ffbench: shape check failed: %s\n", e)
 	}
 
+	stopProfiles()
+	if err := writeMemProfile(*memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "ffbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Compare before -json writes: the baseline and the report default to
+	// the same path (BENCH_ffbench.json), and the committed baseline must
+	// be read before it is overwritten with this run's numbers.
+	regressed := false
+	if *compare != "" {
+		var err error
+		regressed, err = compareBaseline(*compare, *regress, defs, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffbench: comparing baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		if err := writeReport(defs, seedList, *parallel, *short, totalWall, results, agg, shapeErrs); err != nil {
 			fmt.Fprintf(os.Stderr, "ffbench: writing report: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if failed || (*check && len(shapeErrs) > 0) {
+	if failed || regressed || (*check && len(shapeErrs) > 0) {
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and execution tracing if requested,
+// returning a stop function to call before writing reports.
+func startProfiles(cpuprofile, traceFile string) (stop func(), err error) {
+	var stops []func()
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return nil, err
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			return nil, err
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}, nil
+}
+
+// writeMemProfile dumps an allocation profile (after a GC, so live-heap
+// numbers are accurate) if requested.
+func writeMemProfile(memprofile string) error {
+	if memprofile == "" {
+		return nil
+	}
+	f, err := os.Create(memprofile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func writeReport(defs []experiment.Def, seeds []int64, workers int, short bool,

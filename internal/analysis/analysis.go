@@ -12,6 +12,7 @@ type Analyzer struct {
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		{Name: "determinism", Run: Determinism},
+		{Name: "hotpath", Run: Hotpath},
 		{Name: "layering", Run: Layering},
 		{Name: "ppm-lint", Run: PPMLint},
 		{Name: "mode-conflict", Run: ModeConflict},

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -119,6 +120,42 @@ func TestDeterminismBareWaiver(t *testing.T) {
 	diags := runFixture(t, "fastflex/internal/netsim", "det_bare.go", Determinism)
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
 		t.Fatalf("want exactly one bare-waiver diagnostic, got %v", diags)
+	}
+}
+
+func TestHotpathFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/dataplane", "hotpath_bad.go", Hotpath)
+	checkFixture(t, "fastflex/internal/dataplane", "hotpath_ok.go", Hotpath)
+}
+
+// TestHotpathAnnotationsPresent pins the annotation set: the per-packet
+// entry points the compiled-forwarding-plane refactor flattened must stay
+// annotated, so a future edit cannot silently drop the enforcement.
+func TestHotpathAnnotationsPresent(t *testing.T) {
+	m := loadModule(t)
+	want := map[string]string{
+		"Process": "fastflex/internal/dataplane",
+		"Lookup":  "fastflex/internal/dataplane",
+		"Step":    "fastflex/internal/eventsim",
+	}
+	found := make(map[string]bool)
+	for _, pkg := range m.Packages() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !hotpathAnnotated(fn) {
+					continue
+				}
+				if want[fn.Name.Name] == pkg.Path {
+					found[fn.Name.Name] = true
+				}
+			}
+		}
+	}
+	for name, path := range want {
+		if !found[name] {
+			t.Errorf("no //ffvet:hotpath annotation on %s in %s", name, path)
+		}
 	}
 }
 

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function as per-packet hot path. The compiled
+// forwarding plane's contract (DESIGN.md, "Compiled forwarding plane") is
+// that per-packet work is flat array indexing and direct calls — the
+// simulated analogue of an RMT match-action stage — so inside an annotated
+// function two interpreter idioms are banned outright:
+//
+//   - map index expressions (reads or writes): hash-map traffic per packet
+//     is the cost the dense FIB / dedup table refactors removed;
+//   - interface method calls: dynamic dispatch per packet is what pipeline
+//     compilation replaced with bound func values.
+//
+// The directive goes in the function's doc comment. There is deliberately
+// no waiver: if a function needs a map, it does not belong on the hot path.
+const hotpathDirective = "//ffvet:hotpath"
+
+// Hotpath enforces the hot-path contract on annotated functions.
+func Hotpath(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hotpathAnnotated(fn) {
+					continue
+				}
+				checkHotpathFunc(fset, pkg, fn, &diags)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// hotpathAnnotated reports whether the function's doc comment carries the
+// hotpath directive on a line of its own.
+func hotpathAnnotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, diags *[]Diagnostic) {
+	name := fn.Name.Name
+	report := func(pos token.Pos, msg string) {
+		*diags = append(*diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "hotpath",
+			Message:  msg + " in hotpath function " + name,
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.IndexExpr:
+			tv, ok := pkg.Info.Types[node.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				report(node.Pos(), "map index expression")
+			}
+		case *ast.CallExpr:
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pkg.Info.Selections[sel]
+			if !ok {
+				return true // package-qualified call or conversion
+			}
+			if s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+				report(node.Pos(), "interface method call ("+s.Obj().Name()+")")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,33 @@
+package dataplane
+
+// Interpreter idioms inside annotated functions: every map index (read or
+// write) and every interface method call must be flagged.
+
+type badPPM interface{ process(int) int }
+
+type badSwitch struct {
+	table map[uint32]int32
+	ppms  []badPPM
+}
+
+//ffvet:hotpath
+func lookupMap(s *badSwitch, dst uint32) int32 {
+	return s.table[dst] // want hotpath "map index expression"
+}
+
+//ffvet:hotpath
+func markSeen(seen map[uint64]bool, k uint64) bool {
+	if seen[k] { // want hotpath "map index expression"
+		return true
+	}
+	seen[k] = true // want hotpath "map index expression"
+	return false
+}
+
+//ffvet:hotpath
+func dispatch(s *badSwitch, x int) int {
+	for _, p := range s.ppms {
+		x = p.process(x) // want hotpath "interface method call"
+	}
+	return x
+}

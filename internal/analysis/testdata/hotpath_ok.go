@@ -1,0 +1,44 @@
+package dataplane
+
+// Clean hot-path code: dense slice indexing, bound func values, concrete
+// method calls. Maps and interfaces are fine off the hot path.
+
+type okStep struct {
+	run func(int) int
+}
+
+type okCounter struct{ n int }
+
+func (c *okCounter) bump() { c.n++ }
+
+// lookupDense is the FIB shape: a bounds-checked dense array read.
+//
+//ffvet:hotpath
+func lookupDense(fib []int32, idx int) int32 {
+	if uint(idx) < uint(len(fib)) {
+		return fib[idx]
+	}
+	return -1
+}
+
+// runCompiled is the pipeline shape: func-value calls, no dispatch.
+//
+//ffvet:hotpath
+func runCompiled(steps []okStep, c *okCounter, x int) int {
+	for _, s := range steps {
+		x = s.run(x)
+	}
+	c.bump() // concrete method call is fine
+	return x
+}
+
+// interpret is the retired interpreter shape: maps and interface dispatch
+// are allowed because the function is NOT annotated.
+type okPPM interface{ process(int) int }
+
+func interpret(table map[int]int, ppms []okPPM, x int) int {
+	for _, p := range ppms {
+		x = p.process(x)
+	}
+	return table[x]
+}

@@ -1,0 +1,332 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// TestFIBRebuild drives the dense FIB through the controller's life cycle
+// — install, overwrite, clear, rebuild with a different mapping — and
+// checks the table contents after every step.
+func TestFIBRebuild(t *testing.T) {
+	type op struct {
+		clear bool
+		dst   packet.Addr
+		link  topo.LinkID
+	}
+	type want struct {
+		dst  packet.Addr
+		link topo.LinkID
+	}
+	cases := []struct {
+		name   string
+		ops    []op
+		wants  []want
+		routes int
+	}{
+		{
+			name:   "initial install",
+			ops:    []op{{dst: packet.HostAddr(0), link: 3}, {dst: packet.HostAddr(7), link: 1}},
+			wants:  []want{{packet.HostAddr(0), 3}, {packet.HostAddr(7), 1}, {packet.HostAddr(4), -1}},
+			routes: 2,
+		},
+		{
+			name:   "overwrite keeps one entry",
+			ops:    []op{{dst: packet.HostAddr(2), link: 1}, {dst: packet.HostAddr(2), link: 9}},
+			wants:  []want{{packet.HostAddr(2), 9}},
+			routes: 1,
+		},
+		{
+			name:   "clear empties",
+			ops:    []op{{dst: packet.HostAddr(1), link: 2}, {clear: true}},
+			wants:  []want{{packet.HostAddr(1), -1}},
+			routes: 0,
+		},
+		{
+			name: "rebuild after clear remaps",
+			ops: []op{
+				{dst: packet.HostAddr(3), link: 2}, {dst: packet.RouterAddr(8), link: 5},
+				{clear: true},
+				{dst: packet.HostAddr(3), link: 6},
+			},
+			wants:  []want{{packet.HostAddr(3), 6}, {packet.RouterAddr(8), -1}},
+			routes: 1,
+		},
+		{
+			name:   "sparse high index grows the table",
+			ops:    []op{{dst: packet.HostAddr(900), link: 4}},
+			wants:  []want{{packet.HostAddr(900), 4}, {packet.HostAddr(899), -1}},
+			routes: 1,
+		},
+		{
+			name:   "router and host prefixes stay distinct",
+			ops:    []op{{dst: packet.RouterAddr(5), link: 8}},
+			wants:  []want{{packet.RouterAddr(5), 8}, {packet.HostAddr(5), -1}},
+			routes: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRouter(1)
+			for _, o := range tc.ops {
+				if o.clear {
+					r.ClearRoutes()
+				} else {
+					r.SetRoute(o.dst, o.link)
+				}
+			}
+			for _, w := range tc.wants {
+				if got := r.Lookup(w.dst); got != w.link {
+					t.Errorf("Lookup(%v) = %d, want %d", w.dst, got, w.link)
+				}
+			}
+			if got := r.RouteCount(); got != tc.routes {
+				t.Errorf("RouteCount = %d, want %d", got, tc.routes)
+			}
+		})
+	}
+}
+
+// TestFIBUnroutableAddresses pins the miss behavior for addresses the
+// controller never installs: out-of-prefix and beyond-table addresses must
+// return -1, exactly as the old map did.
+func TestFIBUnroutableAddresses(t *testing.T) {
+	r := NewRouter(1)
+	r.SetRoute(packet.HostAddr(0), 2)
+	for _, dst := range []packet.Addr{
+		0,                       // zero address, outside both prefixes
+		packet.Addr(0x08080808), // public address, outside both prefixes
+		packet.HostAddr(5000),   // valid prefix, beyond the table
+		packet.RouterAddr(0),    // same index as the installed host route
+	} {
+		if got := r.Lookup(dst); got != -1 {
+			t.Errorf("Lookup(%v) = %d, want -1", dst, got)
+		}
+	}
+}
+
+// TestPipelineCacheReuseAndEpoch pins the invalidation rules: mode changes
+// reuse cached compilations within an epoch; Install/Uninstall start a new
+// epoch and drop the cache.
+func TestPipelineCacheReuseAndEpoch(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	always := &fakePPM{name: "always"}
+	gated := &fakePPM{name: "gated"}
+	if err := sw.Install(Program{PPM: always, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	epochAfterInstalls := sw.Epoch()
+	if err := sw.Install(Program{PPM: gated, Modes: ModeSet(0).With(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Epoch() == epochAfterInstalls {
+		t.Fatal("Install did not start a new epoch")
+	}
+
+	// Mode flapping must not change the epoch, and must recompile
+	// correctly each time (cache hits included).
+	ctx := func() *Context {
+		return &Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1}
+	}
+	epoch := sw.Epoch()
+	for i := 0; i < 3; i++ {
+		sw.SetMode(2, true)
+		sw.Process(ctx())
+		sw.SetMode(2, false)
+		sw.Process(ctx())
+	}
+	if sw.Epoch() != epoch {
+		t.Fatal("mode flapping changed the epoch")
+	}
+	if gated.calls != 3 {
+		t.Fatalf("gated ran %d times, want 3 (only while mode 2 active)", gated.calls)
+	}
+	if always.calls != 6 {
+		t.Fatalf("always ran %d times, want 6", always.calls)
+	}
+
+	// Uninstall invalidates: the compiled pipeline for the active mode set
+	// must immediately lose the program.
+	sw.SetMode(2, true)
+	sw.Uninstall("gated")
+	sw.Process(ctx())
+	if gated.calls != 3 {
+		t.Fatal("stale compiled pipeline ran an uninstalled program")
+	}
+	if sw.Epoch() == epoch {
+		t.Fatal("Uninstall did not start a new epoch")
+	}
+}
+
+// TestPipelineCompiledMatchesInterpreter is the differential oracle for the
+// tentpole: two identically configured switches, one driven through the
+// compiled pipeline and one through the retired interpreter, must agree on
+// every verdict under randomized program sets, priorities, gates, and mode
+// flips.
+func TestPipelineCompiledMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		verdicts := []Verdict{Continue, Continue, Continue, Drop, Consume}
+		nProgs := 1 + rng.Intn(6)
+		compiled := NewSwitch(1, TofinoLike())
+		interp := NewSwitch(1, TofinoLike())
+		for i := 0; i < nProgs; i++ {
+			v := verdicts[rng.Intn(len(verdicts))]
+			gate := ModeSet(1)
+			if rng.Intn(2) == 0 {
+				gate = ModeSet(0).With(ModeID(1 + rng.Intn(4)))
+			}
+			pri := rng.Intn(400)
+			name := string(rune('a' + i))
+			if err := compiled.Install(Program{PPM: &fakePPM{name: name, verdict: v}, Priority: pri, Modes: gate}); err != nil {
+				t.Fatal(err)
+			}
+			if err := interp.Install(Program{PPM: &fakePPM{name: name, verdict: v}, Priority: pri, Modes: gate}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for step := 0; step < 20; step++ {
+			if rng.Intn(3) == 0 {
+				m := ModeID(1 + rng.Intn(4))
+				on := rng.Intn(2) == 0
+				compiled.SetMode(m, on)
+				interp.SetMode(m, on)
+			}
+			ctxA := &Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1}
+			ctxB := &Context{Pkt: &packet.Packet{Proto: packet.ProtoTCP}, InLink: -1, OutLink: -1}
+			va := compiled.Process(ctxA)
+			vb := interp.processInterpreted(ctxB)
+			if va != vb {
+				t.Fatalf("trial %d step %d: compiled=%v interpreted=%v (modes=%b)",
+					trial, step, va, vb, compiled.Modes())
+			}
+		}
+		if compiled.Processed != interp.Processed || compiled.Dropped != interp.Dropped {
+			t.Fatalf("trial %d: counters diverged: compiled=(%d,%d) interpreted=(%d,%d)",
+				trial, compiled.Processed, compiled.Dropped, interp.Processed, interp.Dropped)
+		}
+	}
+}
+
+// TestDedupTableMatchesReferenceModel checks the open-addressed table
+// against the retired map+FIFO implementation over a randomized workload
+// with heavy duplication and multiple eviction cycles.
+func TestDedupTableMatchesReferenceModel(t *testing.T) {
+	type refModel struct {
+		seen  map[packet.DedupKey]struct{}
+		order []packet.DedupKey
+	}
+	ref := refModel{seen: make(map[packet.DedupKey]struct{})}
+	refSeen := func(k packet.DedupKey) bool {
+		if _, ok := ref.seen[k]; ok {
+			return true
+		}
+		if len(ref.order) >= seenCap {
+			oldest := ref.order[0]
+			ref.order = ref.order[1:]
+			delete(ref.seen, oldest)
+		}
+		ref.seen[k] = struct{}{}
+		ref.order = append(ref.order, k)
+		return false
+	}
+
+	d := newDedupTable()
+	rng := rand.New(rand.NewSource(5))
+	kinds := []packet.ProbeKind{packet.ProbeModeChange, packet.ProbeUtil}
+	for i := 0; i < 3*seenCap; i++ {
+		k := packet.DedupKey{
+			Origin: packet.RouterAddr(rng.Intn(64)),
+			Seq:    uint32(rng.Intn(2 * seenCap)), // dense seq space → many dups
+			Kind:   kinds[rng.Intn(len(kinds))],
+		}
+		if got, want := d.seen(k), refSeen(k); got != want {
+			t.Fatalf("op %d: seen(%v) = %v, reference %v", i, k, got, want)
+		}
+	}
+}
+
+// BenchmarkPipelineStep measures the per-packet pipeline walk: a typical
+// five-program switch with two programs active in the default mode set.
+func BenchmarkPipelineStep(b *testing.B) {
+	sw := NewSwitch(1, TofinoLike())
+	r := NewRouter(1)
+	r.SetRoute(packet.HostAddr(9), 7)
+	must := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(sw.Install(Program{PPM: &fakePPM{name: "control"}, Priority: PriControl, Modes: 1}))
+	must(sw.Install(Program{PPM: r, Priority: PriRouting, Modes: 1}))
+	must(sw.Install(Program{PPM: &fakePPM{name: "reroute"}, Priority: PriReroute, Modes: ModeSet(0).With(2)}))
+	must(sw.Install(Program{PPM: &fakePPM{name: "mitigate"}, Priority: PriMitigate, Modes: ModeSet(0).With(3)}))
+	must(sw.Install(Program{PPM: &fakePPM{name: "obfuscate"}, Priority: PriObfuscate, Modes: ModeSet(0).With(4)}))
+	pkt := &packet.Packet{Dst: packet.HostAddr(9), TTL: 64, Proto: packet.ProtoTCP}
+	ctx := &Context{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Reset()
+		ctx.Pkt, ctx.InLink, ctx.OutLink = pkt, 2, -1
+		pkt.TTL = 64
+		sw.Process(ctx)
+	}
+}
+
+// BenchmarkFIBLookup measures one dense-FIB read on a 512-entry table.
+func BenchmarkFIBLookup(b *testing.B) {
+	r := NewRouter(1)
+	for i := 0; i < 512; i++ {
+		r.SetRoute(packet.HostAddr(i), topo.LinkID(i%16))
+	}
+	dsts := make([]packet.Addr, 64)
+	for i := range dsts {
+		dsts[i] = packet.HostAddr(i * 7 % 512)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink topo.LinkID
+	for i := 0; i < b.N; i++ {
+		sink += r.Lookup(dsts[i%len(dsts)])
+	}
+	_ = sink
+}
+
+// TestHotpathZeroAlloc pins the hot path's allocation behavior: the
+// compiled pipeline walk, the FIB lookup, and probe dedup must all run
+// allocation-free in steady state.
+func TestHotpathZeroAlloc(t *testing.T) {
+	sw := NewSwitch(1, TofinoLike())
+	r := NewRouter(1)
+	r.SetRoute(packet.HostAddr(9), 7)
+	if err := sw.Install(Program{PPM: r, Priority: PriRouting, Modes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := &packet.Packet{Dst: packet.HostAddr(9), TTL: 64, Proto: packet.ProtoTCP}
+	ctx := &Context{}
+	if n := testing.AllocsPerRun(200, func() {
+		ctx.Reset()
+		ctx.Pkt, ctx.InLink, ctx.OutLink = pkt, 2, -1
+		pkt.TTL = 64
+		sw.Process(ctx)
+	}); n != 0 {
+		t.Errorf("Switch.Process allocates %.1f per packet, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = r.Lookup(packet.HostAddr(9))
+		_ = r.Lookup(packet.RouterAddr(400)) // miss path
+	}); n != 0 {
+		t.Errorf("Router.Lookup allocates %.1f per call, want 0", n)
+	}
+	seq := uint32(0)
+	if n := testing.AllocsPerRun(2*seenCap, func() {
+		sw.SeenProbe(packet.DedupKey{Origin: packet.RouterAddr(2), Seq: seq, Kind: packet.ProbeUtil})
+		seq++
+	}); n != 0 {
+		t.Errorf("SeenProbe allocates %.1f per probe (including evictions), want 0", n)
+	}
+}

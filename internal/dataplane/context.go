@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"time"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Rand is the narrow deterministic randomness source PPMs may draw from.
+// The simulator injects eventsim's single seeded RNG here; the dataplane
+// package itself deliberately does not import math/rand, so no PPM can
+// construct a private source and the determinism boundary stays enforceable
+// by type (ffvet's determinism analyzer covers call sites; this interface
+// covers construction).
+type Rand interface {
+	Float64() float64
+	Intn(n int) int
+	Int63n(n int64) int64
+	Uint32() uint32
+	Uint64() uint64
+}
+
+// Emission is an extra packet a PPM injects into the network.
+type Emission struct {
+	Pkt *packet.Packet
+	// Via is the egress link, or -1 to flood on all switch-to-switch links
+	// except the ingress.
+	Via topo.LinkID
+}
+
+// Context carries one packet through a switch's pipeline. PPMs read the
+// packet and metadata, and write their forwarding decision and emissions.
+//
+// Now is the virtual clock of the driving simulation (a time.Duration since
+// simulation start, never a wall-clock read), injected per packet like RNG.
+type Context struct {
+	Now    time.Duration
+	Switch topo.NodeID
+	// InLink is the link the packet arrived on, or -1 for locally
+	// originated packets.
+	InLink topo.LinkID
+	Pkt    *packet.Packet
+	RNG    Rand
+	// Modes is the switch's active mode set at processing time, so PPMs
+	// can adapt behavior across mode combinations (e.g. reroute-all vs
+	// pin-normal-flows in Figure 2's step (2) vs step (3)).
+	Modes ModeSet
+
+	// OutLink is the chosen egress; -1 means no decision yet (the packet
+	// is dropped with a no-route error if the pipeline ends that way).
+	OutLink topo.LinkID
+
+	emissions []Emission
+}
+
+// Emit schedules an extra packet for transmission after the pipeline
+// completes. via = -1 floods it.
+func (c *Context) Emit(p *packet.Packet, via topo.LinkID) {
+	c.emissions = append(c.emissions, Emission{Pkt: p, Via: via})
+}
+
+// Emissions returns the packets emitted during this pipeline pass.
+func (c *Context) Emissions() []Emission { return c.emissions }
+
+// Reset clears the context for reuse, keeping the emissions backing array
+// so pooled contexts (netsim recycles one per pipeline pass) stop
+// allocating once the array has grown to the pipeline's emission high-water
+// mark.
+func (c *Context) Reset() {
+	em := c.emissions[:0]
+	for i := range c.emissions {
+		c.emissions[i] = Emission{}
+	}
+	*c = Context{emissions: em}
+}

@@ -2,9 +2,7 @@ package dataplane
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
-	"time"
 
 	"fastflex/internal/packet"
 	"fastflex/internal/topo"
@@ -79,57 +77,6 @@ const (
 	Consume
 )
 
-// Emission is an extra packet a PPM injects into the network.
-type Emission struct {
-	Pkt *packet.Packet
-	// Via is the egress link, or -1 to flood on all switch-to-switch links
-	// except the ingress.
-	Via topo.LinkID
-}
-
-// Context carries one packet through a switch's pipeline. PPMs read the
-// packet and metadata, and write their forwarding decision and emissions.
-type Context struct {
-	Now    time.Duration
-	Switch topo.NodeID
-	// InLink is the link the packet arrived on, or -1 for locally
-	// originated packets.
-	InLink topo.LinkID
-	Pkt    *packet.Packet
-	RNG    *rand.Rand
-	// Modes is the switch's active mode set at processing time, so PPMs
-	// can adapt behavior across mode combinations (e.g. reroute-all vs
-	// pin-normal-flows in Figure 2's step (2) vs step (3)).
-	Modes ModeSet
-
-	// OutLink is the chosen egress; -1 means no decision yet (the packet
-	// is dropped with a no-route error if the pipeline ends that way).
-	OutLink topo.LinkID
-
-	emissions []Emission
-}
-
-// Emit schedules an extra packet for transmission after the pipeline
-// completes. via = -1 floods it.
-func (c *Context) Emit(p *packet.Packet, via topo.LinkID) {
-	c.emissions = append(c.emissions, Emission{Pkt: p, Via: via})
-}
-
-// Emissions returns the packets emitted during this pipeline pass.
-func (c *Context) Emissions() []Emission { return c.emissions }
-
-// Reset clears the context for reuse, keeping the emissions backing array
-// so pooled contexts (netsim recycles one per pipeline pass) stop
-// allocating once the array has grown to the pipeline's emission high-water
-// mark.
-func (c *Context) Reset() {
-	em := c.emissions[:0]
-	for i := range c.emissions {
-		c.emissions[i] = Emission{}
-	}
-	*c = Context{emissions: em}
-}
-
 // PPM is a packet-processing module: the unit of installation, sharing, and
 // placement. Process is called once per packet in pipeline priority order.
 type PPM interface {
@@ -185,9 +132,15 @@ type Switch struct {
 	modes    ModeSet
 	seq      uint32
 
+	// Compiled forwarding plane: active is the pipeline compiled for the
+	// current mode set (see pipeline.go); pipelines caches compilations
+	// per ModeSet and epoch counts install/uninstall generations.
+	active    []pipelineStep
+	pipelines map[ModeSet][]pipelineStep
+	epoch     uint64
+
 	// probe duplicate suppression (bounded FIFO-evicted set)
-	seen      map[packet.DedupKey]struct{}
-	seenOrder []packet.DedupKey
+	seen *dedupTable
 
 	// Reconfiguring marks the switch as mid-repurpose: it cannot process
 	// packets and the simulator treats it as down (§3.4).
@@ -198,11 +151,11 @@ type Switch struct {
 	Dropped   uint64
 }
 
-const seenCap = 4096
-
 // NewSwitch returns a switch with the given resource budget.
 func NewSwitch(node topo.NodeID, budget Resources) *Switch {
-	return &Switch{Node: node, Budget: budget, seen: make(map[packet.DedupKey]struct{})}
+	s := &Switch{Node: node, Budget: budget, seen: newDedupTable()}
+	s.recompile()
+	return s
 }
 
 // Install admits a program if its footprint fits the remaining budget.
@@ -220,6 +173,7 @@ func (s *Switch) Install(p Program) error {
 		return s.programs[i].Priority < s.programs[j].Priority
 	})
 	s.used = s.used.Add(need)
+	s.invalidatePipelines()
 	return nil
 }
 
@@ -230,6 +184,7 @@ func (s *Switch) Uninstall(name string) PPM {
 		if p.PPM.Name() == name {
 			s.programs = append(s.programs[:i], s.programs[i+1:]...)
 			s.used = s.used.Sub(p.PPM.Resources())
+			s.invalidatePipelines()
 			return p.PPM
 		}
 	}
@@ -256,14 +211,21 @@ func (s *Switch) Used() Resources { return s.used }
 func (s *Switch) Modes() ModeSet { return s.modes }
 
 // SetMode activates or clears a mode locally. Mode 0 cannot be cleared.
+// Mode changes are RTT-timescale events (§3.2), so this is the natural
+// place to swap the compiled pipeline: the per-packet path never
+// re-evaluates mode gates.
 func (s *Switch) SetMode(m ModeID, on bool) {
 	if m == 0 {
 		return
 	}
+	prev := s.modes
 	if on {
 		s.modes = s.modes.With(m)
 	} else {
 		s.modes = s.modes.Without(m)
+	}
+	if s.modes != prev {
+		s.recompile()
 	}
 }
 
@@ -276,28 +238,23 @@ func (s *Switch) NextSeq() uint32 {
 // SeenProbe records a probe's dedup key and reports whether it was already
 // seen. The set is bounded; oldest entries fall out first.
 func (s *Switch) SeenProbe(k packet.DedupKey) bool {
-	if _, ok := s.seen[k]; ok {
-		return true
-	}
-	if len(s.seenOrder) >= seenCap {
-		old := s.seenOrder[0]
-		s.seenOrder = s.seenOrder[1:]
-		delete(s.seen, old)
-	}
-	s.seen[k] = struct{}{}
-	s.seenOrder = append(s.seenOrder, k)
-	return false
+	return s.seen.seen(k)
 }
 
-// Process runs the packet through the pipeline. It returns the final
-// verdict; the forwarding decision and emissions are left in ctx.
+// Process runs the packet through the compiled pipeline. It returns the
+// final verdict; the forwarding decision and emissions are left in ctx.
+//
+// The loop is the per-packet hot path of the whole simulator: it indexes a
+// flat slice of verdict-returning step functions compiled for the current
+// mode set (pipeline.go), so there is no per-packet mode-gate evaluation,
+// no map access, and no interface dispatch — mirroring how RMT hardware
+// runs a compiled match-action program rather than interpreting one.
+//
+//ffvet:hotpath
 func (s *Switch) Process(ctx *Context) Verdict {
 	s.Processed++
-	for _, p := range s.programs {
-		if !s.modeMatch(p.Modes) {
-			continue
-		}
-		switch v := p.PPM.Process(ctx); v {
+	for _, step := range s.active {
+		switch v := step.run(ctx); v {
 		case Drop:
 			s.Dropped++
 			return Drop

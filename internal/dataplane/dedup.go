@@ -1,0 +1,139 @@
+package dataplane
+
+import "fastflex/internal/packet"
+
+// Probe duplicate suppression sizing: the switch remembers the last seenCap
+// probe keys. The open-addressed table is kept at 2x capacity so linear
+// probe chains stay short (load factor <= 0.5).
+const (
+	seenCap       = 4096
+	seenTableSize = 2 * seenCap // power of two: probe masks use len-1
+)
+
+// dedupTable is a bounded set of probe dedup keys with FIFO eviction,
+// implemented as an open-addressed hash table (linear probing,
+// backward-shift deletion) plus a fixed ring recording insertion order.
+// It replaces the map[packet.DedupKey]struct{} + eviction-slice pair the
+// switch previously carried: same semantics — membership over the last
+// seenCap distinct keys — but the per-probe lookup is a handful of array
+// probes instead of a runtime map access, and steady state allocates
+// nothing. This is the simulated analogue of the fixed-size register array
+// an RMT switch would dedicate to duplicate suppression.
+type dedupTable struct {
+	keys []packet.DedupKey
+	used []bool
+	ring []packet.DedupKey
+	head int // ring index of the oldest live key
+	n    int // live keys
+}
+
+func newDedupTable() *dedupTable {
+	return &dedupTable{
+		keys: make([]packet.DedupKey, seenTableSize),
+		used: make([]bool, seenTableSize),
+		ring: make([]packet.DedupKey, seenCap),
+	}
+}
+
+// hash mixes the key's fields through a splitmix64 finalizer. DedupKey is
+// (origin address, sequence, probe kind); origin/seq dominate, so the
+// avalanche step is what spreads consecutive sequence numbers across the
+// table.
+func (d *dedupTable) hash(k packet.DedupKey) uint64 {
+	x := uint64(k.Origin)<<32 | uint64(k.Seq)
+	x ^= uint64(k.Kind) * 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func (d *dedupTable) home(k packet.DedupKey) int {
+	return int(d.hash(k)) & (len(d.keys) - 1)
+}
+
+// contains reports membership without mutating the table.
+func (d *dedupTable) contains(k packet.DedupKey) bool {
+	mask := len(d.keys) - 1
+	for i := d.home(k); d.used[i]; i = (i + 1) & mask {
+		if d.keys[i] == k {
+			return true
+		}
+	}
+	return false
+}
+
+// seen records k and reports whether it was already present. At capacity
+// the oldest key is evicted first — identical behavior to the previous
+// FIFO-evicted map implementation.
+func (d *dedupTable) seen(k packet.DedupKey) bool {
+	if d.contains(k) {
+		return true
+	}
+	if d.n >= len(d.ring) {
+		oldest := d.ring[d.head]
+		d.head = (d.head + 1) % len(d.ring)
+		d.n--
+		d.remove(oldest)
+	}
+	d.insert(k)
+	d.ring[(d.head+d.n)%len(d.ring)] = k
+	d.n++
+	return false
+}
+
+func (d *dedupTable) insert(k packet.DedupKey) {
+	mask := len(d.keys) - 1
+	i := d.home(k)
+	for d.used[i] {
+		i = (i + 1) & mask
+	}
+	d.keys[i] = k
+	d.used[i] = true
+}
+
+// remove deletes k with backward-shift compaction: after vacating k's slot
+// it walks the probe chain and pulls back any entry whose home position
+// precedes the hole, so lookups never need tombstones and probe chains
+// stay as short as a fresh insert would leave them.
+func (d *dedupTable) remove(k packet.DedupKey) {
+	mask := len(d.keys) - 1
+	i := d.home(k)
+	for {
+		if !d.used[i] {
+			return // not present (cannot happen for ring-tracked keys)
+		}
+		if d.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		d.used[i] = false
+		for {
+			j = (j + 1) & mask
+			if !d.used[j] {
+				return
+			}
+			h := d.home(d.keys[j])
+			// The entry at j stays put iff its home h lies cyclically in
+			// (i, j]; otherwise its probe chain crossed the hole at i and
+			// it must shift back.
+			var homeInRange bool
+			if i <= j {
+				homeInRange = i < h && h <= j
+			} else {
+				homeInRange = i < h || h <= j
+			}
+			if !homeInRange {
+				break
+			}
+		}
+		d.keys[i] = d.keys[j]
+		d.used[i] = true
+		i = j
+	}
+}

@@ -1,0 +1,80 @@
+package dataplane
+
+// Mode-epoch pipeline compilation.
+//
+// The interpreter the switch shipped with walked the installed program list
+// per packet, testing each program's mode gate and calling PPM.Process
+// through the interface — per-packet work that real RMT hardware does once,
+// at program-compile time, by staging a concrete match-action pipeline.
+// Here the equivalent: whenever the mode set changes (an RTT-timescale
+// event, §3.2) the switch compiles the programs that are active under that
+// mode set into a flat []pipelineStep of bound method values. The per-packet
+// loop in Switch.Process then makes plain func-value calls: no mode-gate
+// evaluation, no map access, no interface method dispatch.
+//
+// Compilations are cached per ModeSet, so a mode flapping on and off (the
+// common attack-on/attack-off cycle of Figure 3) compiles twice total, not
+// twice per flap. Install/Uninstall changes what any mode set means, so it
+// bumps the epoch and drops the whole cache.
+
+// pipelineStep is one compiled stage: the PPM's Process bound to its
+// receiver at compile time. A struct (rather than a bare func type) keeps
+// room for per-stage metadata without touching the hot loop's call shape.
+type pipelineStep struct {
+	run func(*Context) Verdict
+}
+
+// Epoch returns the switch's pipeline-compilation generation. It increments
+// on every Install/Uninstall (the events that invalidate all cached
+// compilations); mode changes reuse cache entries within an epoch.
+func (s *Switch) Epoch() uint64 { return s.epoch }
+
+// recompile points s.active at the compiled pipeline for the current mode
+// set, compiling and caching it on first use.
+func (s *Switch) recompile() {
+	if s.pipelines == nil {
+		s.pipelines = make(map[ModeSet][]pipelineStep, 4)
+	}
+	if steps, ok := s.pipelines[s.modes]; ok {
+		s.active = steps
+		return
+	}
+	steps := make([]pipelineStep, 0, len(s.programs))
+	for _, p := range s.programs {
+		if s.modeMatch(p.Modes) {
+			steps = append(steps, pipelineStep{run: p.PPM.Process})
+		}
+	}
+	s.pipelines[s.modes] = steps
+	s.active = steps
+}
+
+// invalidatePipelines drops every cached compilation and recompiles for the
+// current mode set. Called on Install/Uninstall, which change the meaning
+// of every mode set.
+func (s *Switch) invalidatePipelines() {
+	s.epoch++
+	s.pipelines = nil
+	s.recompile()
+}
+
+// processInterpreted is the retired per-packet interpreter, kept only as a
+// differential oracle: tests drive the same packets through both paths and
+// require identical verdicts and context mutations. It must not be called
+// from the simulator.
+func (s *Switch) processInterpreted(ctx *Context) Verdict {
+	s.Processed++
+	for _, p := range s.programs {
+		if !s.modeMatch(p.Modes) {
+			continue
+		}
+		switch v := p.PPM.Process(ctx); v {
+		case Drop:
+			s.Dropped++
+			return Drop
+		case Consume:
+			return Consume
+		}
+	}
+	return Continue
+}

@@ -2,7 +2,6 @@ package dataplane
 
 import (
 	"fmt"
-	"sync"
 
 	"fastflex/internal/packet"
 	"fastflex/internal/topo"
@@ -11,18 +10,35 @@ import (
 // Router is the base forwarding PPM every switch runs in every mode. It
 // owns TTL handling (including ICMP time-exceeded generation, which is what
 // makes traceroute — and hence both the Crossfire attacker and NetHide-style
-// obfuscation — work) and an exact-match destination table populated by the
+// obfuscation — work) and an exact-match destination FIB populated by the
 // centralized TE controller.
+//
+// The FIB is a dense array indexed by the destination's build-time node
+// index (packet.Addr.Node): NodeIDs are assigned densely at topology
+// construction, so the controller's exact-match entries land in a compact
+// table and the per-packet lookup is one bounds-checked array read — the
+// simulated analogue of an RMT exact-match stage — instead of a runtime map
+// access. Host and router addresses for the same index cannot both be
+// routed (an ID is globally either a host or a switch), but each slot still
+// records the exact address it was installed for, so lookups of addresses
+// outside the installed set (e.g. obfuscated router addresses synthesized
+// by the egress rewriter) miss exactly as the old map did.
+//
+// Router state is only ever touched from the simulation goroutine that owns
+// its Network (the determinism boundary guarantees serial execution below
+// the experiment.Runner layer), so there is no lock.
 type Router struct {
-	self topo.NodeID
+	self     topo.NodeID
+	selfAddr packet.Addr
 
-	mu    sync.Mutex
-	table map[packet.Addr]topo.LinkID
+	fibLink []topo.LinkID // -1 = empty slot
+	fibAddr []packet.Addr
+	routes  int
 }
 
 // NewRouter returns the routing PPM for a switch.
 func NewRouter(self topo.NodeID) *Router {
-	return &Router{self: self, table: make(map[packet.Addr]topo.LinkID)}
+	return &Router{self: self, selfAddr: packet.RouterAddr(int(self))}
 }
 
 // Name implements PPM.
@@ -35,42 +51,60 @@ func (r *Router) Resources() Resources {
 }
 
 // SetRoute installs dst → link. The controller calls this (with its own
-// control-latency) when it (re)computes TE.
+// control-latency) when it (re)computes TE. Addresses outside the dense
+// host/router prefixes are ignored (the controller never generates them).
 func (r *Router) SetRoute(dst packet.Addr, link topo.LinkID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.table[dst] = link
+	idx := dst.Node()
+	if idx < 0 {
+		return
+	}
+	for idx >= len(r.fibLink) {
+		r.fibLink = append(r.fibLink, -1)
+		r.fibAddr = append(r.fibAddr, 0)
+	}
+	if r.fibLink[idx] < 0 {
+		r.routes++
+	}
+	r.fibLink[idx] = link
+	r.fibAddr[idx] = dst
 }
 
-// ClearRoutes empties the table (controller reconfiguration).
+// ClearRoutes empties the FIB (controller reconfiguration). The backing
+// array is kept so the subsequent rebuild does not reallocate.
 func (r *Router) ClearRoutes() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.table = make(map[packet.Addr]topo.LinkID)
+	for i := range r.fibLink {
+		r.fibLink[i] = -1
+		r.fibAddr[i] = 0
+	}
+	r.routes = 0
 }
 
-// Route returns the installed egress for dst, or -1.
-func (r *Router) Route(dst packet.Addr) topo.LinkID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if l, ok := r.table[dst]; ok {
-		return l
+// Lookup returns the installed egress for dst, or -1. This is the
+// per-packet FIB access: one dense array read plus an exact-address
+// confirm, no map traffic.
+//
+//ffvet:hotpath
+func (r *Router) Lookup(dst packet.Addr) topo.LinkID {
+	idx := uint(dst.Node())
+	if idx < uint(len(r.fibLink)) && r.fibAddr[idx] == dst {
+		return r.fibLink[idx]
 	}
 	return -1
 }
 
+// Route returns the installed egress for dst, or -1.
+func (r *Router) Route(dst packet.Addr) topo.LinkID { return r.Lookup(dst) }
+
 // RouteCount returns the number of installed entries.
-func (r *Router) RouteCount() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.table)
-}
+func (r *Router) RouteCount() int { return r.routes }
 
 // Process implements PPM.
+//
+//ffvet:hotpath
 func (r *Router) Process(ctx *Context) Verdict {
 	p := ctx.Pkt
 	// Packets addressed to this switch's control address terminate here.
-	if p.Dst == packet.RouterAddr(int(r.self)) {
+	if p.Dst == r.selfAddr {
 		return Consume
 	}
 	// TTL: decrement on transit; on expiry, report time-exceeded back to
@@ -81,14 +115,14 @@ func (r *Router) Process(ctx *Context) Verdict {
 		if p.TTL <= 1 {
 			if p.Proto != packet.ProtoICMP {
 				te := &packet.Packet{
-					Src:       packet.RouterAddr(int(r.self)),
+					Src:       r.selfAddr,
 					Dst:       p.Src,
 					TTL:       64,
 					Proto:     packet.ProtoICMP,
 					Suspicion: p.Suspicion,
 					ICMP: &packet.ICMPInfo{
 						Type:    packet.ICMPTimeExceeded,
-						From:    packet.RouterAddr(int(r.self)),
+						From:    r.selfAddr,
 						OrigSeq: p.Seq,
 						OrigTTL: p.TTL,
 					},
@@ -100,7 +134,7 @@ func (r *Router) Process(ctx *Context) Verdict {
 		p.TTL--
 		p.Hops++
 	}
-	if l := r.Route(p.Dst); l >= 0 {
+	if l := r.Lookup(p.Dst); l >= 0 {
 		ctx.OutLink = l
 	}
 	return Continue

@@ -2,6 +2,7 @@ package eventsim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
@@ -18,26 +19,107 @@ type Event struct {
 	At   time.Duration // virtual time at which the event fires
 	Fn   func()        // callback; runs with the clock set to At
 	seq  uint64        // tie-breaker: insertion order for equal At
-	idx  int           // heap index, -1 once popped or cancelled
+	next *Event        // intrusive link in the calendar bucket's sorted list
+	idx  int           // bucket index, farIdx in the far tier, -1 otherwise
 	dead bool          // set by Cancel
 }
 
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.dead }
 
+// evLess orders events by time, then insertion order (FIFO tie-break).
+// (At, seq) is unique per event, so this is a strict total order: the pop
+// sequence is fully determined by the keys, independent of how the queue
+// is laid out — which is what makes the calendar queue output-identical
+// to the binary heap it replaced.
+//
+// The lexicographic compare is phrased as a 128-bit subtract-with-borrow
+// (bits.Sub64 lowers to SBB) rather than `a.At < b.At || ...`: key
+// comparisons on event times are near coin flips, and the short-circuit
+// form costs a branch mispredict on most of them. Virtual times are
+// non-negative (Schedule panics on the past), so the uint64(At)
+// reinterpretation preserves order.
+func evLess(a, b *Event) bool {
+	_, borrow := bits.Sub64(a.seq, b.seq, 0)
+	_, borrow = bits.Sub64(uint64(a.At), uint64(b.At), borrow)
+	return borrow != 0
+}
+
+// The near tier is a calendar queue (Brown 1988): a ring of numBuckets
+// time windows of bucketWidth each, where bucket i holds the sorted list
+// of pending events whose fire time falls in window i of some lap. Both
+// enqueue and dequeue are O(1) amortized — no per-operation log-factor
+// comparisons at all, unlike a heap.
+const (
+	bucketShift = 13 // 8.192µs windows
+	numBuckets  = 1024
+	bucketMask  = numBuckets - 1
+	bucketWidth = time.Duration(1) << bucketShift
+	ringSpan    = bucketWidth * numBuckets // one full lap: ~8.4ms
+)
+
+func bucketOf(at time.Duration) int {
+	return int(uint64(at)>>bucketShift) & bucketMask
+}
+
+// farWindow sizes the near-future horizon of the split queue: only events
+// due within this much virtual time of the earliest pending event live in
+// the calendar ring; everything later sits in the unordered far buffer.
+// Packet-timescale events (transmissions, hops) are microseconds out,
+// while timers (retransmission, reconfiguration tickers) are tens to
+// hundreds of milliseconds out — the split keeps the ring sparsely
+// occupied and makes cancelling a distant timer O(1). Half a lap, so a
+// migrated batch plus directly scheduled traffic stays well under one
+// ring revolution.
+const farWindow = ringSpan / 2
+
+// farIdx marks an event parked in the far buffer; its position is not
+// tracked because cancellation there is lazy (see Cancel).
+const farIdx = -2
+
+// farEntry is one far-buffer slot; the fire time is inlined so migration
+// sweeps scan a contiguous array.
+type farEntry struct {
+	at time.Duration
+	ev *Event
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 //
-// The event queue is a concrete-typed binary heap rather than
-// container/heap: the hot path (Schedule/Step, executed once or twice per
-// simulated packet per hop) avoids the interface-method indirection of
-// heap.Push/heap.Pop, and fired events are recycled through a free list so
-// steady-state scheduling performs no allocations (pinned by
-// TestScheduleSteadyStateZeroAlloc).
+// The event queue is split in two tiers. Events due before `split` live in
+// the calendar ring (`buckets`); later events sit unordered in `far` and
+// migrate into the ring in batches as the clock approaches them. The
+// tiering preserves the exact (At, seq) pop order — every far event is due
+// no earlier than every ring event — while keeping the ring sparse and
+// making timer cancellation O(1). The hot path (Schedule/Step, executed
+// once or twice per simulated packet per hop) performs no log-factor
+// comparison work and no interface dispatch, and fired events are recycled
+// through a free list so steady-state scheduling performs no allocations
+// (pinned by TestScheduleSteadyStateZeroAlloc).
 type Engine struct {
-	now     time.Duration
-	queue   []*Event
-	seq     uint64
+	now time.Duration
+	seq uint64
+
+	// Near tier: every live event with At < split, bucketed by fire time.
+	// cur/curEnd are the dequeue cursor: curEnd is the exclusive end of
+	// bucket cur's current window, and no live near event fires before
+	// curEnd-bucketWidth (inserting behind the cursor pulls it back).
+	// occ mirrors bucket occupancy one bit per bucket, so the cursor
+	// crosses idle stretches by word scan instead of probing every empty
+	// bucket in between.
+	buckets   [numBuckets]*Event
+	occ       [numBuckets / 64]uint64
+	nearCount int
+	cur       int
+	curEnd    time.Duration
+
+	// Far tier: live events with At >= split, plus cancelled entries not
+	// yet dropped. farLive counts only the live ones.
+	far     []farEntry
+	farLive int
+	split   time.Duration
+
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -52,7 +134,7 @@ type Engine struct {
 // New returns an engine whose RNG is seeded with seed. The same seed and the
 // same schedule of events always produce the same execution.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), curEnd: bucketWidth}
 }
 
 // Now returns the current virtual time.
@@ -65,90 +147,189 @@ func (e *Engine) RNG() *rand.Rand { return e.rng }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still queued. Cancelled events are
+// never counted: near-tier cancels remove eagerly and far-tier cancels
+// decrement the live count immediately.
+func (e *Engine) Pending() int { return e.nearCount + e.farLive }
 
-// less orders the heap by time, then insertion order (FIFO tie-break).
-func (e *Engine) less(i, j int) bool {
-	a, b := e.queue[i], e.queue[j]
-	if a.At != b.At {
-		return a.At < b.At
+// insertNear files ev into its calendar bucket, keeping the bucket's list
+// sorted by (At, seq). Buckets are sparse (the far tier keeps distant
+// timers out of the ring), so the insertion walk is a handful of steps.
+func (e *Engine) insertNear(ev *Event) {
+	b := bucketOf(ev.At)
+	ev.idx = b
+	if ev.At < e.curEnd-bucketWidth {
+		// The cursor coasted ahead of the clock across empty buckets
+		// (peeking at a distant next event); pull it back so the new
+		// earlier event is not skipped.
+		e.cur = b
+		e.curEnd = (ev.At &^ (bucketWidth - 1)) + bucketWidth
 	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) swap(i, j int) {
-	q := e.queue
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (e *Engine) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
+	h := e.buckets[b]
+	if h == nil || evLess(ev, h) {
+		ev.next = h
+		e.buckets[b] = ev
+		e.occ[b>>6] |= 1 << uint(b&63)
+	} else {
+		p := h
+		for p.next != nil && evLess(p.next, ev) {
+			p = p.next
 		}
-		e.swap(i, parent)
-		i = parent
+		ev.next = p.next
+		p.next = ev
+	}
+	e.nearCount++
+}
+
+// nextOccupied returns the cyclic distance (1..numBuckets) from bucket
+// `from` to the next occupied bucket strictly after it; a full lap back
+// to `from` itself yields numBuckets. At least one bucket must be
+// occupied (nearCount > 0).
+func (e *Engine) nextOccupied(from int) int {
+	const words = numBuckets / 64
+	start := (from + 1) & bucketMask
+	w := start >> 6
+	for k := 0; k <= words; k++ {
+		word := e.occ[(w+k)&(words-1)]
+		if k == 0 {
+			word &= ^uint64(0) << uint(start&63)
+		}
+		if word != 0 {
+			b := ((w+k)&(words-1))<<6 | bits.TrailingZeros64(word)
+			if d := (b - from) & bucketMask; d != 0 {
+				return d
+			}
+			return numBuckets
+		}
+	}
+	panic("eventsim: nextOccupied on empty ring")
+}
+
+// peekMin returns the earliest near event without removing it, advancing
+// the cursor to its bucket. The caller must ensure nearCount > 0.
+//
+// Correctness of the window check: bucket membership is a pure function
+// of the fire time, every live near event fires at or after
+// curEnd-bucketWidth (insertNear pulls the cursor back otherwise), and
+// in-bucket lists are sorted. So when the head of the cursor's bucket
+// fires inside the cursor's window, every other event — later buckets
+// this lap, earlier buckets next lap, or later laps of this bucket —
+// fires at or after curEnd, and the head is the global minimum. Ties in
+// fire time land in the same bucket, where seq orders them.
+func (e *Engine) peekMin() *Event {
+	for scanned := 0; ; {
+		if h := e.buckets[e.cur]; h != nil && h.At < e.curEnd {
+			return h
+		}
+		// Skip straight to the next occupied bucket; the gap holds no
+		// events on any lap, so its windows pass vacuously.
+		d := e.nextOccupied(e.cur)
+		e.cur = (e.cur + d) & bucketMask
+		e.curEnd += time.Duration(d) << bucketShift
+		if scanned += d; scanned > numBuckets {
+			// A whole lap with nothing due: the next event is more than
+			// one ring revolution ahead. Jump straight to it.
+			e.jumpCursor()
+			scanned = 0
+		}
 	}
 }
 
-func (e *Engine) siftDown(i int) {
-	n := len(e.queue)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
+// jumpCursor repositions the cursor at the earliest queued near event by
+// direct search — the rare path, taken only when the next event is more
+// than a full ring span away.
+func (e *Engine) jumpCursor() {
+	var min *Event
+	for _, h := range e.buckets {
+		if h != nil && (min == nil || evLess(h, min)) {
+			min = h
 		}
-		least := left
-		if right := left + 1; right < n && e.less(right, left) {
-			least = right
-		}
-		if !e.less(least, i) {
-			return
-		}
-		e.swap(i, least)
-		i = least
 	}
+	e.cur = bucketOf(min.At)
+	e.curEnd = (min.At &^ (bucketWidth - 1)) + bucketWidth
 }
 
-// push inserts ev into the heap.
-func (e *Engine) push(ev *Event) {
-	ev.idx = len(e.queue)
-	e.queue = append(e.queue, ev)
-	e.siftUp(ev.idx)
-}
-
-// popMin removes and returns the earliest event.
+// popMin removes and returns the earliest near event. The caller must
+// ensure nearCount > 0.
 func (e *Engine) popMin() *Event {
-	ev := e.queue[0]
-	last := len(e.queue) - 1
-	e.queue[0] = e.queue[last]
-	e.queue[0].idx = 0
-	e.queue[last] = nil
-	e.queue = e.queue[:last]
-	if last > 0 {
-		e.siftDown(0)
+	ev := e.peekMin()
+	if e.buckets[e.cur] = ev.next; ev.next == nil {
+		e.occ[e.cur>>6] &^= 1 << uint(e.cur&63)
 	}
+	ev.next = nil
 	ev.idx = -1
+	e.nearCount--
 	return ev
 }
 
-// removeAt deletes the event at heap index i.
-func (e *Engine) removeAt(i int) {
-	last := len(e.queue) - 1
-	if i != last {
-		e.swap(i, last)
+// removeNear unlinks a cancelled event from its bucket.
+func (e *Engine) removeNear(ev *Event) {
+	b := ev.idx
+	if p := e.buckets[b]; p == ev {
+		if e.buckets[b] = ev.next; ev.next == nil {
+			e.occ[b>>6] &^= 1 << uint(b&63)
+		}
+	} else {
+		for p.next != ev {
+			p = p.next
+		}
+		p.next = ev.next
 	}
-	e.queue[last] = nil
-	e.queue = e.queue[:last]
-	if i != last {
-		e.siftDown(i)
-		e.siftUp(i)
+	ev.next = nil
+	ev.idx = -1
+	e.nearCount--
+}
+
+// migrate advances the near/far boundary and moves every live far event
+// that falls under it into the calendar ring. Callers must ensure
+// farLive > 0; the new boundary clears the earliest far event, so the
+// ring is non-empty on return. Cancelled entries are dropped here (their
+// events stay unrecycled — see the free-list comment). Both passes scan
+// the buffer in append order, so the whole operation is a deterministic
+// function of the schedule/cancel history.
+func (e *Engine) migrate() {
+	var minAt time.Duration
+	found := false
+	for _, fe := range e.far {
+		if !fe.ev.dead && (!found || fe.at < minAt) {
+			minAt, found = fe.at, true
+		}
 	}
+	split := minAt + farWindow
+	keep := e.far[:0]
+	for _, fe := range e.far {
+		if fe.ev.dead {
+			continue
+		}
+		if fe.at < split {
+			e.insertNear(fe.ev)
+			e.farLive--
+		} else {
+			keep = append(keep, fe)
+		}
+	}
+	for i := len(keep); i < len(e.far); i++ {
+		e.far[i] = farEntry{} // unpin dropped events
+	}
+	e.far = keep
+	e.split = split
+}
+
+// compactFar drops cancelled entries from the far buffer in place,
+// bounding its growth when timers are cancelled much faster than the
+// clock advances (the AIMD sources cancel one retransmission timer per
+// acknowledged segment).
+func (e *Engine) compactFar() {
+	keep := e.far[:0]
+	for _, fe := range e.far {
+		if !fe.ev.dead {
+			keep = append(keep, fe)
+		}
+	}
+	for i := len(keep); i < len(e.far); i++ {
+		e.far[i] = farEntry{}
+	}
+	e.far = keep
 }
 
 // alloc returns a reset Event, reusing a fired one when possible.
@@ -165,6 +346,7 @@ func (e *Engine) alloc() *Event {
 // release recycles a cleanly fired event (see the free-list comment).
 func (e *Engine) release(ev *Event) {
 	ev.Fn = nil
+	ev.next = nil
 	ev.dead = false
 	ev.idx = -1
 	e.free = append(e.free, ev)
@@ -181,7 +363,16 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	ev.Fn = fn
 	ev.seq = e.seq
 	e.seq++
-	e.push(ev)
+	if at < e.split {
+		e.insertNear(ev)
+	} else {
+		ev.idx = farIdx
+		e.far = append(e.far, farEntry{at: at, ev: ev})
+		e.farLive++
+		if len(e.far) > 64 && len(e.far) > 4*e.farLive {
+			e.compactFar()
+		}
+	}
 	return ev
 }
 
@@ -198,15 +389,22 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 // handle is a no-op. Handles to events that already fired must not be
 // cancelled — the engine may have recycled them (see Event).
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.dead || ev.idx < 0 {
-		if ev != nil {
-			ev.dead = true
-		}
+	if ev == nil || ev.dead {
+		return
+	}
+	if ev.idx == farIdx {
+		// Far-tier cancel is O(1): the entry is dropped lazily at the
+		// next migration or compaction sweep.
+		ev.dead = true
+		e.farLive--
+		return
+	}
+	if ev.idx < 0 {
+		ev.dead = true // currently firing (or already popped)
 		return
 	}
 	ev.dead = true
-	e.removeAt(ev.idx)
-	ev.idx = -1
+	e.removeNear(ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -214,24 +412,32 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single next event, advancing the clock to its time.
 // It returns false when the queue is empty.
+//
+// This is the simulator's dispatch loop: every packet transmission, hop,
+// and timer funnels through here, so it must stay free of map traffic and
+// interface dispatch (ev.Fn is a plain func field).
+//
+//ffvet:hotpath
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.popMin()
-		if ev.dead {
-			continue
+	if e.nearCount == 0 {
+		if e.farLive == 0 {
+			return false
 		}
-		e.now = ev.At
-		e.fired++
-		ev.Fn()
-		// Recycle only events that fired cleanly: a Cancel from inside the
-		// callback means the caller still holds (and may re-cancel) the
-		// handle, so it must keep pointing at this event.
-		if !ev.dead {
-			e.release(ev)
-		}
-		return true
+		e.migrate()
 	}
-	return false
+	// The ring never holds cancelled events (near-tier cancels remove
+	// eagerly, migration drops dead far entries), so the head is live.
+	ev := e.popMin()
+	e.now = ev.At
+	e.fired++
+	ev.Fn()
+	// Recycle only events that fired cleanly: a Cancel from inside the
+	// callback means the caller still holds (and may re-cancel) the
+	// handle, so it must keep pointing at this event.
+	if !ev.dead {
+		e.release(ev)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty, until the virtual clock
@@ -242,13 +448,16 @@ func (e *Engine) Run(horizon time.Duration) uint64 {
 	e.stopped = false
 	for !e.stopped {
 		// Peek without popping so an over-horizon event stays queued.
-		for len(e.queue) > 0 && e.queue[0].dead {
-			e.popMin()
+		// Migration and cursor movement only reposition events and the
+		// scan state, never fire anything, so peeking is side-effect
+		// free as far as the simulation is concerned.
+		if e.nearCount == 0 {
+			if e.farLive == 0 {
+				break
+			}
+			e.migrate()
 		}
-		if len(e.queue) == 0 {
-			break
-		}
-		if e.queue[0].At > horizon {
+		if e.peekMin().At > horizon {
 			break
 		}
 		e.Step()

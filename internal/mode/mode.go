@@ -84,6 +84,11 @@ type Controller struct {
 	seq     uint32
 
 	activatedAt map[dataplane.ModeID]time.Duration
+	// leaseFloor is a lower bound on every value in activatedAt (it may lag
+	// behind the true minimum after a refresh, never run ahead of it). It
+	// lets the per-packet expire() check bail with one comparison instead
+	// of sorting the lease map on every packet the switch forwards.
+	leaseFloor  time.Duration
 	changeTimes []time.Duration
 
 	// Distributed detection: local metric providers and remote views.
@@ -149,9 +154,17 @@ func (c *Controller) Process(ctx *dataplane.Context) dataplane.Verdict {
 // bypasses the dwell and budget checks: it is the stabilizer of last
 // resort, not a normal transition.
 func (c *Controller) expire(now time.Duration) {
-	if c.cfg.SoftTTL <= 0 {
+	if c.cfg.SoftTTL <= 0 || len(c.activatedAt) == 0 {
 		return
 	}
+	// Every lease was (re)activated at or after leaseFloor, so nothing can
+	// have lapsed yet unless the floor itself has. A stale-low floor only
+	// costs an occasional wasted sweep; each lease is still checked exactly
+	// when it expires.
+	if now-c.leaseFloor <= c.cfg.SoftTTL {
+		return
+	}
+	floor := now
 	// Sorted so that OnChange observers see expirations in mode order, not
 	// map order, when several leases lapse on the same tick.
 	for _, m := range eventsim.SortedKeys(c.activatedAt) {
@@ -162,8 +175,11 @@ func (c *Controller) expire(now time.Duration) {
 			if c.OnChange != nil {
 				c.OnChange(m, false, now)
 			}
+		} else if at < floor {
+			floor = at
 		}
 	}
+	c.leaseFloor = floor
 }
 
 func (c *Controller) handleModeChange(ctx *dataplane.Context) dataplane.Verdict {
@@ -217,6 +233,9 @@ func (c *Controller) apply(m dataplane.ModeID, active bool, now time.Duration) {
 	if !c.budgetOK(now) {
 		c.Suppressed++
 		return
+	}
+	if len(c.activatedAt) == 0 {
+		c.leaseFloor = now
 	}
 	c.activatedAt[m] = now
 	c.setMode(m, true)

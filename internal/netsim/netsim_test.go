@@ -195,6 +195,34 @@ func TestAIMDBacksOffUnderCongestion(t *testing.T) {
 	}
 }
 
+func TestAIMDTrackingMapsBounded(t *testing.T) {
+	n, h0, h1 := twoHostLine(t)
+	src := NewAIMDSource(n, h0, packet.HostAddr(int(h1)), 5000, 80, 1400)
+	src.Start()
+	// A clean phase accumulates acked-segment volume, then a congestion
+	// burst exercises the loss/timeout/reordering paths, then the flow
+	// recovers — so the maps see every mutation path before measurement.
+	n.Run(4 * time.Second)
+	blast := NewCBRSource(n, h0, packet.HostAddr(int(h1)), 7, 9, packet.ProtoUDP, 1400, 300e6)
+	blast.Start()
+	n.Run(time.Second)
+	blast.Stop()
+	n.Run(time.Second)
+	segments := src.AckedBytes() / 1400
+	if segments < 1000 {
+		t.Fatalf("too few segments acked (%d) for the bound to be meaningful", segments)
+	}
+	// Before the cumulative-ack floor, len(acked) equaled the total number
+	// of segments ever acknowledged. Now every map must stay within the
+	// flow's reordering window, far below the segment count.
+	const bound = 512
+	acked, sendTimes, inflight := src.ackedMapSizes()
+	if acked > bound || sendTimes > bound || inflight > bound {
+		t.Fatalf("tracking maps unbounded after %d segments: acked=%d sendTimes=%d inflight=%d (bound %d)",
+			segments, acked, sendTimes, inflight, bound)
+	}
+}
+
 func TestAIMDStopCancelsTimers(t *testing.T) {
 	n, h0, h1 := twoHostLine(t)
 	src := NewAIMDSource(n, h0, packet.HostAddr(int(h1)), 5000, 80, 1400)

@@ -51,8 +51,12 @@ type Network struct {
 	G   *topo.Graph
 	Cfg Config
 
-	switches map[topo.NodeID]*dataplane.Switch
-	hosts    map[topo.NodeID]*Host
+	// switches and hosts are dense arrays indexed by NodeID (IDs are
+	// assigned densely at topology construction); the slot for a node of
+	// the other kind is nil. Per-packet node resolution is one
+	// bounds-checked slice read instead of a map access.
+	switches []*dataplane.Switch
+	hosts    []*Host
 	links    []*linkState
 
 	// Hot-path pools. All three are per-Network (simulations are
@@ -87,8 +91,8 @@ func New(g *topo.Graph, cfg Config) *Network {
 		Eng:      eventsim.New(cfg.Seed),
 		G:        g,
 		Cfg:      cfg,
-		switches: make(map[topo.NodeID]*dataplane.Switch),
-		hosts:    make(map[topo.NodeID]*Host),
+		switches: make([]*dataplane.Switch, len(g.Nodes)),
+		hosts:    make([]*Host, len(g.Nodes)),
 	}
 	for _, node := range g.Nodes {
 		switch node.Kind {
@@ -155,15 +159,27 @@ func (n *Network) putCtx(ctx *dataplane.Context) {
 	n.ctxFree = append(n.ctxFree, ctx)
 }
 
-// Switch returns the dataplane switch at node id (nil for hosts).
-func (n *Network) Switch(id topo.NodeID) *dataplane.Switch { return n.switches[id] }
+// Switch returns the dataplane switch at node id (nil for hosts and
+// out-of-range ids).
+func (n *Network) Switch(id topo.NodeID) *dataplane.Switch {
+	if uint(id) >= uint(len(n.switches)) {
+		return nil
+	}
+	return n.switches[id]
+}
 
-// Host returns the host runtime at node id (nil for switches).
-func (n *Network) Host(id topo.NodeID) *Host { return n.hosts[id] }
+// Host returns the host runtime at node id (nil for switches and
+// out-of-range ids).
+func (n *Network) Host(id topo.NodeID) *Host {
+	if uint(id) >= uint(len(n.hosts)) {
+		return nil
+	}
+	return n.hosts[id]
+}
 
 // Router returns the base routing PPM of the switch at id.
 func (n *Network) Router(id topo.NodeID) *dataplane.Router {
-	sw := n.switches[id]
+	sw := n.Switch(id)
 	if sw == nil {
 		return nil
 	}
@@ -213,7 +229,7 @@ func (n *Network) OriginateAt(sw topo.NodeID, pkt *packet.Packet) {
 
 // SendFromHost transmits a packet from a host onto its access link.
 func (n *Network) SendFromHost(h topo.NodeID, pkt *packet.Packet) {
-	host := n.hosts[h]
+	host := n.Host(h)
 	if host == nil {
 		panic(fmt.Sprintf("netsim: node %d is not a host", h))
 	}
@@ -230,7 +246,7 @@ func (n *Network) arrive(l topo.LinkID, pkt *packet.Packet) {
 	if n.Tracer != nil {
 		n.Tracer(n.Eng.Now(), to, pkt)
 	}
-	if host, ok := n.hosts[to]; ok {
+	if host := n.hosts[to]; host != nil {
 		n.Delivered++
 		host.receive(pkt, l)
 		// End of the packet's life: handlers and sinks run synchronously

@@ -124,12 +124,19 @@ type AIMDSource struct {
 	dport   uint16
 	payload uint16
 
-	cwnd      float64
-	ssthresh  float64
-	nextSeq   uint32
-	inflight  map[uint32]*eventsim.Event
-	acked     map[uint32]bool
-	sendTimes map[uint32]time.Duration
+	cwnd     float64
+	ssthresh float64
+	nextSeq  uint32
+	inflight map[uint32]*eventsim.Event
+	// Acked-segment tracking is a cumulative floor plus a sparse set above
+	// it: every seq < ackedFloor is acknowledged, and acked holds only the
+	// out-of-order segments at or above the floor. Entries are folded into
+	// the floor as it advances, so the map stays bounded by the reordering
+	// window instead of growing by one entry per segment for the lifetime
+	// of the flow.
+	ackedFloor uint32
+	acked      map[uint32]bool
+	sendTimes  map[uint32]time.Duration
 
 	// maxRateBps, when > 0, caps the window like an application-limited
 	// sender (a video stream or web session): the flow never offers more
@@ -264,8 +271,8 @@ func (s *AIMDSource) onAck(p *packet.Packet) {
 		}
 		delete(s.sendTimes, seq)
 	}
-	if !s.acked[seq] {
-		s.acked[seq] = true
+	if !s.isAcked(seq) {
+		s.markAcked(seq)
 		s.ackedBytes += uint64(s.payload)
 		// Window growth only on first ACK of a segment.
 		if s.cwnd < s.ssthresh {
@@ -289,9 +296,30 @@ func (s *AIMDSource) onTimeout(seq uint32) {
 		s.ssthresh = 2
 	}
 	s.cwnd = 2
-	if !s.acked[seq] {
+	if !s.isAcked(seq) {
 		s.retransmits++
 		s.transmit(seq)
 	}
 	s.pump()
+}
+
+// isAcked reports whether seq has been acknowledged at least once.
+func (s *AIMDSource) isAcked(seq uint32) bool {
+	return seq < s.ackedFloor || s.acked[seq]
+}
+
+// markAcked records seq as acknowledged and advances the cumulative floor
+// over any now-contiguous out-of-order entries, pruning them from the map.
+func (s *AIMDSource) markAcked(seq uint32) {
+	s.acked[seq] = true
+	for s.acked[s.ackedFloor] {
+		delete(s.acked, s.ackedFloor)
+		s.ackedFloor++
+	}
+}
+
+// ackedMapSizes reports the sparse tracking-map sizes (tests assert these
+// stay bounded in steady state).
+func (s *AIMDSource) ackedMapSizes() (acked, sendTimes, inflight int) {
+	return len(s.acked), len(s.sendTimes), len(s.inflight)
 }
