@@ -9,37 +9,85 @@ import (
 )
 
 // Benchstat-style baseline comparison: load a committed BENCH_ffbench.json,
-// line up per-experiment mean wall times with the current run, print a
-// delta table, and report regression when an experiment (or the total) is
-// slower than the baseline by more than the threshold.
+// line up per-experiment wall times and allocation totals with the current
+// run, print a delta table, and report regression when an experiment (or
+// the total) is worse than the baseline by more than the threshold.
 //
-// Wall time is noisy — CI machines share cores — so two guards keep the
-// gate from flapping: experiments whose baseline mean is under
-// compareMinWallMS are reported but never gate, and the threshold applies
-// to the mean over the run's seeds, not any single run.
-const compareMinWallMS = 200
+// Wall time is noisy — CI machines share cores — so three guards keep the
+// gate from flapping: the gated statistic is the MINIMUM wall time over
+// the run's seeds (the min is the run least disturbed by the machine, the
+// estimator benchstat recommends for wall clocks), experiments whose
+// baseline min is under compareMinWallMS are reported but never gate, and
+// allocation — which is deterministic per seed, not noisy — gates on the
+// mean with its own tighter threshold and an absolute floor.
+const (
+	compareMinWallMS = 200
+	// allocThresholdPct gates mean allocated bytes per run. Allocation is
+	// reproducible, so the margin only needs to absorb Go-version and
+	// map-layout jitter, not scheduling noise.
+	allocThresholdPct = 10
+	// compareMinAllocMB: experiments allocating under this at baseline are
+	// never gated on allocation (fixed-size table experiments sit in the
+	// noise floor of runtime bookkeeping).
+	compareMinAllocMB = 1
+)
 
-// meanWallByID averages wall ms over each experiment's non-failed runs.
-func meanWallByID(exps []experimentReport) map[string]float64 {
-	out := make(map[string]float64, len(exps))
+// statsByID reduces each experiment's non-failed runs to the two gated
+// statistics: min wall ms and mean allocated MB.
+func statsByID(exps []experimentReport) (minWall, meanAlloc map[string]float64) {
+	minWall = make(map[string]float64, len(exps))
+	meanAlloc = make(map[string]float64, len(exps))
 	for _, er := range exps {
-		var sum float64
-		var n int
+		var allocSum float64
+		n := 0
 		for _, r := range er.Runs {
-			if r.Error == "" {
-				sum += r.WallMS
-				n++
+			if r.Error != "" {
+				continue
 			}
+			if cur, ok := minWall[er.ID]; !ok || r.WallMS < cur {
+				minWall[er.ID] = r.WallMS
+			}
+			allocSum += r.AllocMB
+			n++
 		}
 		if n > 0 {
-			out[er.ID] = sum / float64(n)
+			meanAlloc[er.ID] = allocSum / float64(n)
 		}
 	}
-	return out
+	return minWall, meanAlloc
+}
+
+// currentStats renders this run's results into the same experimentReport
+// shape the JSON report uses, so baseline and current reductions share one
+// code path.
+func currentStats(results []experiment.RunResult) (minWall, meanAlloc map[string]float64) {
+	byID := make(map[string]*experimentReport)
+	var order []string
+	for _, rr := range results {
+		er, ok := byID[rr.ID]
+		if !ok {
+			er = &experimentReport{ID: rr.ID}
+			byID[rr.ID] = er
+			order = append(order, rr.ID)
+		}
+		run := runReport{
+			WallMS:  float64(rr.Wall.Microseconds()) / 1e3,
+			AllocMB: float64(rr.AllocBytes) / (1 << 20),
+		}
+		if rr.Err != nil {
+			run.Error = rr.Err.Error()
+		}
+		er.Runs = append(er.Runs, run)
+	}
+	exps := make([]experimentReport, 0, len(order))
+	for _, id := range order {
+		exps = append(exps, *byID[id])
+	}
+	return statsByID(exps)
 }
 
 // compareBaseline prints the comparison table and returns whether any
-// gated row regressed beyond thresholdPct.
+// gated row regressed beyond its threshold.
 func compareBaseline(path string, thresholdPct float64,
 	defs []experiment.Def, results []experiment.RunResult) (regressed bool, err error) {
 	data, err := os.ReadFile(path)
@@ -50,58 +98,60 @@ func compareBaseline(path string, thresholdPct float64,
 	if err := json.Unmarshal(data, &base); err != nil {
 		return false, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	baseWall := meanWallByID(base.Experiments)
+	baseWall, baseAlloc := statsByID(base.Experiments)
+	curWall, curAlloc := currentStats(results)
 
-	// Current per-experiment means, computed the same way as the report.
-	curWall := make(map[string]float64)
-	curN := make(map[string]int)
-	for _, rr := range results {
-		if rr.Err != nil {
-			continue
-		}
-		curWall[rr.ID] += float64(rr.Wall.Microseconds()) / 1e3
-		curN[rr.ID]++
-	}
-
-	fmt.Printf("-- wall-time vs %s (threshold %+.0f%%) --\n", path, thresholdPct)
-	fmt.Printf("  %-10s %12s %12s %8s\n", "experiment", "base ms", "now ms", "delta")
-	var baseTotal, curTotal float64
+	fmt.Printf("-- min wall / mean alloc vs %s (wall %+.0f%%, alloc %+d%%) --\n",
+		path, thresholdPct, allocThresholdPct)
+	fmt.Printf("  %-10s %12s %12s %8s %11s %11s %8s\n",
+		"experiment", "base ms", "now ms", "delta", "base MB", "now MB", "delta")
+	var baseWallTotal, curWallTotal float64
 	for _, d := range defs {
 		b, okB := baseWall[d.ID]
-		if n := curN[d.ID]; n > 0 {
-			curWall[d.ID] /= float64(n)
-		}
 		c, okC := curWall[d.ID]
 		if !okB || !okC {
-			fmt.Printf("  %-10s %12s %12s %8s\n", d.ID, dash(okB, b), dash(okC, c), "n/a")
+			fmt.Printf("  %-10s %12s %12s %8s %11s %11s %8s\n",
+				d.ID, dash(okB, b), dash(okC, c), "n/a",
+				dash(false, 0), dash(false, 0), "n/a")
 			continue
 		}
-		baseTotal += b
-		curTotal += c
-		delta := (c - b) / b * 100
+		baseWallTotal += b
+		curWallTotal += c
+		wallDelta := (c - b) / b * 100
+		ba, ca := baseAlloc[d.ID], curAlloc[d.ID]
+		var allocDelta float64
+		if ba > 0 {
+			allocDelta = (ca - ba) / ba * 100
+		}
 		mark := ""
-		if delta > thresholdPct {
+		if wallDelta > thresholdPct {
 			if b >= compareMinWallMS {
 				regressed = true
-				mark = "  REGRESSION"
+				mark = "  WALL REGRESSION"
 			} else {
 				mark = "  (under min wall, not gated)"
 			}
 		}
-		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%%%s\n", d.ID, b, c, delta, mark)
+		if allocDelta > allocThresholdPct && ba >= compareMinAllocMB {
+			regressed = true
+			mark += "  ALLOC REGRESSION"
+		}
+		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%% %11.2f %11.2f %+7.1f%%%s\n",
+			d.ID, b, c, wallDelta, ba, ca, allocDelta, mark)
 	}
-	if baseTotal > 0 {
-		delta := (curTotal - baseTotal) / baseTotal * 100
+	if baseWallTotal > 0 {
+		delta := (curWallTotal - baseWallTotal) / baseWallTotal * 100
 		mark := ""
 		if delta > thresholdPct {
-			if baseTotal >= compareMinWallMS {
+			if baseWallTotal >= compareMinWallMS {
 				regressed = true
-				mark = "  REGRESSION"
+				mark = "  WALL REGRESSION"
 			} else {
 				mark = "  (under min wall, not gated)"
 			}
 		}
-		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%%%s\n", "total", baseTotal, curTotal, delta, mark)
+		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%%%s\n",
+			"total", baseWallTotal, curWallTotal, delta, mark)
 	}
 	fmt.Println()
 	return regressed, nil

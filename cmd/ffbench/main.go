@@ -18,8 +18,9 @@
 //	ffbench -seeds 5            # run seeded experiments over seeds 1..5
 //	ffbench -json               # write BENCH_ffbench.json
 //	ffbench -short              # cut-down horizons (CI smoke)
+//	ffbench -shards 4           # sharded parallel engine (0 = serial)
 //	ffbench -check              # exit 1 if shape checks fail
-//	ffbench -compare BENCH_ffbench.json   # exit 1 on >15% wall-time regression
+//	ffbench -compare BENCH_ffbench.json   # exit 1 on wall-time or alloc regression
 //	ffbench -cpuprofile cpu.pb.gz         # pprof CPU profile of the whole run
 //	ffbench -memprofile mem.pb.gz         # pprof allocation profile at exit
 //	ffbench -trace trace.out              # runtime execution trace
@@ -44,6 +45,7 @@ type report struct {
 	GoMaxProcs  int                `json:"gomaxprocs"`
 	Workers     int                `json:"workers"`
 	Seeds       []int64            `json:"seeds"`
+	Shards      int                `json:"shards"`
 	Short       bool               `json:"short"`
 	TotalWallMS float64            `json:"total_wall_ms"`
 	Experiments []experimentReport `json:"experiments"`
@@ -84,7 +86,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
+	shards := flag.Int("shards", 0, "engine shard count for simulations (0 = serial engine)")
 	flag.Parse()
+	experiment.DefaultShards = *shards
 
 	stopProfiles, err := startProfiles(*cpuprofile, *traceOut)
 	if err != nil {
@@ -244,6 +248,7 @@ func writeReport(defs []experiment.Def, seeds []int64, workers int, short bool,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
 		Seeds:       seeds,
+		Shards:      experiment.DefaultShards,
 		Short:       short,
 		TotalWallMS: float64(totalWall.Microseconds()) / 1e3,
 		ShapeErrors: shapeErrs,

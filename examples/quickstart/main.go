@@ -75,5 +75,5 @@ func main() {
 		dropped += d.DroppedHigh
 	}
 	fmt.Printf("\nmitigation summary: %d suspicious packets rerouted, %d dropped, %d mode events\n",
-		rerouted, dropped, len(fab.ModeEvents))
+		rerouted, dropped, len(fab.ModeEvents()))
 }

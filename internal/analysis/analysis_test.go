@@ -116,6 +116,18 @@ func TestDeterminismBoundaryFixtures(t *testing.T) {
 	checkFixture(t, "fastflex/internal/dataplane", "det_serial.go", Determinism)
 }
 
+// TestDeterminismShardRuntimeFixtures pins the fourth tier: the two
+// shard-runtime files (internal/eventsim/shard.go, internal/netsim/shard.go)
+// may launch goroutines — the conservative barrier protocol makes scheduler
+// interleaving unobservable — but keep every other determinism ban, and the
+// exemption is keyed on the full package-relative path, so a shard.go in
+// any other package is still checked under the normal rules.
+func TestDeterminismShardRuntimeFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/eventsim", "tier4/shard.go", Determinism)
+	checkFixture(t, "fastflex/internal/netsim", "tier4net/shard.go", Determinism)
+	checkFixture(t, "fastflex/internal/dataplane", "tier4bad/shard.go", Determinism)
+}
+
 func TestDeterminismBareWaiver(t *testing.T) {
 	diags := runFixture(t, "fastflex/internal/netsim", "det_bare.go", Determinism)
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -56,6 +57,20 @@ var runnerPackages = map[string]bool{
 // the deterministic engine all model randomness must flow from.
 const rngPackage = "internal/eventsim"
 
+// shardRuntimeFiles is the fourth tier: the shard-runtime files that
+// implement the conservative parallel engine. These — and only these — may
+// launch goroutines below the runner boundary, because the barrier window
+// protocol guarantees the interleaving the Go scheduler picks is
+// unobservable (shards exchange state exclusively at deterministic
+// barriers). Every other determinism ban still applies inside them:
+// shard-local simulation code must stay wall-clock-free and rand-free.
+// Keyed by package-relative path + basename, so a file must both live in
+// the named package and carry the canonical name to get the exemption.
+var shardRuntimeFiles = map[string]bool{
+	"internal/eventsim/shard.go": true,
+	"internal/netsim/shard.go":   true,
+}
+
 // rules is the per-package determinism rule set, derived from which side
 // of the concurrency boundary the package is on.
 type rules struct {
@@ -88,15 +103,21 @@ func rulesFor(rel string) rules {
 func Determinism(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		r := rulesFor(modRelPath(pkg))
+		rel := modRelPath(pkg)
+		r := rulesFor(rel)
 		for _, file := range pkg.Files {
+			fr := r
+			name := filepath.Base(fset.Position(file.Pos()).Filename)
+			if shardRuntimeFiles[rel+"/"+name] {
+				fr.banGo = false
+			}
 			dirs := directives(fset, file, &diags)
 			for _, decl := range file.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
 				if !ok || fn.Body == nil {
 					continue
 				}
-				checkFunc(fset, pkg, fn, r, dirs, &diags)
+				checkFunc(fset, pkg, fn, fr, dirs, &diags)
 			}
 		}
 	}

@@ -1,0 +1,18 @@
+package eventsim
+
+// Tier-4 fixture: checked as if it were internal/eventsim/shard.go, one of
+// the two allowlisted shard-runtime files. The goroutine ban is lifted —
+// the conservative barrier protocol makes scheduler interleaving
+// unobservable — so the launch below produces no diagnostic. Everything
+// else about the file still sits below the concurrency boundary.
+
+func launchShardWorkers(windows []chan int, done chan struct{}) {
+	for _, ch := range windows {
+		ch := ch
+		go func() { // no diagnostic: shard-runtime files may spawn workers
+			for range ch {
+			}
+			done <- struct{}{}
+		}()
+	}
+}

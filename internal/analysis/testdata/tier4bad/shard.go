@@ -1,0 +1,10 @@
+package dataplane
+
+// Negative control for the tier-4 allowlist: the file is named shard.go
+// but lives in internal/dataplane, which has no shard-runtime entry, so
+// the goroutine ban applies as usual. The exemption is keyed on the full
+// package-relative path, not the basename.
+
+func notAShardRuntime(done chan struct{}) {
+	go close(done) // want determinism "goroutine launch below the concurrency boundary"
+}

@@ -1,0 +1,20 @@
+package netsim
+
+import "time"
+
+// Tier-4 fixture for the netsim side: internal/netsim/shard.go may launch
+// goroutines, but every other simulation-package ban still applies inside
+// it — the exemption is per-rule, not a blanket waiver. The wall-clock
+// read below must still be flagged.
+
+func drainAtBarrier(rings []chan int) {
+	for _, ch := range rings {
+		go func(c chan int) { // no diagnostic: shard-runtime file
+			<-c
+		}(ch)
+	}
+}
+
+func stampWindow() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now in a simulation package"
+}

@@ -123,7 +123,7 @@ func TestBalancedRoutesDeliverEverywhere(t *testing.T) {
 			t.Fatalf("server %d did not receive", i*2)
 		}
 	}
-	if n.DropsNoRoute != 0 {
-		t.Fatalf("no-route drops: %d", n.DropsNoRoute)
+	if n.DropsNoRoute() != 0 {
+		t.Fatalf("no-route drops: %d", n.DropsNoRoute())
 	}
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -76,8 +77,13 @@ type Fabric struct {
 
 	Scaler *state.Repurposer
 
-	// ModeEvents records every applied mode transition network-wide.
-	ModeEvents []ModeEvent
+	// modeLog records applied mode transitions per switch, indexed densely
+	// by node ID. Each switch's OnChange hook appends only to its own
+	// element — a distinct memory word per switch, so under the sharded
+	// engine concurrent shards never touch shared state (a map would race
+	// on its internal buckets even with distinct keys); the ModeEvents
+	// accessor merges the logs into one (At, Switch)-ordered view.
+	modeLog [][]ModeEvent
 }
 
 // ModeEvent is one applied mode transition at one switch.
@@ -86,6 +92,23 @@ type ModeEvent struct {
 	Switch topo.NodeID
 	Mode   dataplane.ModeID
 	Active bool
+}
+
+// ModeEvents returns every applied mode transition network-wide, merged
+// across the per-switch logs and ordered by (At, Switch). The order is
+// independent of both map iteration and the shard count the run used.
+func (f *Fabric) ModeEvents() []ModeEvent {
+	var out []ModeEvent
+	for _, evs := range f.modeLog {
+		out = append(out, evs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Switch < out[j].Switch
+	})
+	return out
 }
 
 // New deploys a fabric on the topology: Figure 1 steps (a)–(c) plus
@@ -106,6 +129,7 @@ func New(g *topo.Graph, cfg Config) (*Fabric, error) {
 		Obfuscators: make(map[topo.NodeID]*booster.Obfuscator),
 		HeavyHit:    make(map[topo.NodeID]*booster.HeavyHitter),
 		Receivers:   make(map[topo.NodeID]*state.Receiver),
+		modeLog:     make([][]ModeEvent, len(g.Nodes)),
 	}
 	// Stable-mode TE (centralized, computed once up front).
 	f.TE = control.NewTEController(n, control.Config{})
@@ -215,7 +239,7 @@ func (f *Fabric) installControl(sw topo.NodeID) error {
 	}
 	ctrl := mode.NewController(sw, s.SetMode, s.SeenProbe, mc)
 	ctrl.OnChange = func(m dataplane.ModeID, active bool, now time.Duration) {
-		f.ModeEvents = append(f.ModeEvents, ModeEvent{At: now, Switch: sw, Mode: m, Active: active})
+		f.modeLog[sw] = append(f.modeLog[sw], ModeEvent{At: now, Switch: sw, Mode: m, Active: active})
 	}
 	f.Controllers[sw] = ctrl
 	if err := s.Install(dataplane.Program{PPM: ctrl, Priority: dataplane.PriControl, Modes: 1}); err != nil {

@@ -123,7 +123,7 @@ func TestFabricDetectsAndActivatesModes(t *testing.T) {
 			t.Fatalf("mitigate mode inactive at switch %d", sw)
 		}
 	}
-	if len(fab.ModeEvents) == 0 {
+	if len(fab.ModeEvents()) == 0 {
 		t.Fatal("no mode events recorded")
 	}
 	// Rerouting engaged: probes flowed and suspicious traffic moved.

@@ -241,6 +241,11 @@ func (s *Switch) SeenProbe(k packet.DedupKey) bool {
 	return s.seen.seen(k)
 }
 
+// DedupEvictions reports how many probe keys the bounded dedup table has
+// evicted. Sustained growth means the probe working set is larger than
+// the table and stale duplicates would be re-accepted.
+func (s *Switch) DedupEvictions() uint64 { return s.seen.Evictions() }
+
 // Process runs the packet through the compiled pipeline. It returns the
 // final verdict; the forwarding decision and emissions are left in ctx.
 //

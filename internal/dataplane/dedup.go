@@ -25,7 +25,15 @@ type dedupTable struct {
 	ring []packet.DedupKey
 	head int // ring index of the oldest live key
 	n    int // live keys
+	// evictions counts keys pushed out by FIFO replacement. A nonzero
+	// rate means the probe working set exceeds seenCap and duplicates
+	// older than the window would be re-accepted — the signal operators
+	// would watch to size the real switch's register array.
+	evictions uint64
 }
+
+// Evictions returns how many keys FIFO replacement has pushed out.
+func (d *dedupTable) Evictions() uint64 { return d.evictions }
 
 func newDedupTable() *dedupTable {
 	return &dedupTable{
@@ -77,6 +85,7 @@ func (d *dedupTable) seen(k packet.DedupKey) bool {
 		d.head = (d.head + 1) % len(d.ring)
 		d.n--
 		d.remove(oldest)
+		d.evictions++
 	}
 	d.insert(k)
 	d.ring[(d.head+d.n)%len(d.ring)] = k

@@ -1,0 +1,61 @@
+package dataplane
+
+import (
+	"testing"
+
+	"fastflex/internal/packet"
+)
+
+func dk(i int) packet.DedupKey {
+	return packet.DedupKey{Origin: packet.Addr(i >> 16), Seq: uint32(i), Kind: 1}
+}
+
+// TestDedupEvictionCounter fills the table past capacity and checks the
+// FIFO replacement contract: exactly one eviction per insert beyond
+// seenCap, oldest keys leave first, newest keys stay members, and the
+// counter matches the overflow exactly.
+func TestDedupEvictionCounter(t *testing.T) {
+	d := newDedupTable()
+	const extra = 300
+	for i := 0; i < seenCap+extra; i++ {
+		if d.seen(dk(i)) {
+			t.Fatalf("key %d reported as duplicate on first insert", i)
+		}
+	}
+	if got := d.Evictions(); got != extra {
+		t.Fatalf("evictions = %d, want %d", got, extra)
+	}
+	// The first `extra` keys were evicted: re-inserting them is a miss
+	// (and each re-insert evicts the then-oldest survivor).
+	for i := 0; i < extra; i++ {
+		if d.contains(dk(i)) {
+			t.Fatalf("evicted key %d still present", i)
+		}
+	}
+	// The most recent seenCap keys are all still members.
+	for i := extra; i < seenCap+extra; i++ {
+		if !d.contains(dk(i)) {
+			t.Fatalf("live key %d missing", i)
+		}
+	}
+	// Duplicates of live keys do not evict.
+	before := d.Evictions()
+	if !d.seen(dk(seenCap + extra - 1)) {
+		t.Fatal("live key not reported as duplicate")
+	}
+	if d.Evictions() != before {
+		t.Fatal("duplicate hit must not evict")
+	}
+}
+
+// TestSwitchDedupEvictionsAccessor checks the counter is visible at the
+// Switch API the experiments read.
+func TestSwitchDedupEvictionsAccessor(t *testing.T) {
+	s := NewSwitch(0, TofinoLike())
+	for i := 0; i < seenCap+7; i++ {
+		s.SeenProbe(dk(i))
+	}
+	if got := s.DedupEvictions(); got != 7 {
+		t.Fatalf("DedupEvictions = %d, want 7", got)
+	}
+}

@@ -124,6 +124,12 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 
+	// rankOnly marks a shard engine: every event must carry an explicit
+	// merge rank (ScheduleRank/AfterRank), so the pop order is a pure
+	// function of partition-invariant keys rather than of engine-local
+	// insertion order. See RequireRank.
+	rankOnly bool
+
 	// free is the recycle list for fired events. Cancelled events are
 	// deliberately *not* recycled: callers may retain their handles (to
 	// call Cancel again, or Cancelled), and reusing them would redirect
@@ -352,27 +358,35 @@ func (e *Engine) release(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
+// push files a filled-in event into the near ring or the far buffer.
+func (e *Engine) push(ev *Event) {
+	if ev.At < e.split {
+		e.insertNear(ev)
+	} else {
+		ev.idx = farIdx
+		e.far = append(e.far, farEntry{at: ev.At, ev: ev})
+		e.farLive++
+		if len(e.far) > 64 && len(e.far) > 4*e.farLive {
+			e.compactFar()
+		}
+	}
+}
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a model bug.
 func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
 	}
+	if e.rankOnly {
+		panic("eventsim: plain Schedule on a ranked engine; use ScheduleRank so merge order stays partition-invariant")
+	}
 	ev := e.alloc()
 	ev.At = at
 	ev.Fn = fn
 	ev.seq = e.seq
 	e.seq++
-	if at < e.split {
-		e.insertNear(ev)
-	} else {
-		ev.idx = farIdx
-		e.far = append(e.far, farEntry{at: at, ev: ev})
-		e.farLive++
-		if len(e.far) > 64 && len(e.far) > 4*e.farLive {
-			e.compactFar()
-		}
-	}
+	e.push(ev)
 	return ev
 }
 
@@ -382,6 +396,52 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 		panic(fmt.Sprintf("eventsim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
+}
+
+// RequireRank puts the engine in ranked mode: every event must carry an
+// explicit merge rank, and plain Schedule/After panic. Shard engines run
+// ranked because their contents vary with the partition — an engine-local
+// insertion counter would order same-time events differently for
+// different shard counts, while per-entity ranks are invariant.
+func (e *Engine) RequireRank() { e.rankOnly = true }
+
+// ScheduleRank runs fn at absolute virtual time at, using rank instead of
+// the engine's insertion counter as the equal-time tie-break (lower ranks
+// fire first). Ranks must be unique per (engine, At); RankOwner derives
+// them from per-entity counters, which makes the merged event order of a
+// sharded simulation identical for any shard count.
+func (e *Engine) ScheduleRank(at time.Duration, rank uint64, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	ev.At = at
+	ev.Fn = fn
+	ev.seq = rank
+	e.push(ev)
+	return ev
+}
+
+// AfterRank runs fn after delay d with an explicit merge rank.
+func (e *Engine) AfterRank(d time.Duration, rank uint64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.ScheduleRank(e.now+d, rank, fn)
+}
+
+// PeekAt returns the fire time of the earliest pending event without
+// executing anything, and ok=false when the queue is empty. Peeking may
+// migrate far events and advance the bucket cursor; both are
+// deterministic bookkeeping with no simulation-visible effect.
+func (e *Engine) PeekAt() (at time.Duration, ok bool) {
+	if e.nearCount == 0 {
+		if e.farLive == 0 {
+			return 0, false
+		}
+		e.migrate()
+	}
+	return e.peekMin().At, true
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling a pending or

@@ -187,7 +187,7 @@ func AblationRepurpose() *Result {
 			offered := 5e6 / 8 * lat.Seconds()
 			tb.AddRow(fmt.Sprintf("%v", lat), fmt.Sprintf("%v", frr),
 				fmt.Sprintf("%.0f%%", 100*float64(during)/offered),
-				fmt.Sprintf("%d", n.DropsDown))
+				fmt.Sprintf("%d", n.DropsDown()))
 		}
 	}
 	res.Table = tb
@@ -244,19 +244,26 @@ func AblationFEC(seed int64) *Result {
 
 // AblationPinning (A6) compares the §4.2 pin-normal-flows policy against
 // rerouting everything, using shortened Figure-3 runs.
-func AblationPinning(seed int64) *Result { return ablationPinning(seed, false) }
+func AblationPinning(seed int64) *Result { return ablationPinning(seed, false, DefaultShards) }
 
 // AblationPinningShort is the CI-smoke variant: half the horizon, earlier
 // attack, same policies and shape checks.
-func AblationPinningShort(seed int64) *Result { return ablationPinning(seed, true) }
+func AblationPinningShort(seed int64) *Result { return ablationPinning(seed, true, DefaultShards) }
 
-func ablationPinning(seed int64, short bool) *Result {
+// AblationPinningSharded is the short A6 variant under an explicit engine
+// shard count; the sharded-golden tests use it to prove the ablation's
+// output is invariant in K.
+func AblationPinningSharded(seed int64, shards int) *Result {
+	return ablationPinning(seed, true, shards)
+}
+
+func ablationPinning(seed int64, short bool, shards int) *Result {
 	res := &Result{Name: "A6: pinning normal flows vs rerouting all"}
 	tb := &metrics.Table{Header: []string{"policy", "attack-window goodput", "degraded<80%"}}
 	for _, all := range []bool{false, true} {
 		cfg := Figure3Config{
 			Defense: DefenseFastFlex, Duration: 60 * time.Second,
-			RerouteAllOverride: all, Seed: seed,
+			RerouteAllOverride: all, Seed: seed, Shards: shards,
 		}
 		if short {
 			cfg.Duration = 30 * time.Second
@@ -333,16 +340,24 @@ func AblationStability(seed int64) *Result {
 		for _, s := range srcs {
 			good += s.AckedBytes()
 		}
+		var evicted uint64
+		//ffvet:ok summing counters is order-independent
+		for sw := range fab.Controllers {
+			evicted += fab.Net.Switch(sw).DedupEvictions()
+		}
 		name := "dwell+budget+TTL (FastFlex)"
 		metric := "transitions_stable"
+		evMetric := "dedup_evictions_stable"
 		if !stable {
 			name = "disabled (ablation)"
 			metric = "transitions_unstable"
+			evMetric = "dedup_evictions_unstable"
 		}
-		tb.AddRow(name, fmt.Sprintf("%d", len(fab.ModeEvents)),
+		tb.AddRow(name, fmt.Sprintf("%d", len(fab.ModeEvents())),
 			fmt.Sprintf("%d", suppressed),
 			fmt.Sprintf("%.1f Mbps", float64(good)*8/60e6))
-		res.Metric(metric, float64(len(fab.ModeEvents)))
+		res.Metric(metric, float64(len(fab.ModeEvents())))
+		res.Metric(evMetric, float64(evicted))
 	}
 	res.Table = tb
 	res.Note("hysteresis bounds attacker-induced mode churn; without it every pulse flips the whole network's modes")

@@ -57,7 +57,7 @@ func Figure2Modes() *Result {
 	// Phase (b): detection + mode-change probes.
 	fab.Run(30 * time.Second)
 	var detectAt, mitigateAt time.Duration
-	for _, ev := range fab.ModeEvents {
+	for _, ev := range fab.ModeEvents() {
 		if ev.Active && ev.Mode == booster.ModeReroute && detectAt == 0 {
 			detectAt = ev.At
 		}

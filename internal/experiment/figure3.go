@@ -74,6 +74,19 @@ type Figure3Config struct {
 	RerouteAllOverride bool
 	DisableObfuscation bool
 	DisableDropper     bool
+
+	// Shards selects the simulation engine: 0 runs the serial engine,
+	// K >= 1 runs the windowed sharded engine over a K-way partition.
+	// Results are identical for every K >= 1 (see DESIGN.md).
+	Shards int
+	// LargeRegions, when > 0, swaps the plain Figure-2 topology for the
+	// ISP-scale multi-region variant with that many remote regions of
+	// RegionSize switches each. Attack and user traffic then enters the
+	// victim region over the inter-region backbone.
+	LargeRegions int
+	// RegionSize is the ring size of each remote region (default 8,
+	// minimum 3; only used when LargeRegions > 0).
+	RegionSize int
 }
 
 func (c *Figure3Config) fillDefaults() {
@@ -119,6 +132,19 @@ func (c *Figure3Config) fillDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.LargeRegions > 0 && c.RegionSize == 0 {
+		c.RegionSize = 8
+	}
+}
+
+// fig3Topology is what Figure3 needs from a topology builder; both the
+// plain Figure-2 victim network and the multi-region ISP-scale variant
+// satisfy it.
+type fig3Topology interface {
+	Graph() *topo.Graph
+	AttachUsers(n int) []topo.NodeID
+	AttachBots(n int) []topo.NodeID
+	AttachServers(n int) []topo.NodeID
 }
 
 // Figure3Result extends Result with the headline numbers EXPERIMENTS.md
@@ -144,7 +170,10 @@ type Figure3Result struct {
 // user flows under a rolling link-flooding attack, for one defense arm.
 func Figure3(cfg Figure3Config) *Figure3Result {
 	cfg.fillDefaults()
-	f := topo.NewFigure2()
+	var f fig3Topology = topo.NewFigure2()
+	if cfg.LargeRegions > 0 {
+		f = topo.NewMultiRegion(cfg.LargeRegions, cfg.RegionSize)
+	}
 	users := f.AttachUsers(cfg.Users)
 	bots := f.AttachBots(cfg.Bots)
 	servers := f.AttachServers(cfg.Servers)
@@ -161,8 +190,9 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 	}
 	coreCfg.Net = netsim.DefaultConfig()
 	coreCfg.Net.Seed = cfg.Seed
+	coreCfg.Net.Shards = cfg.Shards
 	coreCfg.Reroute.RerouteAllOverride = cfg.RerouteAllOverride
-	fab, err := core.New(f.G, coreCfg)
+	fab, err := core.New(f.Graph(), coreCfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: building fabric: %v", err))
 	}

@@ -21,6 +21,29 @@ type Def struct {
 	ShortRun func(seed int64) *Result
 }
 
+// DefaultShards is the engine shard count experiments use when they are
+// run through the registry. ffbench's -shards flag sets it; 0 keeps the
+// serial engine. Sharded and serial runs of the same experiment produce
+// different (but internally K-invariant) event interleavings, so goldens
+// are pinned per mode.
+var DefaultShards int
+
+// fig3LargeConfig is the ISP-scale Figure-3 variant used for parallel
+// speedup measurements: four remote regions feed the victim region over
+// the backbone, with enough bots that most simulated work happens outside
+// the victim region and the partitioner can spread it across shards.
+func fig3LargeConfig(seed int64) Figure3Config {
+	return Figure3Config{
+		Seed:         seed,
+		LargeRegions: 4,
+		RegionSize:   10,
+		Users:        16,
+		Servers:      8,
+		Bots:         96,
+		Shards:       DefaultShards,
+	}
+}
+
 // shortFig3Compare shrinks the Figure-3 horizon from 120 s to 30 s of simulated
 // time: long enough for the attack to land and the defense to respond, so
 // the shape checks still discriminate, short enough for a CI smoke job.
@@ -54,6 +77,17 @@ func Registry() []Def {
 				return Figure3Compare(Figure3Config{Seed: seed})
 			},
 			ShortRun: shortFig3Compare},
+		{ID: "fig3x", Desc: "Figure 3 at ISP scale: multi-region topology (sharded engine target)", Seeded: true,
+			Run: func(seed int64) *Result {
+				return Figure3Compare(fig3LargeConfig(seed))
+			},
+			ShortRun: func(seed int64) *Result {
+				cfg := fig3LargeConfig(seed)
+				cfg.Duration = 30 * time.Second
+				cfg.AttackStart = 10 * time.Second
+				cfg.ScoutEvery = 5 * time.Second
+				return Figure3Compare(cfg)
+			}},
 		{ID: "a1", Desc: "A1: mode-change latency vs diameter",
 			Run: func(int64) *Result { return AblationModeLatency() }},
 		{ID: "a2", Desc: "A2: PPM sharing",

@@ -32,7 +32,7 @@ func TestForwardSteadyStateZeroAlloc(t *testing.T) {
 		send()
 		n.Run(n.Now() + 10*time.Millisecond)
 	}
-	newsBefore := n.pool.News
+	newsBefore := news(n)
 
 	allocs := testing.AllocsPerRun(500, func() {
 		send()
@@ -41,10 +41,16 @@ func TestForwardSteadyStateZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state host→switch→switch→host forwarding allocates %.2f objects/op, want 0", allocs)
 	}
-	if n.pool.News != newsBefore {
-		t.Fatalf("packet pool allocated %d fresh packets in steady state, want 0 (leak on a drop or delivery path)", n.pool.News-newsBefore)
+	if news(n) != newsBefore {
+		t.Fatalf("packet pool allocated %d fresh packets in steady state, want 0 (leak on a drop or delivery path)", news(n)-newsBefore)
 	}
-	if n.Delivered < 500 {
-		t.Fatalf("only %d packets delivered; the zero-alloc loop was not exercising the full path", n.Delivered)
+	if n.Delivered() < 500 {
+		t.Fatalf("only %d packets delivered; the zero-alloc loop was not exercising the full path", n.Delivered())
 	}
+}
+
+// news returns the pool-miss count summed over shards.
+func news(n *Network) uint64 {
+	_, misses := n.PoolStats()
+	return misses
 }

@@ -42,15 +42,15 @@ func TestPacketConservationUDP(t *testing.T) {
 	for _, s := range srcs {
 		sent += s.Sent()
 	}
-	accounted := n.Delivered + n.DropsQueue + n.DropsLoss + n.DropsNoRoute +
-		n.DropsPipeline + n.DropsDown
-	if sent == 0 || n.DropsQueue == 0 || n.DropsLoss == 0 {
+	accounted := n.Delivered() + n.DropsQueue() + n.DropsLoss() + n.DropsNoRoute() +
+		n.DropsPipeline() + n.DropsDown()
+	if sent == 0 || n.DropsQueue() == 0 || n.DropsLoss() == 0 {
 		t.Fatalf("test not exercising all paths: sent=%d queue=%d loss=%d",
-			sent, n.DropsQueue, n.DropsLoss)
+			sent, n.DropsQueue(), n.DropsLoss())
 	}
 	if accounted != sent {
 		t.Fatalf("conservation violated: sent %d, accounted %d (delivered %d, queue %d, loss %d, noroute %d, pipeline %d, down %d)",
-			sent, accounted, n.Delivered, n.DropsQueue, n.DropsLoss,
-			n.DropsNoRoute, n.DropsPipeline, n.DropsDown)
+			sent, accounted, n.Delivered(), n.DropsQueue(), n.DropsLoss(),
+			n.DropsNoRoute(), n.DropsPipeline(), n.DropsDown())
 	}
 }

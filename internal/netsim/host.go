@@ -95,7 +95,8 @@ func (h *Host) receive(p *packet.Packet, in topo.LinkID) {
 		h.recvBytes[p.Src] += uint64(p.PayloadLen)
 		h.recvPackets[p.Src]++
 		// Auto-ACK data so window-based senders can clock themselves.
-		ack := h.net.NewPacket()
+		// receive runs inside the host's shard, so allocate there.
+		ack := h.net.newPacketAt(h.node)
 		ack.Src, ack.Dst, ack.TTL, ack.Proto = h.addr, p.Src, 64, packet.ProtoTCP
 		ack.SrcPort, ack.DstPort = p.DstPort, p.SrcPort
 		ack.Flags, ack.Seq = packet.FlagACK, p.Seq
@@ -124,7 +125,7 @@ func (h *Host) Traceroute(dst packet.Addr, maxTTL int, timeout time.Duration, do
 		}
 	})
 	for ttl := 1; ttl <= maxTTL; ttl++ {
-		pkt := h.net.NewPacket()
+		pkt := h.net.newPacketAt(h.node)
 		pkt.Src, pkt.Dst, pkt.TTL, pkt.Proto = h.addr, dst, uint8(ttl), packet.ProtoUDP
 		pkt.SrcPort, pkt.DstPort = 33434, 33434
 		pkt.Seq = base + uint32(ttl-1)

@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"math/rand"
 	"time"
 
+	"fastflex/internal/eventsim"
 	"fastflex/internal/packet"
 	"fastflex/internal/sketch"
 	"fastflex/internal/topo"
@@ -56,6 +58,21 @@ type linkState struct {
 	net  *Network
 	link topo.Link
 
+	// sh is the shard owning the link (its From node's shard); every
+	// enqueue/transmit on this link executes there. cross marks links
+	// whose far end lives in a different shard: their deliveries travel
+	// through the hand-off ring to dstShard instead of the local engine.
+	sh       *shardState
+	dstShard int
+	cross    bool
+	// rank mints this link's merge ranks (windowed mode). Both branches
+	// of transmitNext draw the same number of ranks in the same order,
+	// so the stream is identical however the topology is partitioned.
+	rank eventsim.RankOwner
+	// rng is the per-link loss stream (windowed mode only, created on
+	// first SetLinkLoss; serial mode draws from the engine RNG).
+	rng *rand.Rand
+
 	queue       pktRing // awaiting transmission
 	inflight    pktRing // transmitted, propagating toward the far end
 	queuedBytes int
@@ -81,6 +98,10 @@ type linkState struct {
 
 func newLinkState(n *Network, l topo.Link) *linkState {
 	ls := &linkState{net: n, link: l, smoothedUtil: sketch.NewEWMA(n.Cfg.UtilAlpha)}
+	ls.sh = n.shards[n.shardOf[l.From]]
+	ls.dstShard = int(n.shardOf[l.To])
+	ls.cross = n.windowed && ls.sh.idx != ls.dstShard
+	ls.rank = eventsim.NewRankOwner(uint64(len(n.G.Nodes)) + uint64(l.ID))
 	ls.txDone = ls.transmitNext
 	// Arrivals are FIFO: transmissions serialize on the link and every
 	// packet adds the same propagation delay, so the earliest-scheduled
@@ -91,19 +112,29 @@ func newLinkState(n *Network, l topo.Link) *linkState {
 	return ls
 }
 
-// enqueue admits a packet to the FIFO or tail-drops it.
+// enqueue admits a packet to the FIFO or tail-drops it. It executes in
+// ls.sh (the link's From-side shard), or on the main goroutine at a
+// barrier when the coordinator injects traffic.
 func (ls *linkState) enqueue(pkt *packet.Packet) {
-	if ls.lossRate > 0 && ls.net.Eng.RNG().Float64() < ls.lossRate {
-		ls.drops++
-		ls.net.DropsLoss++
-		ls.net.freePacket(pkt)
-		return
+	if ls.lossRate > 0 {
+		var draw float64
+		if ls.net.windowed {
+			draw = ls.rng.Float64()
+		} else {
+			draw = ls.net.Eng.RNG().Float64()
+		}
+		if draw < ls.lossRate {
+			ls.drops++
+			ls.sh.dropsLoss++
+			ls.sh.freePacket(pkt)
+			return
+		}
 	}
 	size := pkt.Len()
 	if ls.queuedBytes+size > ls.net.Cfg.QueueBytes {
 		ls.drops++
-		ls.net.DropsQueue++
-		ls.net.freePacket(pkt)
+		ls.sh.dropsQueue++
+		ls.sh.freePacket(pkt)
 		return
 	}
 	ls.queue.push(pkt)
@@ -133,6 +164,30 @@ func (ls *linkState) transmitNext() {
 	ls.sentBytes += uint64(size)
 	ls.windowBytes += uint64(size)
 	prop := time.Duration(ls.link.DelayNS)
+	if ls.net.windowed {
+		// Draw both ranks up front, in the same order for local and
+		// cross-shard deliveries, so the link's rank stream advances
+		// identically however the topology is partitioned.
+		txR := ls.rank.Next()
+		dlR := ls.rank.Next()
+		ls.sh.eng.AfterRank(tx, txR, ls.txDone)
+		if ls.cross {
+			// Hand the delivery to the far shard at its exact merge
+			// position. tx >= 1ns plus prop >= the group lookahead puts
+			// the arrival strictly beyond the current window, which is
+			// what makes the barrier protocol conservative.
+			ls.sh.out[ls.dstShard].push(handoff{
+				at:   ls.sh.eng.Now() + tx + prop,
+				rank: dlR,
+				link: ls.link.ID,
+				pkt:  pkt,
+			})
+		} else {
+			ls.inflight.push(pkt)
+			ls.sh.eng.AfterRank(tx+prop, dlR, ls.deliver)
+		}
+		return
+	}
 	ls.inflight.push(pkt)
 	ls.net.Eng.After(tx, ls.txDone)
 	ls.net.Eng.After(tx+prop, ls.deliver)

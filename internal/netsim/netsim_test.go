@@ -50,8 +50,8 @@ func TestDeliverySingleHop(t *testing.T) {
 	if got := n.Host(h1).RecvBytes(packet.HostAddr(int(h0))); got != 100 {
 		t.Fatalf("received %d bytes, want 100", got)
 	}
-	if n.Delivered != 1 {
-		t.Fatalf("delivered = %d", n.Delivered)
+	if n.Delivered() != 1 {
+		t.Fatalf("delivered = %d", n.Delivered())
 	}
 }
 
@@ -79,8 +79,8 @@ func TestNoRouteDrop(t *testing.T) {
 	n.SendFromHost(h0, &packet.Packet{Src: packet.HostAddr(int(h0)),
 		Dst: packet.HostAddr(99), TTL: 64, Proto: packet.ProtoUDP})
 	n.Run(time.Second)
-	if n.DropsNoRoute != 1 {
-		t.Fatalf("no-route drops = %d, want 1", n.DropsNoRoute)
+	if n.DropsNoRoute() != 1 {
+		t.Fatalf("no-route drops = %d, want 1", n.DropsNoRoute())
 	}
 }
 
@@ -94,14 +94,14 @@ func TestQueueTailDrop(t *testing.T) {
 		})
 	}
 	n.Run(2 * time.Second)
-	if n.DropsQueue == 0 {
+	if n.DropsQueue() == 0 {
 		t.Fatal("no queue drops despite 280KB burst into 64KB queue")
 	}
-	if n.Delivered == 0 {
+	if n.Delivered() == 0 {
 		t.Fatal("nothing delivered")
 	}
-	if n.Delivered+n.DropsQueue != 200 {
-		t.Fatalf("delivered %d + dropped %d != 200", n.Delivered, n.DropsQueue)
+	if n.Delivered()+n.DropsQueue() != 200 {
+		t.Fatalf("delivered %d + dropped %d != 200", n.Delivered(), n.DropsQueue())
 	}
 }
 
@@ -301,10 +301,10 @@ func TestReconfiguringSwitchDropsPackets(t *testing.T) {
 	n.SendFromHost(h0, &packet.Packet{Src: packet.HostAddr(int(h0)),
 		Dst: packet.HostAddr(int(h1)), TTL: 64, Proto: packet.ProtoUDP})
 	n.Run(time.Second)
-	if n.DropsDown != 1 {
-		t.Fatalf("down drops = %d, want 1", n.DropsDown)
+	if n.DropsDown() != 1 {
+		t.Fatalf("down drops = %d, want 1", n.DropsDown())
 	}
-	if n.Delivered != 0 {
+	if n.Delivered() != 0 {
 		t.Fatal("packet delivered through a reconfiguring switch")
 	}
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"fastflex/internal/dataplane"
@@ -22,6 +23,14 @@ type Config struct {
 	UtilAlpha float64
 	// Seed seeds the simulation RNG.
 	Seed int64
+	// Shards selects the engine. Zero runs the original serial engine
+	// (byte-compatible with all pre-sharding results). Any value >= 1
+	// runs the windowed parallel engine over a topo.Partition into that
+	// many shards; windowed results are byte-identical for every shard
+	// count (including 1), but differ from the serial engine because
+	// RNG draws come from per-entity streams instead of one shared
+	// engine RNG.
+	Shards int
 }
 
 // DefaultConfig returns the standard simulation parameters.
@@ -38,8 +47,10 @@ func DefaultConfig() Config {
 // hopEvent is a pooled pending switch-latency hop: the packet has cleared
 // a switch pipeline and is waiting to enter its egress queue. fire is
 // allocated once per pool entry, so the per-packet hop schedules no closure.
+// Hop events live and die inside one shard (the switch's).
 type hopEvent struct {
 	n    *Network
+	sh   *shardState
 	out  topo.LinkID
 	pkt  *packet.Packet
 	fire func()
@@ -47,6 +58,11 @@ type hopEvent struct {
 
 // Network is a running simulation instance.
 type Network struct {
+	// Eng is the coordinator engine: control-timescale work (tickers,
+	// samplers, controllers, experiment scripting) runs here. In serial
+	// mode it is also the (only) simulation engine; in windowed mode it
+	// executes at barriers while the shard engines are parked, so its
+	// callbacks may touch any shard's state.
 	Eng *eventsim.Engine
 	G   *topo.Graph
 	Cfg Config
@@ -59,24 +75,28 @@ type Network struct {
 	hosts    []*Host
 	links    []*linkState
 
-	// Hot-path pools. All three are per-Network (simulations are
-	// single-threaded below the experiment.Runner boundary) and LIFO, so
-	// reuse order is deterministic for a given seed.
-	pool    packet.Pool
-	ctxFree []*dataplane.Context
-	hopFree []*hopEvent
+	// Sharding state. Serial mode is one shardState wrapping Eng, so the
+	// hot path is identical in both modes; windowed mode partitions the
+	// topology and gives every shard its own engine, pools, and counters.
+	windowed bool
+	shards   []*shardState
+	shardOf  []int32 // NodeID -> shard index
+	group    *eventsim.ShardGroup
+	part     *topo.Shards
 
-	// Global drop accounting by cause.
-	DropsNoRoute  uint64
-	DropsQueue    uint64
-	DropsPipeline uint64
-	DropsDown     uint64 // switch reconfiguring
-	DropsLoss     uint64 // injected random loss
-	Delivered     uint64 // packets delivered to hosts
+	// Windowed-mode determinism state: per-switch RNG streams and merge-
+	// rank counters, so pipeline randomness and equal-time event order
+	// are pure functions of per-entity history (partition-invariant).
+	swRNG  []*rand.Rand
+	swRank []eventsim.RankOwner
+	// nextOwnerKey mints merge-rank keys for traffic sources; node and
+	// link keys are fixed, so source keys start above both ranges.
+	nextOwnerKey uint64
 
 	// Tracer, if set, observes every packet arrival at a node (debugging
 	// and assertion hooks in tests). Attaching a tracer disables packet
-	// recycling so traced packets may be retained.
+	// recycling so traced packets may be retained. Tracing is serial-only:
+	// windowed runs would invoke it concurrently from shard goroutines.
 	Tracer func(now time.Duration, at topo.NodeID, pkt *packet.Packet)
 }
 
@@ -85,7 +105,9 @@ type Network struct {
 // gets a Host runtime.
 func New(g *topo.Graph, cfg Config) *Network {
 	if cfg.QueueBytes == 0 {
+		shards := cfg.Shards
 		cfg = DefaultConfig()
+		cfg.Shards = shards
 	}
 	n := &Network{
 		Eng:      eventsim.New(cfg.Seed),
@@ -110,11 +132,15 @@ func New(g *topo.Graph, cfg Config) *Network {
 			n.hosts[node.ID] = newHost(n, node.ID)
 		}
 	}
+	n.setupShards(cfg)
+	// Links resolve their owning shard at construction, so shards must
+	// exist first.
 	n.links = make([]*linkState, len(g.Links))
 	for i := range g.Links {
 		n.links[i] = newLinkState(n, g.Links[i])
 	}
-	// One ticker advances all link-utilization windows.
+	// One ticker advances all link-utilization windows (coordinator work:
+	// it reads per-link byte counters the shards wrote before the barrier).
 	eventsim.NewTicker(n.Eng, cfg.UtilWindow, func() {
 		for _, l := range n.links {
 			l.rollWindow(cfg.UtilWindow)
@@ -123,40 +149,87 @@ func New(g *topo.Graph, cfg Config) *Network {
 	return n
 }
 
-// NewPacket returns a zeroed packet from the network's pool. Traffic
-// sources allocate here so delivered/dropped packets recycle instead of
-// churning the garbage collector.
-func (n *Network) NewPacket() *packet.Packet { return n.pool.Get() }
-
-// freePacket returns a packet whose simulation lifetime ended (delivered
-// or dropped). Recycling is disabled while a Tracer is attached, since
-// trace hooks may retain packets past the callback.
-func (n *Network) freePacket(p *packet.Packet) {
-	if n.Tracer != nil {
+// setupShards builds the shard runtime: one shardState in serial mode,
+// or a partition with per-shard engines, hand-off rings, per-switch RNG
+// streams, and a window scheduler in windowed mode.
+func (n *Network) setupShards(cfg Config) {
+	g := n.G
+	n.windowed = cfg.Shards >= 1
+	n.shardOf = make([]int32, len(g.Nodes))
+	k := 1
+	if n.windowed {
+		n.part = topo.Partition(g, cfg.Shards)
+		k = n.part.K
+		for i, s := range n.part.Of {
+			n.shardOf[i] = int32(s)
+		}
+	}
+	n.shards = make([]*shardState, k)
+	for i := range n.shards {
+		sh := &shardState{n: n, idx: i, eng: n.Eng}
+		if n.windowed {
+			// Shard engines never draw from their own RNG (per-entity
+			// streams replace it), but distinct seeds keep any future
+			// misuse from aliasing across shards.
+			sh.eng = eventsim.New(cfg.Seed + int64(i) + 1)
+			sh.eng.RequireRank()
+		}
+		n.shards[i] = sh
+	}
+	n.nextOwnerKey = uint64(len(g.Nodes)) + uint64(len(g.Links))
+	if !n.windowed {
 		return
 	}
-	n.pool.Put(p)
-}
-
-// PoolStats reports packet-pool traffic: total Get calls and how many had
-// to allocate. In steady state news stops growing; ffbench surfaces the
-// ratio in its JSON report.
-func (n *Network) PoolStats() (gets, news uint64) { return n.pool.Gets, n.pool.News }
-
-// getCtx returns a reset pipeline context from the pool.
-func (n *Network) getCtx() *dataplane.Context {
-	if ln := len(n.ctxFree); ln > 0 {
-		ctx := n.ctxFree[ln-1]
-		n.ctxFree[ln-1] = nil
-		n.ctxFree = n.ctxFree[:ln-1]
-		return ctx
+	for _, sh := range n.shards {
+		sh.out = make([]*handoffRing, k)
+		for d := range sh.out {
+			if d != sh.idx {
+				sh.out[d] = newHandoffRing()
+			}
+		}
 	}
-	return &dataplane.Context{}
+	n.swRNG = make([]*rand.Rand, len(g.Nodes))
+	n.swRank = make([]eventsim.RankOwner, len(g.Nodes))
+	for _, node := range g.Nodes {
+		if node.Kind == topo.Switch {
+			n.swRNG[node.ID] = eventsim.NewStream(cfg.Seed, uint64(node.ID))
+			n.swRank[node.ID] = eventsim.NewRankOwner(uint64(node.ID))
+		}
+	}
+	var lookahead time.Duration
+	if len(n.part.CutLinks) > 0 {
+		if n.part.MinCutDelayNS <= 0 {
+			panic("netsim: a cut link has zero propagation delay; conservative windows need positive lookahead")
+		}
+		lookahead = time.Duration(n.part.MinCutDelayNS)
+	}
+	engines := make([]*eventsim.Engine, k)
+	for i, sh := range n.shards {
+		engines[i] = sh.eng
+	}
+	n.group = &eventsim.ShardGroup{
+		Coord:     n.Eng,
+		Shards:    engines,
+		Lookahead: lookahead,
+		Exchange:  n.exchange,
+	}
 }
 
-func (n *Network) putCtx(ctx *dataplane.Context) {
-	ctx.Reset()
-	n.ctxFree = append(n.ctxFree, ctx)
+// NewPacket returns a zeroed packet from the network's pool. Callers run
+// in coordinator context (setup code, controllers at barriers); simulation
+// internals executing inside a shard allocate via newPacketAt instead so
+// pools stay goroutine-local.
+func (n *Network) NewPacket() *packet.Packet { return n.shards[0].pool.Get() }
+
+// PoolStats reports packet-pool traffic summed over shards: total Get
+// calls and how many had to allocate. In steady state news stops growing;
+// ffbench surfaces the ratio in its JSON report.
+func (n *Network) PoolStats() (gets, news uint64) {
+	for _, sh := range n.shards {
+		gets += sh.pool.Gets
+		news += sh.pool.News
+	}
+	return gets, news
 }
 
 // Switch returns the dataplane switch at node id (nil for hosts and
@@ -187,8 +260,72 @@ func (n *Network) Router(id topo.NodeID) *dataplane.Router {
 	return r
 }
 
-// Run advances the simulation to the given horizon.
-func (n *Network) Run(horizon time.Duration) { n.Eng.Run(horizon) }
+// Run advances the simulation to the given horizon: serially on the
+// coordinator engine, or in parallel conservative windows when sharded.
+func (n *Network) Run(horizon time.Duration) {
+	if n.windowed {
+		if n.Tracer != nil {
+			panic("netsim: Tracer is serial-only; windowed runs would invoke it from shard goroutines")
+		}
+		n.group.Run(horizon)
+		return
+	}
+	n.Eng.Run(horizon)
+}
+
+// Delivered returns the number of packets delivered to hosts.
+func (n *Network) Delivered() uint64 {
+	var t uint64
+	for _, sh := range n.shards {
+		t += sh.delivered
+	}
+	return t
+}
+
+// DropsNoRoute returns packets dropped because no route existed.
+func (n *Network) DropsNoRoute() uint64 {
+	var t uint64
+	for _, sh := range n.shards {
+		t += sh.dropsNoRoute
+	}
+	return t
+}
+
+// DropsQueue returns packets tail-dropped at full link queues.
+func (n *Network) DropsQueue() uint64 {
+	var t uint64
+	for _, sh := range n.shards {
+		t += sh.dropsQueue
+	}
+	return t
+}
+
+// DropsPipeline returns packets dropped by switch pipelines.
+func (n *Network) DropsPipeline() uint64 {
+	var t uint64
+	for _, sh := range n.shards {
+		t += sh.dropsPipeline
+	}
+	return t
+}
+
+// DropsDown returns packets dropped at reconfiguring switches.
+func (n *Network) DropsDown() uint64 {
+	var t uint64
+	for _, sh := range n.shards {
+		t += sh.dropsDown
+	}
+	return t
+}
+
+// DropsLoss returns packets dropped by injected random loss.
+func (n *Network) DropsLoss() uint64 {
+	var t uint64
+	for _, sh := range n.shards {
+		t += sh.dropsLoss
+	}
+	return t
+}
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.Eng.Now() }
@@ -211,8 +348,15 @@ func (n *Network) QueueDepth(l topo.LinkID) int { return n.links[l].queuedBytes 
 
 // SetLinkLoss injects random loss on a directed link (fault injection for
 // FEC and fault-tolerance experiments). p is the per-packet drop
-// probability in [0,1].
-func (n *Network) SetLinkLoss(l topo.LinkID, p float64) { n.links[l].lossRate = p }
+// probability in [0,1]. Windowed runs draw loss from a per-link stream so
+// the draw sequence depends only on the link's own traffic.
+func (n *Network) SetLinkLoss(l topo.LinkID, p float64) {
+	ls := n.links[l]
+	ls.lossRate = p
+	if n.windowed && p > 0 && ls.rng == nil {
+		ls.rng = eventsim.NewStream(n.Cfg.Seed, uint64(len(n.G.Nodes))+uint64(l))
+	}
+}
 
 // Enqueue places a packet on a directed link's queue, dropping it if the
 // queue is full. This is the only way packets move between nodes.
@@ -240,20 +384,22 @@ func (n *Network) SendFromHost(h topo.NodeID, pkt *packet.Packet) {
 	n.Enqueue(out[0], pkt)
 }
 
-// arrive handles a packet reaching the far end of a link.
+// arrive handles a packet reaching the far end of a link. It executes in
+// the destination node's shard.
 func (n *Network) arrive(l topo.LinkID, pkt *packet.Packet) {
 	to := n.G.Links[l].To
+	sh := n.shards[n.shardOf[to]]
 	if n.Tracer != nil {
-		n.Tracer(n.Eng.Now(), to, pkt)
+		n.Tracer(sh.eng.Now(), to, pkt)
 	}
 	if host := n.hosts[to]; host != nil {
-		n.Delivered++
+		sh.delivered++
 		host.receive(pkt, l)
 		// End of the packet's life: handlers and sinks run synchronously
 		// inside receive. Hosts with an OnSink observer opt out of
 		// recycling, since sinks (tests, examples) may retain packets.
 		if host.sink == nil {
-			n.freePacket(pkt)
+			sh.freePacket(pkt)
 		}
 		return
 	}
@@ -265,9 +411,10 @@ func (n *Network) arrive(l topo.LinkID, pkt *packet.Packet) {
 const maxLocalHops = 4
 
 func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.LinkID, depth int) {
+	sh := n.shards[n.shardOf[id]]
 	if depth > maxLocalHops {
-		n.DropsPipeline++
-		n.freePacket(pkt)
+		sh.dropsPipeline++
+		sh.freePacket(pkt)
 		return
 	}
 	sw := n.switches[id]
@@ -275,16 +422,22 @@ func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.Li
 		panic(fmt.Sprintf("netsim: node %d is not a switch", id))
 	}
 	if sw.Reconfiguring {
-		n.DropsDown++
-		n.freePacket(pkt)
+		sh.dropsDown++
+		sh.freePacket(pkt)
 		return
 	}
-	ctx := n.getCtx()
-	ctx.Now = n.Eng.Now()
+	ctx := sh.getCtx()
+	ctx.Now = sh.eng.Now()
 	ctx.Switch = id
 	ctx.InLink = in
 	ctx.Pkt = pkt
-	ctx.RNG = n.Eng.RNG()
+	if n.windowed {
+		// Per-switch stream: pipeline randomness depends only on this
+		// switch's packet history, never on the partition.
+		ctx.RNG = n.swRNG[id]
+	} else {
+		ctx.RNG = n.Eng.RNG()
+	}
 	ctx.Modes = sw.Modes()
 	ctx.OutLink = -1
 	verdict := sw.Process(ctx)
@@ -293,19 +446,19 @@ func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.Li
 		n.dispatchEmission(id, em, in, depth)
 	}
 	out := ctx.OutLink
-	n.putCtx(ctx)
+	sh.putCtx(ctx)
 	switch verdict {
 	case dataplane.Drop:
-		n.DropsPipeline++
-		n.freePacket(pkt)
+		sh.dropsPipeline++
+		sh.freePacket(pkt)
 		return
 	case dataplane.Consume:
-		n.freePacket(pkt)
+		sh.freePacket(pkt)
 		return
 	}
 	if out < 0 {
-		n.DropsNoRoute++
-		n.freePacket(pkt)
+		sh.dropsNoRoute++
+		sh.freePacket(pkt)
 		return
 	}
 	if n.G.Links[out].From != id {
@@ -313,29 +466,33 @@ func (n *Network) processAtSwitch(id topo.NodeID, pkt *packet.Packet, in topo.Li
 			id, out, n.G.Links[out].From))
 	}
 	// Fixed pipeline latency, then the egress queue.
-	n.scheduleHop(out, pkt)
+	n.scheduleHop(sh, id, out, pkt)
 }
 
 // scheduleHop delays a pipeline-cleared packet by the switch latency
 // before it joins the egress queue, reusing pooled hop events so the per
 // packet cost is one (pooled) eventsim entry and no closure.
-func (n *Network) scheduleHop(out topo.LinkID, pkt *packet.Packet) {
+func (n *Network) scheduleHop(sh *shardState, id topo.NodeID, out topo.LinkID, pkt *packet.Packet) {
 	var h *hopEvent
-	if ln := len(n.hopFree); ln > 0 {
-		h = n.hopFree[ln-1]
-		n.hopFree[ln-1] = nil
-		n.hopFree = n.hopFree[:ln-1]
+	if ln := len(sh.hopFree); ln > 0 {
+		h = sh.hopFree[ln-1]
+		sh.hopFree[ln-1] = nil
+		sh.hopFree = sh.hopFree[:ln-1]
 	} else {
-		h = &hopEvent{n: n}
+		h = &hopEvent{n: n, sh: sh}
 		h.fire = func() {
 			pkt, out := h.pkt, h.out
 			h.pkt = nil
-			h.n.hopFree = append(h.n.hopFree, h)
+			h.sh.hopFree = append(h.sh.hopFree, h)
 			h.n.Enqueue(out, pkt)
 		}
 	}
 	h.out, h.pkt = out, pkt
-	n.Eng.After(n.Cfg.SwitchLatency, h.fire)
+	if n.windowed {
+		sh.eng.AfterRank(n.Cfg.SwitchLatency, n.swRank[id].Next(), h.fire)
+	} else {
+		n.Eng.After(n.Cfg.SwitchLatency, h.fire)
+	}
 }
 
 func (n *Network) dispatchEmission(at topo.NodeID, em dataplane.Emission, in topo.LinkID, depth int) {

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fastflex/internal/dataplane"
+	"fastflex/internal/eventsim"
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// shardState is the per-shard slice of a Network's mutable simulation
+// state: an engine, the hot-path pools, and the drop/delivery counters.
+// Everything here is touched only by the shard's goroutine during a
+// window, or by the main goroutine at a barrier — never both at once.
+// A serial Network is exactly one shardState whose engine is n.Eng.
+type shardState struct {
+	n   *Network
+	idx int
+	eng *eventsim.Engine
+
+	pool    packet.Pool
+	ctxFree []*dataplane.Context
+	hopFree []*hopEvent
+	arrFree []*arrivalEvent
+
+	// out[d] carries hand-offs to shard d; nil on the diagonal and in
+	// serial mode.
+	out []*handoffRing
+
+	// Drop/delivery accounting. Global totals are sums over shards, read
+	// at barriers (summing commutes, so totals are partition-invariant).
+	dropsNoRoute  uint64
+	dropsQueue    uint64
+	dropsPipeline uint64
+	dropsDown     uint64
+	dropsLoss     uint64
+	delivered     uint64
+}
+
+// after schedules fn on the shard's engine: ranked in windowed mode (merge
+// order must not depend on the partition), plain in serial mode (byte-
+// compatible with the pre-sharding event order).
+func (sh *shardState) after(d time.Duration, o *eventsim.RankOwner, fn func()) *eventsim.Event {
+	if sh.n.windowed {
+		return sh.eng.AfterRank(d, o.Next(), fn)
+	}
+	return sh.eng.After(d, fn)
+}
+
+// freePacket recycles a packet into this shard's pool (recycling is off
+// while a Tracer is attached, since trace hooks may retain packets).
+func (sh *shardState) freePacket(p *packet.Packet) {
+	if sh.n.Tracer != nil {
+		return
+	}
+	sh.pool.Put(p)
+}
+
+// getCtx returns a reset pipeline context from the shard's pool.
+func (sh *shardState) getCtx() *dataplane.Context {
+	if ln := len(sh.ctxFree); ln > 0 {
+		ctx := sh.ctxFree[ln-1]
+		sh.ctxFree[ln-1] = nil
+		sh.ctxFree = sh.ctxFree[:ln-1]
+		return ctx
+	}
+	return &dataplane.Context{}
+}
+
+func (sh *shardState) putCtx(ctx *dataplane.Context) {
+	ctx.Reset()
+	sh.ctxFree = append(sh.ctxFree, ctx)
+}
+
+// handoff is a packet crossing a shard boundary: it must appear in the
+// destination engine at exactly (at, rank), the same position it would
+// occupy in any other partitioning of the same simulation.
+type handoff struct {
+	at   time.Duration
+	rank uint64
+	link topo.LinkID
+	pkt  *packet.Packet
+}
+
+// handoffRing is a single-producer/single-consumer ring for one directed
+// shard pair. The producer is the source shard's goroutine (pushing during
+// a window); the consumer is the main goroutine (draining at a barrier,
+// when the producer is parked). The fixed ring absorbs steady-state
+// traffic without allocation; bursts spill to a producer-local overflow
+// slice that the barrier drain folds back in, preserving push order.
+type handoffRing struct {
+	buf      []handoff // power-of-two
+	head     atomic.Uint64
+	tail     atomic.Uint64
+	overflow []handoff
+	spilling bool
+}
+
+const handoffRingSize = 1024
+
+func newHandoffRing() *handoffRing {
+	return &handoffRing{buf: make([]handoff, handoffRingSize)}
+}
+
+func (r *handoffRing) push(h handoff) {
+	// Once a window spills, later pushes spill too: the ring cannot free
+	// up mid-window (the consumer only drains at barriers), and keeping
+	// the ring prefix strictly older than the overflow preserves order.
+	if r.spilling {
+		r.overflow = append(r.overflow, h)
+		return
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		r.spilling = true
+		r.overflow = append(r.overflow, h)
+		return
+	}
+	r.buf[t&uint64(len(r.buf)-1)] = h
+	r.tail.Store(t + 1)
+}
+
+// drain empties the ring (then the overflow) in push order. Barrier-only.
+func (r *handoffRing) drain(fn func(handoff)) {
+	h, t := r.head.Load(), r.tail.Load()
+	for ; h < t; h++ {
+		i := h & uint64(len(r.buf)-1)
+		fn(r.buf[i])
+		r.buf[i].pkt = nil
+	}
+	r.head.Store(h)
+	for i := range r.overflow {
+		fn(r.overflow[i])
+		r.overflow[i].pkt = nil
+	}
+	r.overflow = r.overflow[:0]
+	r.spilling = false
+}
+
+// arrivalEvent is a pooled cross-shard delivery: the destination-side twin
+// of linkState.deliver, carrying its packet explicitly because the source
+// shard's inflight ring cannot be read from another shard.
+type arrivalEvent struct {
+	n    *Network
+	sh   *shardState // destination shard (owns the pool entry)
+	link topo.LinkID
+	pkt  *packet.Packet
+	fire func()
+}
+
+// exchange drains every hand-off ring into the destination engines. It
+// runs at barriers, so all engines and pools are safe to touch. Injection
+// uses each hand-off's exact (at, rank); pop order then depends only on
+// those keys, not on drain order, so iteration order here is not
+// semantically load-bearing (it is fixed anyway).
+func (n *Network) exchange() {
+	for _, src := range n.shards {
+		for d, ring := range src.out {
+			if ring == nil {
+				continue
+			}
+			dst := n.shards[d]
+			ring.drain(func(h handoff) {
+				var a *arrivalEvent
+				if ln := len(dst.arrFree); ln > 0 {
+					a = dst.arrFree[ln-1]
+					dst.arrFree[ln-1] = nil
+					dst.arrFree = dst.arrFree[:ln-1]
+				} else {
+					a = &arrivalEvent{n: n, sh: dst}
+					a.fire = func() {
+						link, pkt := a.link, a.pkt
+						a.pkt = nil
+						a.sh.arrFree = append(a.sh.arrFree, a)
+						a.n.arrive(link, pkt)
+					}
+				}
+				a.link, a.pkt = h.link, h.pkt
+				dst.eng.ScheduleRank(h.at, h.rank, a.fire)
+			})
+		}
+	}
+}
+
+// shardAt returns the shard owning a node (the only shard whose goroutine
+// executes that node's packets).
+func (n *Network) shardAt(id topo.NodeID) *shardState { return n.shards[n.shardOf[id]] }
+
+// newPacketAt allocates from the pool of the shard that owns node id; use
+// it for any allocation made while executing inside that node's shard.
+func (n *Network) newPacketAt(id topo.NodeID) *packet.Packet {
+	return n.shards[n.shardOf[id]].pool.Get()
+}
+
+// newRankOwner mints a merge-rank source with the next unused entity key.
+// Creation order is part of the simulation's deterministic setup, so keys
+// are identical across runs and shard counts.
+func (n *Network) newRankOwner() eventsim.RankOwner {
+	k := n.nextOwnerKey
+	n.nextOwnerKey++
+	return eventsim.NewRankOwner(k)
+}
+
+// Shards returns the number of shards (1 in serial mode).
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Windowed reports whether the network runs the windowed parallel engine.
+func (n *Network) Windowed() bool { return n.windowed }
+
+// Lookahead returns the conservative window width (0 in serial mode).
+func (n *Network) Lookahead() time.Duration {
+	if n.group == nil {
+		return 0
+	}
+	return n.group.Lookahead
+}
+
+// Windows returns the number of barrier windows executed so far.
+func (n *Network) Windows() uint64 {
+	if n.group == nil {
+		return 0
+	}
+	return n.group.Windows
+}
+
+// ShardOf returns the shard index owning a node (0 in serial mode).
+func (n *Network) ShardOf(id topo.NodeID) int { return int(n.shardOf[id]) }

@@ -22,6 +22,11 @@ type CBRSource struct {
 	payload uint16
 	rateBps float64
 
+	// sh is the host's shard: the send timer lives on its engine, and
+	// rank mints the timer's merge ranks in windowed mode.
+	sh   *shardState
+	rank eventsim.RankOwner
+
 	running bool
 	sentSYN bool
 	seq     uint32
@@ -39,6 +44,7 @@ func NewCBRSource(n *Network, host topo.NodeID, dst packet.Addr, sport, dport ui
 	return &CBRSource{
 		net: n, host: host, dst: dst, sport: sport, dport: dport,
 		proto: proto, payload: payload, rateBps: rateBps,
+		sh: n.shardAt(host), rank: n.newRankOwner(),
 	}
 }
 
@@ -55,7 +61,7 @@ func (s *CBRSource) Start() {
 func (s *CBRSource) Stop() {
 	s.running = false
 	if s.pending != nil {
-		s.net.Eng.Cancel(s.pending)
+		s.sh.eng.Cancel(s.pending)
 		s.pending = nil
 	}
 }
@@ -81,10 +87,12 @@ func (s *CBRSource) interval() time.Duration {
 func (s *CBRSource) scheduleNext(first bool) {
 	iv := s.interval()
 	if first {
-		// Desynchronize sources with a random phase.
+		// Desynchronize sources with a random phase. Start runs in
+		// coordinator context (setup code, attack launch), so the
+		// coordinator RNG keeps the draw partition-invariant.
 		iv = time.Duration(s.net.Eng.RNG().Int63n(int64(iv) + 1))
 	}
-	s.pending = s.net.Eng.After(iv, func() {
+	s.pending = s.sh.after(iv, &s.rank, func() {
 		if !s.running {
 			return
 		}
@@ -94,7 +102,7 @@ func (s *CBRSource) scheduleNext(first bool) {
 }
 
 func (s *CBRSource) emit() {
-	p := s.net.NewPacket()
+	p := s.net.newPacketAt(s.host)
 	p.Src, p.Dst, p.TTL = packet.HostAddr(int(s.host)), s.dst, 64
 	p.Proto, p.SrcPort, p.DstPort = s.proto, s.sport, s.dport
 	p.PayloadLen, p.Seq = s.payload, s.seq
@@ -123,6 +131,11 @@ type AIMDSource struct {
 	sport   uint16
 	dport   uint16
 	payload uint16
+
+	// sh is the host's shard: RTO timers live on its engine, and rank
+	// mints their merge ranks in windowed mode.
+	sh   *shardState
+	rank eventsim.RankOwner
 
 	cwnd     float64
 	ssthresh float64
@@ -159,6 +172,7 @@ func NewAIMDSource(n *Network, host topo.NodeID, dst packet.Addr, sport, dport u
 	}
 	s := &AIMDSource{
 		net: n, host: host, dst: dst, sport: sport, dport: dport, payload: payload,
+		sh: n.shardAt(host), rank: n.newRankOwner(),
 		cwnd: 2, ssthresh: 64,
 		inflight:  make(map[uint32]*eventsim.Event),
 		acked:     make(map[uint32]bool),
@@ -182,7 +196,7 @@ func (s *AIMDSource) Stop() {
 	s.running = false
 	//ffvet:ok cancelling every pending timer is order-independent
 	for seq, ev := range s.inflight {
-		s.net.Eng.Cancel(ev)
+		s.sh.eng.Cancel(ev)
 		delete(s.inflight, seq)
 	}
 }
@@ -242,16 +256,16 @@ func (s *AIMDSource) transmit(seq uint32) {
 	if seq == 0 {
 		flags |= packet.FlagSYN
 	}
-	p := s.net.NewPacket()
+	p := s.net.newPacketAt(s.host)
 	p.Src, p.Dst, p.TTL = packet.HostAddr(int(s.host)), s.dst, 64
 	p.Proto, p.SrcPort, p.DstPort = packet.ProtoTCP, s.sport, s.dport
 	p.Flags, p.Seq, p.PayloadLen = flags, seq, s.payload
 	s.sentPackets++
 	if old, ok := s.inflight[seq]; ok {
-		s.net.Eng.Cancel(old)
+		s.sh.eng.Cancel(old)
 	}
-	s.inflight[seq] = s.net.Eng.After(s.rto(), func() { s.onTimeout(seq) })
-	s.sendTimes[seq] = s.net.Eng.Now()
+	s.inflight[seq] = s.sh.after(s.rto(), &s.rank, func() { s.onTimeout(seq) })
+	s.sendTimes[seq] = s.sh.eng.Now()
 	s.net.SendFromHost(s.host, p)
 }
 
@@ -259,11 +273,11 @@ func (s *AIMDSource) onAck(p *packet.Packet) {
 	seq := p.Seq
 	ev, ok := s.inflight[seq]
 	if ok {
-		s.net.Eng.Cancel(ev)
+		s.sh.eng.Cancel(ev)
 		delete(s.inflight, seq)
 	}
 	if at, ok := s.sendTimes[seq]; ok {
-		sample := s.net.Eng.Now() - at
+		sample := s.sh.eng.Now() - at
 		if s.srtt == 0 {
 			s.srtt = sample
 		} else {

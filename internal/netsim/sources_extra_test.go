@@ -54,18 +54,18 @@ func TestLinkLossInjection(t *testing.T) {
 	src := NewCBRSource(n, h0, packet.HostAddr(int(h1)), 1, 9, packet.ProtoUDP, 1000, 10e6)
 	src.Start()
 	n.Run(2 * time.Second)
-	if n.DropsLoss == 0 {
+	if n.DropsLoss() == 0 {
 		t.Fatal("no injected losses")
 	}
-	frac := float64(n.Delivered) / float64(n.Delivered+n.DropsLoss)
+	frac := float64(n.Delivered()) / float64(n.Delivered()+n.DropsLoss())
 	if frac < 0.4 || frac > 0.6 {
 		t.Fatalf("delivered fraction %.2f under 50%% loss", frac)
 	}
 	// Removing the loss restores full delivery.
 	n.SetLinkLoss(core, 0)
-	lossBefore := n.DropsLoss
+	lossBefore := n.DropsLoss()
 	n.Run(3 * time.Second)
-	if n.DropsLoss != lossBefore {
+	if n.DropsLoss() != lossBefore {
 		t.Fatal("losses continued after clearing the rate")
 	}
 }
@@ -110,7 +110,7 @@ func TestDeterministicRuns(t *testing.T) {
 				packet.ProtoTCP, 900, 8e6).Start()
 		}
 		n.Run(2 * time.Second)
-		return n.Delivered, n.Eng.Fired()
+		return n.Delivered(), n.Eng.Fired()
 	}
 	d1, e1 := run()
 	d2, e2 := run()

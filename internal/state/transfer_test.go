@@ -71,12 +71,12 @@ func TestTransferSurvivesLossWithFEC(t *testing.T) {
 		t.Fatal(err)
 	}
 	rig.n.Run(time.Second)
-	if rig.n.DropsLoss == 0 {
+	if rig.n.DropsLoss() == 0 {
 		t.Fatal("fault injection inactive — test proves nothing")
 	}
 	got, ok := rig.received[8]
 	if !ok {
-		t.Fatalf("transfer did not survive %d injected losses", rig.n.DropsLoss)
+		t.Fatalf("transfer did not survive %d injected losses", rig.n.DropsLoss())
 	}
 	if !bytes.Equal(got, blob) {
 		t.Fatal("recovered blob corrupt")
@@ -143,7 +143,7 @@ func TestRepurposeWithoutFastRerouteDropsTraffic(t *testing.T) {
 	}
 	n.Run(2900 * time.Millisecond) // fully inside blackout
 	during := n.Host(servers[0]).TotalRecvBytes() - before
-	if n.DropsDown == 0 {
+	if n.DropsDown() == 0 {
 		t.Fatal("no blackout drops recorded")
 	}
 	// User 0 sits on ingressA whose default path goes via coreA: nearly

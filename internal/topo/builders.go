@@ -84,6 +84,9 @@ func NewFigure2() *Figure2 {
 	return f
 }
 
+// Graph returns the underlying topology graph.
+func (f *Figure2) Graph() *Graph { return f.G }
+
 // AttachUsers adds n user hosts split across the two ingress switches and
 // returns their IDs.
 func (f *Figure2) AttachUsers(n int) []NodeID {

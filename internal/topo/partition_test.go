@@ -1,0 +1,145 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionEveryNodeExactlyOnce(t *testing.T) {
+	m := NewMultiRegion(3, 6)
+	m.AttachUsers(8)
+	m.AttachBots(16)
+	m.AttachServers(4)
+	g := m.Graph()
+	for _, k := range []int{1, 2, 4, 7} {
+		s := Partition(g, k)
+		if len(s.Of) != len(g.Nodes) {
+			t.Fatalf("k=%d: Of covers %d nodes, graph has %d", k, len(s.Of), len(g.Nodes))
+		}
+		for n, sh := range s.Of {
+			if sh < 0 || sh >= s.K {
+				t.Fatalf("k=%d: node %d in shard %d, want [0,%d)", k, n, sh, s.K)
+			}
+		}
+		// Hosts must share their edge switch's shard: host-switch links
+		// never cross, so access-link delay never shrinks the lookahead.
+		for _, h := range g.Hosts() {
+			if edge := g.HostEdgeSwitch(h); edge >= 0 && s.Of[h] != s.Of[edge] {
+				t.Fatalf("k=%d: host %d in shard %d but edge switch %d in shard %d",
+					k, h, s.Of[h], edge, s.Of[edge])
+			}
+		}
+	}
+}
+
+func TestPartitionCutWeight(t *testing.T) {
+	// With one shard per region, every cut link should be a 5 ms backbone
+	// link: the greedy growth keeps the cheap intra-region links internal.
+	m := NewMultiRegion(3, 6)
+	g := m.Graph()
+	s := Partition(g, 4)
+	if s.K != 4 {
+		t.Fatalf("K = %d, want 4", s.K)
+	}
+	if len(s.CutLinks) == 0 {
+		t.Fatal("4-way partition of a connected graph must cut some links")
+	}
+	if s.MinCutDelayNS != BackboneDelay {
+		t.Fatalf("MinCutDelayNS = %d, want backbone delay %d", s.MinCutDelayNS, BackboneDelay)
+	}
+	for _, lid := range s.CutLinks {
+		l := g.Links[lid]
+		if s.Of[l.From] == s.Of[l.To] {
+			t.Fatalf("link %d listed as cut but both ends in shard %d", lid, s.Of[l.From])
+		}
+		if l.DelayNS < BackboneDelay {
+			t.Fatalf("cut link %d has delay %d ns; only backbone links should be cut", lid, l.DelayNS)
+		}
+	}
+	// Each region (plus the victim area) should be its own shard: switches
+	// in the same ring always land together.
+	for r, ring := range m.Regions {
+		for _, sw := range ring[1:] {
+			if s.Of[sw] != s.Of[ring[0]] {
+				t.Fatalf("region %d split across shards %d and %d", r, s.Of[ring[0]], s.Of[sw])
+			}
+		}
+	}
+}
+
+func TestPartitionKLargerThanSwitches(t *testing.T) {
+	g := NewLinear(3)
+	s := Partition(g, 10)
+	if s.K != 3 {
+		t.Fatalf("K = %d, want clamp to 3 switches", s.K)
+	}
+	for n, sh := range s.Of {
+		if sh < 0 || sh >= 3 {
+			t.Fatalf("node %d in shard %d after clamping", n, sh)
+		}
+	}
+	// Degenerate inputs.
+	if s := Partition(NewGraph(), 4); s.K != 1 {
+		t.Fatalf("empty graph K = %d, want 1", s.K)
+	}
+	if s := Partition(NewLinear(5), 0); s.K != 1 || len(s.CutLinks) != 0 {
+		t.Fatalf("k=0 should degrade to one shard with no cuts, got K=%d cuts=%d", s.K, len(s.CutLinks))
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	build := func() *Shards {
+		m := NewMultiRegion(3, 6)
+		m.AttachUsers(8)
+		m.AttachBots(16)
+		m.AttachServers(4)
+		return Partition(m.Graph(), 4)
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Partition is not deterministic across identical builds")
+	}
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	// Two disconnected chains: farthest-point seeding must put a seed in
+	// each component and every switch must still get a shard.
+	g := NewLinear(4)
+	a := g.AddNode(Switch, "islandA")
+	b := g.AddNode(Switch, "islandB")
+	g.AddDuplex(a, b, DefaultLinkBPS, DefaultLinkDelay)
+	s := Partition(g, 2)
+	for n, sh := range s.Of {
+		if sh < 0 {
+			t.Fatalf("node %d unassigned", n)
+		}
+	}
+	if s.Of[a] != s.Of[b] {
+		t.Fatal("connected island pair split across shards")
+	}
+	if s.Of[0] == s.Of[a] {
+		t.Fatal("disconnected components should land in different shards when k=2")
+	}
+	// Disconnected shards share no links: lookahead is unbounded (0).
+	if len(s.CutLinks) != 0 || s.MinCutDelayNS != 0 {
+		t.Fatalf("disconnected partition should have no cut links, got %d (min delay %d)",
+			len(s.CutLinks), s.MinCutDelayNS)
+	}
+}
+
+func TestMultiRegionShape(t *testing.T) {
+	m := NewMultiRegion(3, 6)
+	g := m.Graph()
+	if !g.Connected() {
+		t.Fatal("multi-region topology must be connected")
+	}
+	if len(m.Ingresses) != 3*4 {
+		t.Fatalf("ingresses = %d, want 12 (ring size 6 minus 2 gateways × 3 regions)", len(m.Ingresses))
+	}
+	// Every remote ingress must reach the victim edge.
+	for _, in := range m.Ingresses {
+		if _, ok := g.ShortestPath(in, m.Victim.VictimEdge, nil); !ok {
+			t.Fatalf("ingress %d cannot reach victim edge", in)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package topo
+
+import "fmt"
+
+// Parameters for the multi-region ISP-scale topology. Backbone links are
+// long-haul (5 ms) and generously provisioned, so they are never the attack
+// bottleneck — and their delay is exactly the conservative lookahead a
+// sharded run gets when the partitioner cuts along region boundaries.
+const (
+	// BackboneDelay is the propagation delay of inter-region links (5 ms).
+	BackboneDelay = int64(5e6)
+	// BackboneBPS provisions backbone links well above per-region offered
+	// load so congestion stays on the victim-area critical links.
+	BackboneBPS = 400e6
+	// RegionLinkDelay is the intra-region propagation delay (0.1 ms).
+	RegionLinkDelay = int64(100e3)
+)
+
+// MultiRegion is an ISP-scale topology: the paper's Figure-2 victim region
+// plus several remote access regions, each a ring of switches dual-homed to
+// the victim region's cores over long-haul backbone links. Traffic sources
+// attach only in the remote regions, so a K-shard partition (one shard per
+// region) spreads the simulation load while all cross-shard traffic rides
+// the 5 ms backbone — the widest possible lookahead.
+type MultiRegion struct {
+	Victim *Figure2
+	// Regions holds each remote region's switch ring in creation order.
+	Regions [][]NodeID
+	// Ingresses are the remote switches traffic sources attach to (ring
+	// members that do not terminate a backbone link).
+	Ingresses []NodeID
+}
+
+// NewMultiRegion builds the victim region plus `regions` remote rings of
+// `ringSize` switches each. ringSize must be at least 3 so every region has
+// ingress switches distinct from its two backbone gateways.
+func NewMultiRegion(regions, ringSize int) *MultiRegion {
+	if regions < 1 {
+		panic(fmt.Sprintf("topo: multi-region needs ≥ 1 remote region, got %d", regions))
+	}
+	if ringSize < 3 {
+		panic(fmt.Sprintf("topo: multi-region ring size must be ≥ 3, got %d", ringSize))
+	}
+	m := &MultiRegion{Victim: NewFigure2()}
+	g := m.Victim.G
+	for r := 0; r < regions; r++ {
+		ring := make([]NodeID, ringSize)
+		for i := range ring {
+			ring[i] = g.AddNode(Switch, fmt.Sprintf("r%ds%d", r, i))
+		}
+		for i := range ring {
+			g.AddDuplex(ring[i], ring[(i+1)%ringSize], DefaultLinkBPS, RegionLinkDelay)
+		}
+		// Dual-homed backbone: ring[0] and ring[1] gateway to the two cores.
+		g.AddDuplex(ring[0], m.Victim.CoreA, BackboneBPS, BackboneDelay)
+		g.AddDuplex(ring[1], m.Victim.CoreB, BackboneBPS, BackboneDelay)
+		m.Regions = append(m.Regions, ring)
+		m.Ingresses = append(m.Ingresses, ring[2:]...)
+	}
+	return m
+}
+
+// Graph returns the underlying topology graph.
+func (m *MultiRegion) Graph() *Graph { return m.Victim.G }
+
+// AttachUsers adds n user hosts round-robin across the remote ingress
+// switches and returns their IDs.
+func (m *MultiRegion) AttachUsers(n int) []NodeID { return m.attach(n, "user") }
+
+// AttachBots adds n bot hosts round-robin across the remote ingress
+// switches and returns their IDs.
+func (m *MultiRegion) AttachBots(n int) []NodeID { return m.attach(n, "bot") }
+
+func (m *MultiRegion) attach(n int, prefix string) []NodeID {
+	ids := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		sw := m.Ingresses[i%len(m.Ingresses)]
+		ids = append(ids, m.Victim.G.AttachHost(sw, fmt.Sprintf("%s%d", prefix, i), DefaultHostBPS, DefaultHostDelay))
+	}
+	return ids
+}
+
+// AttachServers adds n public servers on the victim edge switch.
+func (m *MultiRegion) AttachServers(n int) []NodeID { return m.Victim.AttachServers(n) }
