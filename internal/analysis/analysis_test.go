@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -55,23 +54,29 @@ func parseWants(t *testing.T, file string) map[int][]wantDiag {
 	return out
 }
 
-// runFixture type-checks one testdata file at the claimed module import
-// path and runs a single analyzer over it.
-func runFixture(t *testing.T, importPath, file string,
-	run func(*token.FileSet, []*Package) []Diagnostic) []Diagnostic {
+// fixturePass type-checks one testdata file at the claimed module import
+// path and wraps it in a fresh Pass.
+func fixturePass(t *testing.T, importPath, file string) *Pass {
 	t.Helper()
 	m := loadModule(t)
 	pkg, err := m.CheckFixture(importPath, filepath.Join("testdata", file))
 	if err != nil {
 		t.Fatalf("CheckFixture(%s): %v", file, err)
 	}
-	return run(m.Fset, []*Package{pkg})
+	return NewPass(m.Fset, []*Package{pkg})
+}
+
+// runFixture runs a single analyzer over one fixture file.
+func runFixture(t *testing.T, importPath, file string,
+	run func(*Pass) []Diagnostic) []Diagnostic {
+	t.Helper()
+	return run(fixturePass(t, importPath, file))
 }
 
 // checkFixture matches an analyzer's diagnostics against the fixture's
 // want comments, both ways: no unexpected findings, no unmet wants.
 func checkFixture(t *testing.T, importPath, file string,
-	run func(*token.FileSet, []*Package) []Diagnostic) {
+	run func(*Pass) []Diagnostic) {
 	t.Helper()
 	diags := runFixture(t, importPath, file, run)
 	wants := parseWants(t, filepath.Join("testdata", file))
@@ -110,29 +115,121 @@ func TestDeterminismFixtures(t *testing.T) {
 // concurrency boundary: the runner layer (internal/experiment) may spawn
 // goroutines and read the wall clock but not use ambient randomness or
 // leak map order; the serial substrate (internal/dataplane et al.) gets
-// only the goroutine ban.
+// only the goroutine ban for unreachable code.
 func TestDeterminismBoundaryFixtures(t *testing.T) {
 	checkFixture(t, "fastflex/internal/experiment", "det_runner.go", Determinism)
 	checkFixture(t, "fastflex/internal/dataplane", "det_serial.go", Determinism)
 }
 
-// TestDeterminismShardRuntimeFixtures pins the fourth tier: the two
-// shard-runtime files (internal/eventsim/shard.go, internal/netsim/shard.go)
-// may launch goroutines — the conservative barrier protocol makes scheduler
-// interleaving unobservable — but keep every other determinism ban, and the
-// exemption is keyed on the full package-relative path, so a shard.go in
-// any other package is still checked under the normal rules.
+// TestDeterminismShardRuntimeFixtures pins the shard-runtime exemptions:
+// the named functions — (*ShardGroup).start et al. in eventsim,
+// (*handoffRing).push/drain in netsim — may contain concurrency-class
+// sinks, closures inherit the exemption from their enclosing function,
+// value-class bans (time.Now) still apply inside exempt functions, and
+// the exemption keys on package path + function identity, so a file
+// named shard.go declaring the same method identity in another package
+// is still checked under the normal rules.
 func TestDeterminismShardRuntimeFixtures(t *testing.T) {
 	checkFixture(t, "fastflex/internal/eventsim", "tier4/shard.go", Determinism)
 	checkFixture(t, "fastflex/internal/netsim", "tier4net/shard.go", Determinism)
 	checkFixture(t, "fastflex/internal/dataplane", "tier4bad/shard.go", Determinism)
 }
 
+// TestDeterminismReachability pins the reachability model on a serial
+// package: the same map iteration is flagged when a simulation
+// entrypoint reaches it and silent when nothing does.
+func TestDeterminismReachability(t *testing.T) {
+	checkFixture(t, "fastflex/internal/dataplane", "det_reach_bad.go", Determinism)
+	checkFixture(t, "fastflex/internal/dataplane", "det_reach_ok.go", Determinism)
+}
+
+// TestDeterminismReachabilityChain asserts the diagnostic carries the
+// shortest entrypoint-to-sink call chain.
+func TestDeterminismReachabilityChain(t *testing.T) {
+	diags := runFixture(t, "fastflex/internal/dataplane", "det_reach_bad.go", Determinism)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	want := []string{
+		"internal/dataplane.(*Switch).Process",
+		"internal/dataplane.(*Switch).classify",
+	}
+	got := diags[0].Chain
+	if len(got) != len(want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDeterminismExemptionDeletion is the acceptance gate for the
+// exemption mechanism: removing one shard-runtime exemption from the
+// configuration must make the proof fail on the real tree, with a chain
+// from an entrypoint ending at the function that launches the workers.
+func TestDeterminismExemptionDeletion(t *testing.T) {
+	m := loadModule(t)
+	p := NewPass(m.Fset, m.Packages())
+	cfg := defaultDetConfig()
+	const victim = "internal/eventsim.(*ShardGroup).start"
+	if !cfg.exempt[victim] {
+		t.Fatalf("%s missing from the default exemption set", victim)
+	}
+	delete(cfg.exempt, victim)
+	diags := determinism(p, cfg)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "goroutine launch") {
+			continue
+		}
+		if n := len(d.Chain); n > 0 && strings.HasSuffix(d.Chain[n-1], victim) {
+			return // proof failed exactly as required
+		}
+	}
+	t.Fatalf("deleting the %s exemption produced no goroutine finding with a chain ending there; got %v", victim, diags)
+}
+
 func TestDeterminismBareWaiver(t *testing.T) {
-	diags := runFixture(t, "fastflex/internal/netsim", "det_bare.go", Determinism)
+	p := fixturePass(t, "fastflex/internal/netsim", "det_bare.go")
+	if diags := Determinism(p); len(diags) != 0 {
+		t.Fatalf("determinism should stay silent (loop feeds a sort), got %v", diags)
+	}
+	diags := Waiver(p)
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
 		t.Fatalf("want exactly one bare-waiver diagnostic, got %v", diags)
 	}
+}
+
+// TestStaleWaivers pins the waiver lifecycle: a waiver the analyzers
+// never consume is reported stale, a consumed one stays silent, and a
+// floating //ffvet:hotpath directive is reported.
+func TestStaleWaivers(t *testing.T) {
+	p := fixturePass(t, "fastflex/internal/netsim", "waiver_stale.go")
+	_ = Determinism(p) // consumes the used waiver
+	_ = Hotpath(p)
+	diags := Waiver(p)
+	var stale, floating int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "stale ffvet:ok waiver (keys are sorted below)"):
+			stale++
+		case strings.Contains(d.Message, "ffvet:hotpath directive is not attached"):
+			floating++
+		case strings.Contains(d.Message, "order-independent"):
+			t.Errorf("used waiver reported stale: %s", d)
+		default:
+			t.Errorf("unexpected waiver diagnostic: %s", d)
+		}
+	}
+	if stale != 1 || floating != 1 {
+		t.Fatalf("want 1 stale + 1 floating finding, got %v", diags)
+	}
+}
+
+func TestRankOwnershipFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/netsim", "rankown_bad.go", RankOwnership)
+	checkFixture(t, "fastflex/internal/netsim", "rankown_ok.go", RankOwnership)
 }
 
 func TestHotpathFixtures(t *testing.T) {
@@ -155,7 +252,10 @@ func TestHotpathAnnotationsPresent(t *testing.T) {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || !hotpathAnnotated(fn) {
+				if !ok {
+					continue
+				}
+				if _, annotated := hotpathAnnotation(m.Fset, fn); !annotated {
 					continue
 				}
 				if want[fn.Name.Name] == pkg.Path {
@@ -189,15 +289,21 @@ func TestModeConflictFixtures(t *testing.T) {
 // TestRealTreeClean is the gate the repository itself must pass: every
 // analyzer and the domain verifiers, zero findings.
 func TestRealTreeClean(t *testing.T) {
-	diags, err := RunAll(repoRoot)
+	report, err := Run(repoRoot)
 	if err != nil {
-		t.Fatalf("RunAll: %v", err)
+		t.Fatalf("Run: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range report.Diags {
 		t.Errorf("finding in tree: %s", d)
 	}
 	for _, d := range Domain() {
 		t.Errorf("domain finding: %s", d)
+	}
+	if report.WaiversStale != 0 {
+		t.Errorf("stale waivers in tree: %d", report.WaiversStale)
+	}
+	if report.Functions == 0 || report.Edges == 0 {
+		t.Errorf("degenerate call graph: %d functions, %d edges", report.Functions, report.Edges)
 	}
 }
 

@@ -1,0 +1,861 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Conservative whole-module static call graph.
+//
+// ffvet's determinism claim is a reachability statement — "no path from a
+// simulation entrypoint reaches a nondeterminism source" — so the graph
+// must over-approximate, never under-approximate, the set of possible
+// callees. Three edge classes:
+//
+//   - static: the callee is a named function or a method on a concrete
+//     receiver, resolved exactly through go/types;
+//   - interface dispatch: a call through an interface method resolves to
+//     every module type whose method set satisfies the interface (class
+//     hierarchy analysis over the loaded packages);
+//   - func values: a call through a func-typed expression (a struct
+//     field like dataplane's pipelineStep.run, a variable, eventsim's
+//     Event.Fn) resolves to every address-taken function or closure in
+//     the module with an identical signature.
+//
+// Closures get their own nodes (named Parent.funcN, in source order) and
+// inherit exemptions from their enclosing function, because a closure
+// scheduled onto an engine runs long after its parent returned.
+//
+// Functions above the concurrency boundary (the experiment runner, the
+// analyzer itself, binaries, examples) are loaded — their sinks feed the
+// residual per-package rules — but are excluded from dispatch candidate
+// sets and never traversed: nothing the simulation schedules can resolve
+// to runner code, and pretending otherwise would drown the proof in
+// false edges.
+
+// SinkKind classifies a nondeterminism source.
+type SinkKind int
+
+const (
+	// Concurrency sinks: an exempt shard-runtime function may contain
+	// these (the barrier protocol makes them unobservable); nothing else
+	// below the boundary may.
+	SinkGoroutine SinkKind = iota
+	SinkChanOp
+	SinkSelect
+	SinkSync
+
+	// Value sinks: banned everywhere on simulation paths, exempt or not.
+	SinkWallClock
+	SinkGlobalRand
+	SinkRandSource
+	SinkMapRange
+	SinkFPReduce
+)
+
+// Concurrency reports whether the sink is scheduler-visible concurrency
+// (waivable only by a shard-runtime exemption, never by //ffvet:ok).
+func (k SinkKind) Concurrency() bool { return k <= SinkSync }
+
+// Sink is one nondeterminism source inside a function body.
+type Sink struct {
+	Kind SinkKind
+	Pos  token.Pos
+	Msg  string
+	// node anchors waiver lookup (the statement the //ffvet:ok must sit
+	// on). Concurrency sinks carry no waiver anchor: they are not
+	// waivable by comment.
+	node ast.Node
+}
+
+// Edge is one call-graph edge, anchored at its call site.
+type Edge struct {
+	Callee *FuncNode
+	Pos    token.Pos
+	// Dynamic marks conservative edges (interface dispatch or func-value
+	// resolution) as opposed to exact static calls.
+	Dynamic bool
+}
+
+// FuncNode is one function, method, or closure.
+type FuncNode struct {
+	// ID is the stable identity: "<module-relative pkg>.<name>", e.g.
+	// "internal/eventsim.(*Engine).Run" or
+	// "internal/netsim.(*Network).New.func1". Exemptions key on this —
+	// package path plus function identity — never on filenames.
+	ID   string
+	Name string
+	Pkg  *Package
+	Rel  string // module-relative package path
+	Pos  token.Pos
+	// Encl is the enclosing function for closures, nil for declarations.
+	Encl *FuncNode
+	Sig  *types.Signature
+	Body *ast.BlockStmt
+
+	// AddrTaken: the function's value escapes (assigned, passed, stored,
+	// or — for closures — merely created), so a func-value call with a
+	// matching signature may reach it.
+	AddrTaken bool
+
+	Calls []Edge
+	Sinks []Sink
+
+	// Above: the node sits above the concurrency boundary.
+	Above bool
+}
+
+// CallGraph is the whole-module graph.
+type CallGraph struct {
+	Fset  *token.FileSet
+	Nodes map[string]*FuncNode
+	// order lists nodes deterministically (package path, then position).
+	order []*FuncNode
+}
+
+// Funcs returns every node in deterministic order.
+func (g *CallGraph) Funcs() []*FuncNode { return g.order }
+
+// EdgeCount returns the total number of edges.
+func (g *CallGraph) EdgeCount() int {
+	n := 0
+	for _, fn := range g.order {
+		n += len(fn.Calls)
+	}
+	return n
+}
+
+// Lookup returns the node with the given ID, or nil.
+func (g *CallGraph) Lookup(id string) *FuncNode { return g.Nodes[id] }
+
+// dynSite is a pending func-value call awaiting signature resolution.
+type dynSite struct {
+	from *FuncNode
+	pos  token.Pos
+	sig  *types.Signature
+}
+
+// ifaceSite is a pending interface-dispatch call (or interface method
+// value) awaiting class-hierarchy resolution.
+type ifaceSite struct {
+	from  *FuncNode
+	pos   token.Pos
+	iface *types.Interface
+	name  string
+	pkg   *types.Package // package scoping unexported method names
+	// valueOnly: the method was taken as a value, not called — mark the
+	// implementers address-taken but add no call edge here.
+	valueOnly bool
+}
+
+type graphBuilder struct {
+	p     *Pass
+	g     *CallGraph
+	byObj map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+	dyns  []dynSite
+	ifs   []ifaceSite
+	// named collects every defined named type below the boundary, the
+	// candidate set for interface dispatch.
+	named []*types.Named
+}
+
+func buildCallGraph(p *Pass) *CallGraph {
+	b := &graphBuilder{
+		p:     p,
+		g:     &CallGraph{Fset: p.Fset, Nodes: make(map[string]*FuncNode)},
+		byObj: make(map[*types.Func]*FuncNode),
+		byLit: make(map[*ast.FuncLit]*FuncNode),
+	}
+	for _, pkg := range p.Pkgs {
+		b.collectPackage(pkg)
+	}
+	for _, fn := range b.g.order {
+		b.walkBody(fn)
+	}
+	b.resolveInterfaces()
+	b.resolveDynamics()
+	return b.g
+}
+
+// collectPackage creates nodes for every declared function/method and
+// every closure, in source order, and collects named types.
+func (b *graphBuilder) collectPackage(pkg *Package) {
+	rel := modRelPath(pkg)
+	above := aboveBoundary(rel)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !above {
+			if named, ok := tn.Type().(*types.Named); ok {
+				b.named = append(b.named, named)
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+				if obj == nil || d.Body == nil {
+					continue
+				}
+				fn := b.addNode(pkg, rel, funcDeclName(pkg, d), d.Pos(), nil,
+					obj.Type().(*types.Signature), d.Body, above)
+				b.byObj[obj] = fn
+				b.collectLits(pkg, rel, fn, d.Body, above)
+			case *ast.GenDecl:
+				// Closures in package-level initializers hang off a
+				// synthetic per-package "init" parent.
+				b.collectLits(pkg, rel, nil, d, above)
+			}
+		}
+	}
+}
+
+// collectLits creates nodes for every closure under root, attributing
+// each to its innermost enclosing function node.
+func (b *graphBuilder) collectLits(pkg *Package, rel string, parent *FuncNode, root ast.Node, above bool) {
+	counters := make(map[*FuncNode]int)
+	var walk func(n ast.Node, encl *FuncNode)
+	walk = func(n ast.Node, encl *FuncNode) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			lit, ok := m.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			host := encl
+			if host == nil {
+				host = b.initNode(pkg, rel, above)
+			}
+			counters[host]++
+			name := fmt.Sprintf("%s.func%d", host.Name, counters[host])
+			sig, _ := pkg.Info.Types[lit].Type.(*types.Signature)
+			fn := b.addNode(pkg, rel, name, lit.Pos(), host, sig, lit.Body, above)
+			b.byLit[lit] = fn
+			walk(lit.Body, fn)
+			return false // children already walked with the right parent
+		})
+	}
+	if decl, ok := root.(*ast.FuncDecl); ok {
+		root = decl.Body
+	}
+	walk(root, parent)
+}
+
+// initNode returns (creating on demand) the synthetic node that owns
+// closures appearing in package-level variable initializers.
+func (b *graphBuilder) initNode(pkg *Package, rel string, above bool) *FuncNode {
+	id := rel + ".init"
+	if fn := b.g.Nodes[id]; fn != nil {
+		return fn
+	}
+	return b.addNode(pkg, rel, "init", token.NoPos, nil, nil, nil, above)
+}
+
+func (b *graphBuilder) addNode(pkg *Package, rel, name string, pos token.Pos,
+	encl *FuncNode, sig *types.Signature, body *ast.BlockStmt, above bool) *FuncNode {
+	fn := &FuncNode{
+		ID: rel + "." + name, Name: name, Pkg: pkg, Rel: rel, Pos: pos,
+		Encl: encl, Sig: sig, Body: body, Above: above,
+	}
+	b.g.Nodes[fn.ID] = fn
+	b.g.order = append(b.g.order, fn)
+	return fn
+}
+
+// funcDeclName renders a declaration's identity: "Fn" for functions,
+// "(T).M" / "(*T).M" for methods.
+func funcDeclName(pkg *Package, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star, t = "*", se.X
+	}
+	// Strip type parameters on generic receivers.
+	switch x := t.(type) {
+	case *ast.IndexExpr:
+		t = x.X
+	case *ast.IndexListExpr:
+		t = x.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + star + id.Name + ")." + d.Name.Name
+	}
+	return "(?)." + d.Name.Name
+}
+
+// walkBody scans one node's own statements (stopping at nested closures,
+// which walk themselves): call edges, dynamic sites, address-taken marks,
+// and nondeterminism sinks.
+func (b *graphBuilder) walkBody(fn *FuncNode) {
+	if fn.Body == nil {
+		return
+	}
+	pkg := fn.Pkg
+	// calleePos marks expressions standing in call position, so a bare
+	// reference to a function elsewhere means its address is taken.
+	calleePos := make(map[ast.Expr]bool)
+	// selSel marks idents that are the .Sel of a selector already handled
+	// by markSelectorTaken, so the bare-ident pass skips them.
+	selSel := make(map[*ast.Ident]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if child := b.byLit[lit]; child != nil && !calleePos[lit] {
+				child.AddrTaken = true
+			}
+			return false // child walks itself
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			calleePos[unparen(node.Fun)] = true
+			b.walkCall(fn, node)
+		case *ast.GoStmt:
+			fn.Sinks = append(fn.Sinks, Sink{
+				Kind: SinkGoroutine, Pos: node.Pos(),
+				Msg: "goroutine launch below the concurrency boundary: event ordering must come from eventsim, not the Go scheduler",
+			})
+		case *ast.SendStmt:
+			fn.Sinks = append(fn.Sinks, Sink{Kind: SinkChanOp, Pos: node.Pos(),
+				Msg: "channel send below the concurrency boundary"})
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				fn.Sinks = append(fn.Sinks, Sink{Kind: SinkChanOp, Pos: node.Pos(),
+					Msg: "channel receive below the concurrency boundary"})
+			}
+		case *ast.SelectStmt:
+			fn.Sinks = append(fn.Sinks, Sink{Kind: SinkSelect, Pos: node.Pos(),
+				Msg: "select below the concurrency boundary"})
+		case *ast.RangeStmt:
+			b.walkRange(fn, node)
+		case *ast.Ident:
+			if !selSel[node] {
+				b.markAddrTaken(pkg, node, calleePos)
+			}
+		case *ast.SelectorExpr:
+			// Inspect visits the SelectorExpr before its children, so
+			// marking node.Sel here keeps the bare-ident pass from
+			// double-handling it while the receiver is still traversed.
+			selSel[node.Sel] = true
+			b.markSelectorTaken(fn, pkg, node, calleePos)
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// markAddrTaken flags a named function referenced outside call position.
+func (b *graphBuilder) markAddrTaken(pkg *Package, id *ast.Ident, calleePos map[ast.Expr]bool) {
+	if calleePos[id] {
+		return
+	}
+	if obj, ok := pkg.Info.Uses[id].(*types.Func); ok {
+		if fn := b.byObj[obj]; fn != nil {
+			fn.AddrTaken = true
+		}
+	}
+}
+
+// markSelectorTaken flags method values (x.M referenced, not called):
+// concrete methods directly, interface methods via their implementers.
+func (b *graphBuilder) markSelectorTaken(fn *FuncNode, pkg *Package, sel *ast.SelectorExpr, calleePos map[ast.Expr]bool) {
+	if calleePos[sel] {
+		return
+	}
+	if s, ok := pkg.Info.Selections[sel]; ok && (s.Kind() == types.MethodVal || s.Kind() == types.MethodExpr) {
+		m := s.Obj().(*types.Func)
+		if types.IsInterface(s.Recv()) {
+			if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+				b.ifs = append(b.ifs, ifaceSite{from: fn, pos: sel.Pos(),
+					iface: iface, name: m.Name(), pkg: m.Pkg(), valueOnly: true})
+			}
+			return
+		}
+		if target := b.byObj[m]; target != nil {
+			target.AddrTaken = true
+		}
+		return
+	}
+	// Package-qualified function reference (pkg.Fn as a value).
+	if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		if target := b.byObj[obj]; target != nil {
+			target.AddrTaken = true
+		}
+	}
+}
+
+// walkCall classifies one call expression: static edge, interface
+// dispatch, func-value dispatch, builtin, conversion, or stdlib sink.
+func (b *graphBuilder) walkCall(fn *FuncNode, call *ast.CallExpr) {
+	pkg := fn.Pkg
+	f := unparen(call.Fun)
+
+	// Type conversions are not calls.
+	if tv, ok := pkg.Info.Types[f]; ok && tv.IsType() {
+		return
+	}
+
+	switch callee := f.(type) {
+	case *ast.FuncLit:
+		if child := b.byLit[callee]; child != nil {
+			fn.Calls = append(fn.Calls, Edge{Callee: child, Pos: call.Pos()})
+		}
+		return
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[callee].(type) {
+		case *types.Builtin:
+			if obj.Name() == "close" {
+				fn.Sinks = append(fn.Sinks, Sink{Kind: SinkChanOp, Pos: call.Pos(),
+					Msg: "channel close below the concurrency boundary"})
+			}
+			return
+		case *types.Func:
+			b.addStaticOrSink(fn, call, obj)
+			return
+		case *types.Var, *types.Nil:
+			b.addDynSite(fn, call)
+			return
+		}
+		b.addDynSite(fn, call)
+		return
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[callee]; ok {
+			switch s.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m := s.Obj().(*types.Func)
+				if types.IsInterface(s.Recv()) {
+					if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+						b.ifs = append(b.ifs, ifaceSite{from: fn, pos: call.Pos(),
+							iface: iface, name: m.Name(), pkg: m.Pkg()})
+					}
+					return
+				}
+				b.addStaticOrSink(fn, call, m)
+				return
+			case types.FieldVal:
+				// Func-typed struct field (pipelineStep.run, Event.Fn).
+				b.addDynSite(fn, call)
+				return
+			}
+		}
+		// Package-qualified call (pkg.Fn or pkg.Var()).
+		if obj, ok := pkg.Info.Uses[callee.Sel].(*types.Func); ok {
+			b.addStaticOrSink(fn, call, obj)
+			return
+		}
+		b.addDynSite(fn, call)
+		return
+	}
+	b.addDynSite(fn, call)
+}
+
+// addStaticOrSink adds a static edge for module callees, or records a
+// sink for the stdlib calls the determinism model bans.
+func (b *graphBuilder) addStaticOrSink(fn *FuncNode, call *ast.CallExpr, obj *types.Func) {
+	if target := b.byObj[obj]; target != nil {
+		fn.Calls = append(fn.Calls, Edge{Callee: target, Pos: call.Pos()})
+		return
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return // error.Error and friends
+	}
+	name := obj.Name()
+	switch pkg.Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			fn.Sinks = append(fn.Sinks, Sink{Kind: SinkWallClock, Pos: call.Pos(),
+				Msg: "time." + name + " on a simulation path: use the eventsim virtual clock"})
+		}
+	case "math/rand", "math/rand/v2":
+		switch name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			fn.Sinks = append(fn.Sinks, Sink{Kind: SinkRandSource, Pos: call.Pos(),
+				Msg: "private " + pkg.Path() + "." + name +
+					" outside internal/eventsim: all randomness must flow from eventsim.RNG"})
+		default:
+			// Methods on a *rand.Rand value are fine (the value came from
+			// eventsim); package-level calls draw from the ambient source.
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+				fn.Sinks = append(fn.Sinks, Sink{Kind: SinkGlobalRand, Pos: call.Pos(),
+					Msg: "global " + pkg.Path() + "." + name +
+						" on a simulation path: all randomness must flow from eventsim.RNG"})
+			}
+		}
+	case "sync", "sync/atomic":
+		fn.Sinks = append(fn.Sinks, Sink{Kind: SinkSync, Pos: call.Pos(),
+			Msg: pkg.Path() + "." + renderSyncObj(obj) + " below the concurrency boundary"})
+	case "os", "os/exec", "net", "net/http":
+		// I/O is as nondeterministic as the wall clock on a sim path.
+		fn.Sinks = append(fn.Sinks, Sink{Kind: SinkWallClock, Pos: call.Pos(),
+			Msg: pkg.Path() + "." + name + " (ambient I/O) on a simulation path"})
+	}
+}
+
+// renderSyncObj names a sync primitive call: "Mutex.Lock" for methods,
+// "OnceFunc" for package functions.
+func renderSyncObj(obj *types.Func) string {
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + obj.Name()
+		}
+	}
+	return obj.Name()
+}
+
+// addDynSite records a call through a func-typed value for later
+// signature-based resolution.
+func (b *graphBuilder) addDynSite(fn *FuncNode, call *ast.CallExpr) {
+	tv, ok := fn.Pkg.Info.Types[unparen(call.Fun)]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	b.dyns = append(b.dyns, dynSite{from: fn, pos: call.Pos(), sig: sig})
+}
+
+// walkRange records unordered-map-iteration and floating-point-reduction
+// sinks. A range whose only escaping effect is filling collections the
+// function later sorts is deterministic and records nothing.
+func (b *graphBuilder) walkRange(fn *FuncNode, rng *ast.RangeStmt) {
+	pkg := fn.Pkg
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+		fn.Sinks = append(fn.Sinks, Sink{Kind: SinkChanOp, Pos: rng.Pos(),
+			Msg: "range over a channel below the concurrency boundary"})
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Floating-point accumulation across map iterations reorders a
+	// non-associative reduction, so it is a sink even under a map-range
+	// waiver (the waiver claims order-independence; float addition is
+	// not). Anchored at the assignment so it needs its own waiver.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if t, ok := pkg.Info.Types[as.Lhs[0]]; ok {
+				if basic, ok := t.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+					fn.Sinks = append(fn.Sinks, Sink{Kind: SinkFPReduce, Pos: as.Pos(),
+						Msg:  "floating-point reduction over unordered map iteration: float addition is not associative, so the result depends on iteration order; iterate sorted keys",
+						node: as})
+				}
+			}
+		}
+		return true
+	})
+	if feedsSort(pkg, fn.Body, rng) {
+		return
+	}
+	fn.Sinks = append(fn.Sinks, Sink{Kind: SinkMapRange, Pos: rng.Pos(),
+		Msg:  "map iteration on a simulation path: iteration order is nondeterministic; sort the keys or waive with //ffvet:ok <reason>",
+		node: rng})
+}
+
+// resolveInterfaces turns recorded interface call sites into edges to
+// every module type implementing the interface (method-set matching),
+// and marks implementers of interface method values address-taken.
+func (b *graphBuilder) resolveInterfaces() {
+	for _, site := range b.ifs {
+		var targets []*FuncNode
+		for _, named := range b.named {
+			impl := implementingMethod(named, site.iface, site.name, site.pkg)
+			if impl == nil {
+				continue
+			}
+			if target := b.byObj[impl]; target != nil {
+				targets = append(targets, target)
+			}
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+		for _, t := range targets {
+			if site.valueOnly {
+				t.AddrTaken = true
+				continue
+			}
+			site.from.Calls = append(site.from.Calls, Edge{Callee: t, Pos: site.pos, Dynamic: true})
+		}
+	}
+}
+
+// implementingMethod returns named's (or *named's) declared method that
+// satisfies iface's method name, or nil when named does not implement
+// iface.
+func implementingMethod(named *types.Named, iface *types.Interface, name string, pkg *types.Package) *types.Func {
+	ptr := types.NewPointer(named)
+	if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(ptr, true, pkg, name)
+	m, _ := obj.(*types.Func)
+	return m
+}
+
+// resolveDynamics turns func-value call sites into edges to every
+// address-taken node (below the boundary) with an identical signature.
+func (b *graphBuilder) resolveDynamics() {
+	bySig := make(map[string][]*FuncNode)
+	for _, fn := range b.g.order {
+		if !fn.AddrTaken || fn.Above || fn.Sig == nil {
+			continue
+		}
+		key := sigKey(fn.Sig)
+		bySig[key] = append(bySig[key], fn)
+	}
+	for _, cands := range bySig {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	}
+	for _, site := range b.dyns {
+		for _, t := range bySig[sigKey(site.sig)] {
+			site.from.Calls = append(site.from.Calls, Edge{Callee: t, Pos: site.pos, Dynamic: true})
+		}
+	}
+}
+
+// sigKey renders a signature's parameters and results (receivers
+// excluded: a bound method value has the receiver folded away).
+func sigKey(sig *types.Signature) string {
+	var b strings.Builder
+	tup := func(t *types.Tuple) {
+		b.WriteByte('(')
+		for i := 0; i < t.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(types.TypeString(t.At(i).Type(), nil))
+		}
+		b.WriteByte(')')
+	}
+	tup(sig.Params())
+	b.WriteString("->")
+	tup(sig.Results())
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	return b.String()
+}
+
+// Reach computes the set of nodes reachable from the given entrypoint
+// IDs, with BFS parent edges for shortest-chain reconstruction. Nodes
+// above the boundary are never entered. Traversal order is deterministic
+// (roots in given order, edges in recorded order).
+func (g *CallGraph) Reach(entry []string) *ReachSet {
+	r := &ReachSet{parent: make(map[*FuncNode]Edge), in: make(map[*FuncNode]bool)}
+	var queue []*FuncNode
+	for _, id := range entry {
+		if fn := g.Nodes[id]; fn != nil && !r.in[fn] {
+			r.in[fn] = true
+			r.roots = append(r.roots, fn)
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range fn.Calls {
+			if e.Callee.Above || r.in[e.Callee] {
+				continue
+			}
+			r.in[e.Callee] = true
+			r.parent[e.Callee] = Edge{Callee: fn, Pos: e.Pos, Dynamic: e.Dynamic}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// ReachSet is the result of a reachability query.
+type ReachSet struct {
+	roots  []*FuncNode
+	in     map[*FuncNode]bool
+	parent map[*FuncNode]Edge // child -> (parent, via edge)
+}
+
+// Contains reports whether fn is reachable.
+func (r *ReachSet) Contains(fn *FuncNode) bool { return r.in[fn] }
+
+// Chain returns the shortest entrypoint-to-fn call path, one function ID
+// per element. A node reached over a conservative edge (func value or
+// interface dispatch) is prefixed "~": the hop may not happen at runtime,
+// but the analysis cannot rule it out.
+func (r *ReachSet) Chain(fn *FuncNode) []string {
+	var rev []string
+	for cur := fn; ; {
+		e, ok := r.parent[cur]
+		marker := ""
+		if ok && e.Dynamic {
+			marker = "~"
+		}
+		rev = append(rev, marker+cur.ID)
+		if !ok {
+			break
+		}
+		cur = e.Callee
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// feedsSort reports whether every variable the range body writes through
+// (other than the loop variables themselves) is later passed to a sort
+// within body — the canonical collect-then-sort idiom.
+func feedsSort(pkg *Package, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	written := writtenObjects(pkg, rng)
+	if len(written) == 0 {
+		return false
+	}
+	sorted := sortedObjects(pkg, body, rng.End())
+	for obj := range written {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// writtenObjects collects the root objects assigned or appended to inside
+// the range body, excluding the loop's own key/value variables.
+func writtenObjects(pkg *Package, rng *ast.RangeStmt) map[types.Object]bool {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	written := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if obj := rootObject(pkg, e); obj != nil && !loopVars[obj] {
+			written[obj] = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(node.X)
+		case *ast.CallExpr:
+			// A call with side effects on captured state is opaque; be
+			// conservative and treat method receivers as writes.
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if _, isPkg := pkg.Info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+					add(sel.X)
+				}
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// sortedObjects collects root objects passed to sort.* or slices.Sort*
+// calls after pos within body.
+func sortedObjects(pkg *Package, body *ast.BlockStmt, pos token.Pos) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if obj := rootObject(pkg, arg); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves an expression like x, x.f, x[i], or *x to the
+// object of its root identifier.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.FuncLit:
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// edgeSpec is one expected outgoing edge: callee node ID plus whether
+// the edge is a conservative dynamic resolution.
+type edgeSpec struct {
+	callee  string
+	dynamic bool
+}
+
+func graphFor(t *testing.T, file string) *CallGraph {
+	t.Helper()
+	return fixturePass(t, "fastflex/internal/dataplane", file).Graph()
+}
+
+// checkEdges asserts a node's exact outgoing edge set, order-insensitive.
+func checkEdges(t *testing.T, g *CallGraph, id string, want []edgeSpec) {
+	t.Helper()
+	fn := g.Lookup(id)
+	if fn == nil {
+		t.Fatalf("node %s missing from the graph", id)
+	}
+	var got []edgeSpec
+	for _, e := range fn.Calls {
+		got = append(got, edgeSpec{callee: e.Callee.ID, dynamic: e.Dynamic})
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].callee < got[j].callee })
+	sort.Slice(want, func(i, j int) bool { return want[i].callee < want[j].callee })
+	if len(got) != len(want) {
+		t.Fatalf("%s: edges = %v, want %v", id, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: edges = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func checkAddrTaken(t *testing.T, g *CallGraph, id string, want bool) {
+	t.Helper()
+	fn := g.Lookup(id)
+	if fn == nil {
+		t.Fatalf("node %s missing from the graph", id)
+	}
+	if fn.AddrTaken != want {
+		t.Errorf("%s: AddrTaken = %v, want %v", id, fn.AddrTaken, want)
+	}
+}
+
+// TestCallGraphStaticAndInterface pins the builder on fixture A: static
+// edges resolve to the single declared callee; an interface-method call
+// fans out dynamically to every type whose method set satisfies the
+// interface; a concrete method value stored in a function-typed field
+// (the pipelineStep pattern) marks the method address-taken, and the
+// later call through the field resolves to it by signature.
+func TestCallGraphStaticAndInterface(t *testing.T) {
+	g := graphFor(t, "callgraph_a.go")
+	const p = "internal/dataplane."
+
+	checkEdges(t, g, p+"direct", []edgeSpec{
+		{callee: p + "helper", dynamic: false},
+	})
+	checkEdges(t, g, p+"dynamic", []edgeSpec{
+		{callee: p + "(*countPPM).process", dynamic: true},
+		{callee: p + "(dropPPM).process", dynamic: true},
+	})
+	// bind only takes the method value; it calls nothing.
+	checkEdges(t, g, p+"bind", nil)
+	checkAddrTaken(t, g, p+"(*countPPM).process", true)
+	checkAddrTaken(t, g, p+"(dropPPM).process", false)
+	// exec calls through the function-typed field: only the
+	// address-taken method with a matching signature is a candidate.
+	checkEdges(t, g, p+"exec", []edgeSpec{
+		{callee: p + "(*countPPM).process", dynamic: true},
+	})
+}
+
+// TestCallGraphClosures pins closure handling: a function literal gets
+// its own node named after the enclosing function, linked via Encl, and
+// a call through the local variable holding it resolves dynamically.
+func TestCallGraphClosures(t *testing.T) {
+	g := graphFor(t, "callgraph_a.go")
+	const p = "internal/dataplane."
+
+	lit := g.Lookup(p + "outer.func1")
+	if lit == nil {
+		t.Fatalf("closure node %souter.func1 missing from the graph", p)
+	}
+	if lit.Encl == nil || lit.Encl.ID != p+"outer" {
+		t.Fatalf("closure Encl = %v, want %souter", lit.Encl, p)
+	}
+	checkAddrTaken(t, g, p+"outer.func1", true)
+	checkEdges(t, g, p+"outer", []edgeSpec{
+		{callee: p + "outer.func1", dynamic: true},
+	})
+}
+
+// TestCallGraphMethodValues pins fixture B: taking a method value off an
+// interface marks every implementing method address-taken, and a call
+// through a func parameter with the same signature conservatively
+// resolves to all of them.
+func TestCallGraphMethodValues(t *testing.T) {
+	g := graphFor(t, "callgraph_b.go")
+	const p = "internal/dataplane."
+
+	checkEdges(t, g, p+"take", nil)
+	checkAddrTaken(t, g, p+"(impl).hit", true)
+	checkAddrTaken(t, g, p+"(other).hit", true)
+	checkEdges(t, g, p+"callThrough", []edgeSpec{
+		{callee: p + "(impl).hit", dynamic: true},
+		{callee: p + "(other).hit", dynamic: true},
+	})
+}
+
+// BenchmarkFfvet measures one full suite run — module load, type check,
+// call graph, every analyzer — over the real tree. The paper workflow
+// runs ffvet on every iteration, so the whole suite must stay interactive
+// (well under ten seconds a run).
+func BenchmarkFfvet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := Run(repoRoot)
+		if err != nil {
+			b.Fatalf("Run: %v", err)
+		}
+		if report.Functions == 0 {
+			b.Fatal("degenerate run")
+		}
+	}
+}
+
+// TestFfvetUnderBudget enforces the interactivity budget directly: a
+// single cold run of the full suite must finish in well under ten
+// seconds, or the edit-vet loop stops being usable.
+func TestFfvetUnderBudget(t *testing.T) {
+	start := time.Now()
+	if _, err := Run(repoRoot); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("full ffvet run took %v, budget is 10s", elapsed)
+	}
+}

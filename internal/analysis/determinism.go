@@ -1,23 +1,33 @@
 package analysis
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
-	"path/filepath"
 	"strings"
 )
 
-// The determinism analyzer knows the repository's concurrency boundary
-// (DESIGN.md, "Concurrency boundary — parallel runs, serial simulations"):
-// everything at or below the simulation is strictly single-threaded and
-// seed-deterministic, while the experiment runner above it may fan
-// independent runs across goroutines and read the wall clock to time them.
+// Determinism reachability.
+//
+// The repo's core guarantee — byte-identical replay of a sharded
+// simulation — holds only if nothing on a simulation path consults a
+// nondeterminism source. ffvet v1 approximated this with per-package
+// tiers and a filename whitelist for the shard runtime; v2 states it as
+// a reachability theorem over the conservative call graph:
+//
+//	no function reachable from a simulation entrypoint contains a
+//	nondeterminism sink, except the named shard-runtime functions,
+//	which may contain concurrency sinks only.
+//
+// Entrypoints are the engine run loops and the compiled-pipeline
+// execution surface. Exemptions key on package path + function identity
+// (never filenames: a same-named file in another package must not
+// inherit goroutine permission). Closures inherit their enclosing
+// function's exemption, because the shard workers live in closures.
+//
+// Functions below the boundary but not (yet) reachable — constructors,
+// topology builders, dead code — still get the v1 per-package residual
+// rules, so the guarantee never regresses below what v1 enforced.
 
-// simPackages are the packages whose code runs inside the discrete-event
-// simulation. DESIGN.md §4 requires these to be bit-identical across
-// same-seed runs, so wall clocks, ambient randomness, goroutines, and
-// order-leaking map iteration are all banned here.
+// simPackages hold live simulation state: full strictness regardless of
+// reachability (DESIGN.md §4 requires bit-identical same-seed runs).
 var simPackages = map[string]bool{
 	"internal/netsim":  true,
 	"internal/mode":    true,
@@ -29,10 +39,9 @@ var simPackages = map[string]bool{
 }
 
 // serialPackages are the substrate packages beneath the simulation layer
-// (and in-simulation leaf packages) that are deterministic by construction
-// — pure data and functions of injected inputs — so they only need the
-// goroutine ban: a goroutine anywhere below the runner boundary would let
-// the Go scheduler order events.
+// — deterministic by construction, pure functions of injected inputs —
+// so residually they only ban goroutine launches; everything on an
+// actual simulation path is covered by the reachability pass.
 var serialPackages = map[string]bool{
 	"internal/eventsim":  true,
 	"internal/dataplane": true,
@@ -44,89 +53,33 @@ var serialPackages = map[string]bool{
 	"internal/ppm":       true,
 }
 
-// runnerPackages sit *above* the boundary: the experiment harness that
-// fans out independent simulations across a worker pool. Goroutines and
-// time.Now (wall-clock timing of real work) are allowed; ambient
-// randomness and order-leaking map iteration are still banned, because
-// per-seed results must stay byte-identical whatever the worker count.
-var runnerPackages = map[string]bool{
-	"internal/experiment": true,
-}
+// runnerPackage sits above the boundary: it may fan goroutines and read
+// the wall clock, but ambient randomness and unsorted map iteration are
+// still banned, because per-seed experiment results must stay
+// byte-identical whatever the worker count.
+const runnerPackage = "internal/experiment"
 
-// rngPackage is the one package allowed to construct rand.Rand sources:
-// the deterministic engine all model randomness must flow from.
+// rngPackage is the one package allowed to construct rand sources: all
+// module randomness flows from eventsim seeds.
 const rngPackage = "internal/eventsim"
 
-// shardRuntimeFiles is the fourth tier: the shard-runtime files that
-// implement the conservative parallel engine. These — and only these — may
-// launch goroutines below the runner boundary, because the barrier window
-// protocol guarantees the interleaving the Go scheduler picks is
-// unobservable (shards exchange state exclusively at deterministic
-// barriers). Every other determinism ban still applies inside them:
-// shard-local simulation code must stay wall-clock-free and rand-free.
-// Keyed by package-relative path + basename, so a file must both live in
-// the named package and carry the canonical name to get the exemption.
-var shardRuntimeFiles = map[string]bool{
-	"internal/eventsim/shard.go": true,
-	"internal/netsim/shard.go":   true,
-}
-
-// rules is the per-package determinism rule set, derived from which side
-// of the concurrency boundary the package is on.
-type rules struct {
-	banGo       bool // no goroutine launches
-	banWall     bool // no time.Now
-	banRand     bool // no global math/rand top-level calls
-	banMapRange bool // no un-waived range over a map
-	allowRNG    bool // may construct rand sources (eventsim only)
-}
-
-func rulesFor(rel string) rules {
-	switch {
-	case simPackages[rel]:
-		return rules{banGo: true, banWall: true, banRand: true, banMapRange: true}
-	case runnerPackages[rel]:
-		return rules{banRand: true, banMapRange: true}
-	case serialPackages[rel]:
-		return rules{banGo: true, allowRNG: rel == rngPackage}
+// aboveBoundary reports whether a module-relative package path sits
+// above the concurrency boundary: the experiment runner, the analyzer
+// itself, binaries, examples, and the module root. Such packages are
+// loaded (their sinks feed the residual rules) but are never traversed
+// by reachability and never serve as dispatch candidates — nothing the
+// simulation schedules can resolve to runner code.
+func aboveBoundary(rel string) bool {
+	if !strings.HasPrefix(rel, "internal/") {
+		return true
 	}
-	return rules{}
-}
-
-// Determinism flags, by layer: time.Now, calls to global math/rand
-// top-level functions, goroutine launches, and range over a map — unless
-// the range statement carries an //ffvet:ok waiver or only feeds a sort —
-// in simulation packages; goroutine launches in the serial substrate;
-// ambient randomness and map iteration (but not goroutines or time.Now)
-// in the runner layer. rand.New/rand.NewSource are banned everywhere
-// outside internal/eventsim.
-func Determinism(fset *token.FileSet, pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		rel := modRelPath(pkg)
-		r := rulesFor(rel)
-		for _, file := range pkg.Files {
-			fr := r
-			name := filepath.Base(fset.Position(file.Pos()).Filename)
-			if shardRuntimeFiles[rel+"/"+name] {
-				fr.banGo = false
-			}
-			dirs := directives(fset, file, &diags)
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				checkFunc(fset, pkg, fn, fr, dirs, &diags)
-			}
-		}
-	}
-	sortDiagnostics(diags)
-	return diags
+	return rel == runnerPackage || rel == "internal/analysis"
 }
 
 // modRelPath strips the module prefix: "fastflex/internal/netsim" →
-// "internal/netsim". Fixture packages already use module-relative paths.
+// "internal/netsim". Paths outside internal/ (module root, cmd/,
+// examples/) are returned as-is. Fixture packages already use
+// module-relative paths.
 func modRelPath(pkg *Package) string {
 	p := pkg.Path
 	if i := strings.Index(p, "internal/"); i >= 0 {
@@ -135,222 +88,119 @@ func modRelPath(pkg *Package) string {
 	return p
 }
 
-func checkFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, r rules,
-	dirs map[int]string, diags *[]Diagnostic) {
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.CallExpr:
-			checkCall(fset, pkg, node, r, diags)
-		case *ast.GoStmt:
-			if r.banGo {
-				*diags = append(*diags, Diagnostic{
-					Pos:      fset.Position(node.Pos()),
-					Analyzer: "determinism",
-					Message:  "goroutine launch below the concurrency boundary: event ordering must come from eventsim, not the Go scheduler (only experiment.Runner may spawn goroutines)",
-				})
-			}
-		case *ast.RangeStmt:
-			if r.banMapRange {
-				checkMapRange(fset, pkg, fn, node, dirs, diags)
-			}
-		}
-		return true
-	})
+// detConfig parameterizes the reachability proof so tests can remove an
+// exemption or an entrypoint and watch the proof fail.
+type detConfig struct {
+	// entrypoints are call-graph node IDs the simulation starts from.
+	entrypoints []string
+	// exempt names the shard-runtime functions allowed to contain
+	// concurrency-class sinks (goroutines, channels, select, sync): the
+	// window-barrier protocol makes their interleavings unobservable to
+	// simulation state. Value-class sinks (wall clock, ambient rand, map
+	// iteration) are NOT excused by exemption. Keys are call-graph node
+	// IDs — package path + function identity, never filenames — and
+	// closures inherit exemption from their enclosing function.
+	exempt map[string]bool
 }
 
-// checkCall flags wall-clock and ambient-randomness calls per the
-// package's rule set; rand.New/NewSource are banned everywhere outside
-// internal/eventsim, since a private source breaks the single-RNG
-// invariant even when seeded.
-func checkCall(fset *token.FileSet, pkg *Package, call *ast.CallExpr, r rules, diags *[]Diagnostic) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	ident, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return
-	}
-	pn, ok := pkg.Info.Uses[ident].(*types.PkgName)
-	if !ok {
-		return
-	}
-	report := func(msg string) {
-		*diags = append(*diags, Diagnostic{
-			Pos: fset.Position(call.Pos()), Analyzer: "determinism", Message: msg,
-		})
-	}
-	switch pn.Imported().Path() {
-	case "time":
-		if r.banWall && sel.Sel.Name == "Now" {
-			report("time.Now in a simulation package: use the eventsim virtual clock")
-		}
-	case "math/rand", "math/rand/v2":
-		if r.allowRNG {
-			return
-		}
-		switch sel.Sel.Name {
-		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
-			report("private " + pn.Imported().Path() + "." + sel.Sel.Name +
-				" outside internal/eventsim: all randomness must flow from eventsim.RNG")
-		default:
-			if r.banRand {
-				report("global " + pn.Imported().Path() + "." + sel.Sel.Name +
-					" below or at the concurrency boundary: all randomness must flow from eventsim.RNG")
-			}
-		}
+func defaultDetConfig() detConfig {
+	return detConfig{
+		entrypoints: []string{
+			"internal/eventsim.(*Engine).Run",
+			"internal/eventsim.(*Engine).Step",
+			"internal/eventsim.(*ShardGroup).Run",
+			"internal/netsim.(*Network).Run",
+			"internal/dataplane.(*Switch).Process",
+			"internal/core.(*Fabric).Run",
+		},
+		exempt: map[string]bool{
+			// The windowed shard runtime: worker lifecycle and the
+			// window barrier.
+			"internal/eventsim.(*ShardGroup).Run":       true,
+			"internal/eventsim.(*ShardGroup).start":     true,
+			"internal/eventsim.(*ShardGroup).stop":      true,
+			"internal/eventsim.(*ShardGroup).runWindow": true,
+			// The SPSC handoff rings and the inter-window exchange that
+			// drains them at the barrier.
+			"internal/netsim.(*handoffRing).push":  true,
+			"internal/netsim.(*handoffRing).drain": true,
+			"internal/netsim.(*Network).exchange":  true,
+		},
 	}
 }
 
-// checkMapRange flags `range` over a map unless the statement is waived or
-// its only escaping effect is filling a slice that the enclosing function
-// later sorts.
-func checkMapRange(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, rng *ast.RangeStmt,
-	dirs map[int]string, diags *[]Diagnostic) {
-	tv, ok := pkg.Info.Types[rng.X]
-	if !ok {
-		return
-	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
-	}
-	if waived(fset, dirs, rng) {
-		return
-	}
-	if feedsSort(pkg, fn, rng) {
-		return
-	}
-	*diags = append(*diags, Diagnostic{
-		Pos:      fset.Position(rng.Pos()),
-		Analyzer: "determinism",
-		Message:  "map iteration in a simulation package: iteration order is nondeterministic; sort the keys or waive with //ffvet:ok <reason>",
-	})
+// Determinism runs the reachability proof plus residual per-package
+// rules with the default configuration.
+func Determinism(p *Pass) []Diagnostic {
+	return determinism(p, defaultDetConfig())
 }
 
-// feedsSort reports whether every variable the range body writes through
-// (other than the loop variables themselves) is later passed to a sort in
-// the same function — the canonical collect-then-sort idiom, whose final
-// order is deterministic.
-func feedsSort(pkg *Package, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
-	written := writtenObjects(pkg, rng)
-	if len(written) == 0 {
-		return false
-	}
-	sorted := sortedObjects(pkg, fn, rng.End())
-	for obj := range written {
-		if !sorted[obj] {
-			return false
-		}
-	}
-	return true
-}
-
-// writtenObjects collects the root objects assigned or appended to inside
-// the range body, excluding the loop's own key/value variables.
-func writtenObjects(pkg *Package, rng *ast.RangeStmt) map[types.Object]bool {
-	loopVars := make(map[types.Object]bool)
-	for _, e := range []ast.Expr{rng.Key, rng.Value} {
-		if id, ok := e.(*ast.Ident); ok && id != nil {
-			if obj := pkg.Info.Defs[id]; obj != nil {
-				loopVars[obj] = true
+func determinism(p *Pass, cfg detConfig) []Diagnostic {
+	g := p.Graph()
+	reach := g.Reach(cfg.entrypoints)
+	var diags []Diagnostic
+	for _, fn := range g.Funcs() {
+		reachable := reach.Contains(fn)
+		for _, s := range fn.Sinks {
+			if !sinkBanned(fn, s.Kind, reachable) {
+				continue
 			}
-			if obj := pkg.Info.Uses[id]; obj != nil {
-				loopVars[obj] = true
-			}
-		}
-	}
-	written := make(map[types.Object]bool)
-	add := func(e ast.Expr) {
-		if obj := rootObject(pkg, e); obj != nil && !loopVars[obj] {
-			written[obj] = true
-		}
-	}
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range node.Lhs {
-				add(lhs)
-			}
-		case *ast.IncDecStmt:
-			add(node.X)
-		case *ast.CallExpr:
-			// A call with side effects on captured state is opaque; be
-			// conservative and treat method receivers as writes.
-			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
-				if _, isPkg := pkg.Info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
-					add(sel.X)
+			if s.Kind.Concurrency() {
+				// Concurrency sinks are excused only by a shard-runtime
+				// exemption, never by a comment waiver: a //ffvet:ok
+				// cannot argue away a scheduler dependence.
+				if exempted(fn, cfg.exempt) {
+					continue
+				}
+			} else if s.node != nil {
+				if w := p.Waivers.use(p.Fset, s.node); w != nil {
+					continue
 				}
 			}
-		}
-		return true
-	})
-	return written
-}
-
-// sortedObjects collects root objects passed to sort.* or slices.Sort*
-// calls after pos in the function body.
-func sortedObjects(pkg *Package, fn *ast.FuncDecl, pos token.Pos) map[types.Object]bool {
-	out := make(map[types.Object]bool)
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < pos {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
-		if !ok {
-			return true
-		}
-		switch pn.Imported().Path() {
-		case "sort", "slices":
-			for _, arg := range call.Args {
-				if obj := rootObject(pkg, arg); obj != nil {
-					out[obj] = true
-				}
+			d := Diagnostic{
+				Pos:      p.Fset.Position(s.Pos),
+				Analyzer: "determinism",
+				Message:  s.Msg,
 			}
+			if reachable {
+				d.Chain = reach.Chain(fn)
+			}
+			diags = append(diags, d)
 		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sinkBanned decides whether a sink of the given kind inside fn is
+// banned: full strictness for reachable or sim-package code, residual
+// tier rules elsewhere.
+func sinkBanned(fn *FuncNode, k SinkKind, reachable bool) bool {
+	// Rand-source construction is a module-wide rule independent of
+	// reachability: only eventsim may mint sources, since a private
+	// source breaks the single-RNG invariant even when seeded.
+	if k == SinkRandSource {
+		return strings.HasPrefix(fn.Rel, "internal/") && fn.Rel != rngPackage
+	}
+	if reachable || simPackages[fn.Rel] {
 		return true
-	})
-	return out
+	}
+	switch {
+	case serialPackages[fn.Rel]:
+		return k == SinkGoroutine
+	case fn.Rel == runnerPackage:
+		return k == SinkGlobalRand || k == SinkMapRange || k == SinkFPReduce
+	}
+	return false
 }
 
-// rootObject resolves an expression like x, x.f, x[i], or *x to the
-// object of its root identifier.
-func rootObject(pkg *Package, e ast.Expr) types.Object {
-	id := rootIdent(e)
-	if id == nil {
-		return nil
-	}
-	if obj := pkg.Info.Uses[id]; obj != nil {
-		return obj
-	}
-	return pkg.Info.Defs[id]
-}
-
-func rootIdent(e ast.Expr) *ast.Ident {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return x
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.FuncLit:
-			return nil
-		default:
-			return nil
+// exempted reports whether fn or any enclosing function is in the
+// exemption set.
+func exempted(fn *FuncNode, exempt map[string]bool) bool {
+	for cur := fn; cur != nil; cur = cur.Encl {
+		if exempt[cur.ID] {
+			return true
 		}
 	}
+	return false
 }

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -10,17 +9,30 @@ import (
 
 // Diagnostic is one finding, anchored to a source position. Domain-level
 // findings (catalog audits with no single source line) carry a zero Pos.
+// Reachability findings additionally carry the shortest call chain from a
+// simulation entrypoint to the function containing the sink.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain, when non-empty, is the shortest entrypoint-to-sink call
+	// path, rendered one function identity per element. Dynamic hops
+	// (func values, interface dispatch) are prefixed with "~" because
+	// the edge is conservative: the callee set is over-approximated.
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
+	var b strings.Builder
 	if d.Pos.Filename == "" {
-		return fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		fmt.Fprintf(&b, "[%s] %s", d.Analyzer, d.Message)
+	} else {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if len(d.Chain) > 0 {
+		fmt.Fprintf(&b, "\n\tcall chain: %s", strings.Join(d.Chain, " -> "))
+	}
+	return b.String()
 }
 
 // sortDiagnostics orders findings by file, line, column, then message.
@@ -38,51 +50,4 @@ func sortDiagnostics(ds []Diagnostic) {
 		}
 		return a.Message < b.Message
 	})
-}
-
-// okDirective is the waiver syntax: a statement carrying (on its own line
-// or the line immediately above) a comment of the form
-//
-//	//ffvet:ok <reason>
-//
-// is exempt from the determinism analyzer's map-iteration check. The
-// reason is mandatory: a bare waiver is itself a finding.
-const okDirective = "//ffvet:ok"
-
-// directives scans a file's comments for ffvet:ok waivers and returns a
-// map from line number to reason. Bare waivers are reported as findings.
-func directives(fset *token.FileSet, file *ast.File, diags *[]Diagnostic) map[int]string {
-	out := make(map[int]string)
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, okDirective) {
-				continue
-			}
-			rest := strings.TrimPrefix(c.Text, okDirective)
-			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
-				continue // e.g. "//ffvet:okay" — not the directive
-			}
-			reason := strings.TrimSpace(rest)
-			pos := fset.Position(c.Pos())
-			if reason == "" {
-				*diags = append(*diags, Diagnostic{
-					Pos:      pos,
-					Analyzer: "determinism",
-					Message:  "ffvet:ok directive requires a reason",
-				})
-				continue
-			}
-			out[pos.Line] = reason
-		}
-	}
-	return out
-}
-
-// waived reports whether the node's first line, or the line above it,
-// carries an ffvet:ok directive.
-func waived(fset *token.FileSet, dirs map[int]string, node ast.Node) bool {
-	line := fset.Position(node.Pos()).Line
-	_, same := dirs[line]
-	_, above := dirs[line-1]
-	return same || above
 }

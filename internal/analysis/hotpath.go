@@ -7,32 +7,46 @@ import (
 	"strings"
 )
 
-// hotpathDirective marks a function as per-packet hot path. The compiled
-// forwarding plane's contract (DESIGN.md, "Compiled forwarding plane") is
-// that per-packet work is flat array indexing and direct calls — the
-// simulated analogue of an RMT match-action stage — so inside an annotated
-// function two interpreter idioms are banned outright:
+// The hot-path contract (DESIGN.md, "Compiled forwarding plane"): a
+// function whose doc comment carries //ffvet:hotpath on a line of its
+// own is per-packet code — the simulated analogue of an RMT match-action
+// stage — so per-packet work must be flat array indexing, direct calls,
+// and zero hidden allocations.
 //
-//   - map index expressions (reads or writes): hash-map traffic per packet
-//     is the cost the dense FIB / dedup table refactors removed;
-//   - interface method calls: dynamic dispatch per packet is what pipeline
-//     compilation replaced with bound func values.
+// Two interpreter idioms are banned outright, with no waiver (if a
+// function needs them it does not belong on the hot path):
 //
-// The directive goes in the function's doc comment. There is deliberately
-// no waiver: if a function needs a map, it does not belong on the hot path.
-const hotpathDirective = "//ffvet:hotpath"
+//   - map index expressions (reads or writes): hash-map traffic per
+//     packet is the cost the dense FIB / dedup table refactors removed;
+//   - interface method calls: dynamic dispatch per packet is what
+//     pipeline compilation replaced with bound func values.
+//
+// Four allocation heuristics are types-informed and waivable with
+// //ffvet:ok <reason>, because each has rare legitimate shapes:
+//
+//   - closure literals (the func value and its captures allocate);
+//   - interface boxing of non-pointer values (arguments, assignments,
+//     conversions — storing a non-pointer in an interface heap-boxes it);
+//   - append through a slice not provably pre-sized (growth reallocates
+//     the backing array mid-packet);
+//   - string <-> []byte conversions (each copies the contents).
 
 // Hotpath enforces the hot-path contract on annotated functions.
-func Hotpath(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+func Hotpath(p *Pass) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range p.Pkgs {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil || !hotpathAnnotated(fn) {
+				if !ok || fn.Body == nil {
 					continue
 				}
-				checkHotpathFunc(fset, pkg, fn, &diags)
+				pos, ok := hotpathAnnotation(p.Fset, fn)
+				if !ok {
+					continue
+				}
+				p.Waivers.markHotpathAttached(pos)
+				checkHotpathFunc(p, pkg, fn, &diags)
 			}
 		}
 	}
@@ -40,30 +54,37 @@ func Hotpath(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 	return diags
 }
 
-// hotpathAnnotated reports whether the function's doc comment carries the
-// hotpath directive on a line of its own.
-func hotpathAnnotated(fn *ast.FuncDecl) bool {
+// hotpathAnnotation returns the position of the hotpath directive in the
+// function's doc comment, if present on a line of its own.
+func hotpathAnnotation(fset *token.FileSet, fn *ast.FuncDecl) (token.Position, bool) {
 	if fn.Doc == nil {
-		return false
+		return token.Position{}, false
 	}
 	for _, c := range fn.Doc.List {
-		text := strings.TrimSpace(c.Text)
-		if text == hotpathDirective {
-			return true
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return fset.Position(c.Pos()), true
 		}
 	}
-	return false
+	return token.Position{}, false
 }
 
-func checkHotpathFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, diags *[]Diagnostic) {
+func checkHotpathFunc(p *Pass, pkg *Package, fn *ast.FuncDecl, diags *[]Diagnostic) {
 	name := fn.Name.Name
 	report := func(pos token.Pos, msg string) {
 		*diags = append(*diags, Diagnostic{
-			Pos:      fset.Position(pos),
+			Pos:      p.Fset.Position(pos),
 			Analyzer: "hotpath",
 			Message:  msg + " in hotpath function " + name,
 		})
 	}
+	// waivable reports unless the node carries a used //ffvet:ok.
+	waivable := func(node ast.Node, msg string) {
+		if w := p.Waivers.use(p.Fset, node); w != nil {
+			return
+		}
+		report(node.Pos(), msg)
+	}
+	presized := presizedSlices(pkg, fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.IndexExpr:
@@ -74,19 +95,237 @@ func checkHotpathFunc(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, diags
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 				report(node.Pos(), "map index expression")
 			}
+		case *ast.FuncLit:
+			// An immediately-invoked literal does not escape; anything
+			// else allocates the func value and its capture block.
+			if !immediatelyInvoked(fn.Body, node) {
+				waivable(node, "closure literal (func value and captures allocate)")
+			}
+		case *ast.AssignStmt:
+			checkBoxingAssign(p, pkg, node, waivable)
+		case *ast.ValueSpec:
+			checkBoxingSpec(p, pkg, node, waivable)
 		case *ast.CallExpr:
-			sel, ok := node.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
+			checkHotpathCall(p, pkg, node, presized, report, waivable)
+		}
+		return true
+	})
+}
+
+// checkHotpathCall classifies a call inside a hotpath function:
+// interface dispatch (banned), append growth, conversions that copy, and
+// interface boxing at argument positions.
+func checkHotpathCall(p *Pass, pkg *Package, call *ast.CallExpr,
+	presized map[types.Object]bool, report func(token.Pos, string), waivable func(ast.Node, string)) {
+	f := unparen(call.Fun)
+
+	// Conversions: string <-> []byte / []rune copy per packet.
+	if tv, ok := pkg.Info.Types[f]; ok && tv.IsType() && len(call.Args) == 1 {
+		if msg := convCopies(tv.Type, pkg, call.Args[0]); msg != "" {
+			waivable(call, msg)
+		}
+		// A conversion to an interface type boxes.
+		if types.IsInterface(tv.Type) {
+			if boxes(pkg, call.Args[0]) {
+				waivable(call, "interface conversion boxes a non-pointer value")
 			}
-			s, ok := pkg.Info.Selections[sel]
-			if !ok {
-				return true // package-qualified call or conversion
+		}
+		return
+	}
+
+	if sel, ok := f.(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok &&
+			s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+			report(call.Pos(), "interface method call ("+s.Obj().Name()+")")
+		}
+	}
+
+	if id, ok := f.(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				if !appendPresized(pkg, call.Args[0], presized) {
+					waivable(call, "append may grow the backing array; pre-size with make(len, cap) or reslice a scratch buffer")
+				}
 			}
-			if s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
-				report(node.Pos(), "interface method call ("+s.Obj().Name()+")")
+			return
+		}
+	}
+
+	// Interface boxing at argument positions.
+	tv, ok := pkg.Info.Types[f]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(pkg, arg) {
+			waivable(call, "interface boxing: non-pointer argument escapes to the heap")
+		}
+	}
+}
+
+// checkBoxingAssign flags assignments storing a concrete non-pointer
+// value into an interface-typed location.
+func checkBoxingAssign(p *Pass, pkg *Package, as *ast.AssignStmt, waivable func(ast.Node, string)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt, ok := pkg.Info.Types[lhs]
+		if !ok && as.Tok == token.DEFINE {
+			if id, isIdent := lhs.(*ast.Ident); isIdent {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					lt.Type = obj.Type()
+					ok = true
+				}
+			}
+		}
+		if !ok || lt.Type == nil || !types.IsInterface(lt.Type) {
+			continue
+		}
+		if boxes(pkg, as.Rhs[i]) {
+			waivable(as, "interface boxing: non-pointer value stored in interface")
+		}
+	}
+}
+
+// checkBoxingSpec flags `var i Iface = concrete` declarations.
+func checkBoxingSpec(p *Pass, pkg *Package, spec *ast.ValueSpec, waivable func(ast.Node, string)) {
+	if spec.Type == nil {
+		return
+	}
+	tv, ok := pkg.Info.Types[spec.Type]
+	if !ok || !types.IsInterface(tv.Type) {
+		return
+	}
+	for _, v := range spec.Values {
+		if boxes(pkg, v) {
+			waivable(spec, "interface boxing: non-pointer value stored in interface")
+		}
+	}
+}
+
+// boxes reports whether storing e into an interface heap-allocates:
+// true for concrete non-pointer, non-interface, non-nil values.
+// (Pointers, channels, maps, and funcs fit the interface data word.)
+func boxes(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// convCopies names the copy performed by a conversion to target applied
+// to arg, or "" when the conversion is free.
+func convCopies(target types.Type, pkg *Package, arg ast.Expr) string {
+	at, ok := pkg.Info.Types[arg]
+	if !ok || at.Type == nil {
+		return ""
+	}
+	if at.Value != nil {
+		return "" // constant conversions fold at compile time
+	}
+	tu, au := target.Underlying(), at.Type.Underlying()
+	isString := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	switch {
+	case isString(tu) && isByteSlice(au):
+		return "[]byte -> string conversion copies per packet; keep bytes as bytes"
+	case isByteSlice(tu) && isString(au):
+		return "string -> []byte conversion copies per packet; keep bytes as bytes"
+	}
+	return ""
+}
+
+// presizedSlices collects objects proven pre-sized inside body: slices
+// created by a three-argument make (explicit capacity).
+func presizedSlices(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if obj := rootObject(pkg, as.Lhs[i]); obj != nil {
+				out[obj] = true
 			}
 		}
 		return true
 	})
+	return out
+}
+
+// appendPresized reports whether the append target is provably backed by
+// pre-sized storage: a reslice expression (x[:0] reuses x's backing) or
+// an object created with make(T, len, cap) in this function.
+func appendPresized(pkg *Package, arg ast.Expr, presized map[types.Object]bool) bool {
+	if _, ok := unparen(arg).(*ast.SliceExpr); ok {
+		return true
+	}
+	obj := rootObject(pkg, arg)
+	return obj != nil && presized[obj]
+}
+
+// immediatelyInvoked reports whether lit appears in call position
+// (func(){...}() does not escape).
+func immediatelyInvoked(body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	invoked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && unparen(call.Fun) == lit {
+			invoked = true
+		}
+		return !invoked
+	})
+	return invoked
 }

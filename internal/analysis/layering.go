@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"go/token"
 	"sort"
 	"strconv"
 	"strings"
@@ -86,7 +85,8 @@ var layerTable = map[string][]string{
 }
 
 // Layering enforces the import DAG above over every loaded package.
-func Layering(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+func Layering(p *Pass) []Diagnostic {
+	fset, pkgs := p.Fset, p.Pkgs
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		rel := modRelPath(pkg)

@@ -15,7 +15,8 @@ import (
 // at the same pipeline priority, i.e. with no ordering edge. Entries
 // whose fields do not fold to constants are skipped; the domain pass
 // audits the assembled core.Catalog at tool runtime regardless.
-func ModeConflict(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+func ModeConflict(p *Pass) []Diagnostic {
+	fset, pkgs := p.Fset, p.Pkgs
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {

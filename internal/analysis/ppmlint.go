@@ -19,7 +19,8 @@ import (
 // profile, and the equivalence-signature audit across all folded specs.
 // Literals with non-constant fields are skipped (the domain-level
 // ppm.Lint covers the assembled catalog at tool runtime).
-func PPMLint(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+func PPMLint(p *Pass) []Diagnostic {
+	fset, pkgs := p.Fset, p.Pkgs
 	var diags []Diagnostic
 	var specs []ppm.SpecRef
 	specPos := make(map[string]token.Position)

@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rank ownership.
+//
+// Deterministic cross-shard merge (DESIGN.md, "Sharded conservative
+// engine") depends on every rank fed to ScheduleRank/AfterRank being
+// minted by the owning entity's RankOwner: ranks are (owner key << 32 |
+// sequence), so two shards can never tie, and replaying the same seed
+// yields the same total order. A rank conjured from a literal, loop
+// index, or arithmetic silently re-introduces merge ties that only
+// surface as byte-drift at high shard counts.
+//
+// The analyzer proves, by dataflow over package-wide assignments and
+// composite literals, that the rank argument of every
+// ScheduleRank/AfterRank call site derives from a RankOwner.Next()
+// draw. The eventsim package itself is excluded: AfterRank forwards its
+// rank parameter to ScheduleRank by design.
+//
+// Two companion checks ride along:
+//
+//   - NewStream keys must not be constants: per-entity RNG streams
+//     collide when two entities share a literal key;
+//   - shard state may only be written by its owning shard: writes that
+//     index through a `shards` slice are confined to the barrier
+//     functions (construction, setup, the exchange that drains the
+//     handoff rings).
+//
+// All three findings are waivable with //ffvet:ok <reason>.
+
+// rankOwnBarrier names the functions allowed to write through the
+// shards slice: construction and the inter-window barrier. Keys are
+// call-graph node IDs; closures inherit from their enclosing function.
+var rankOwnBarrier = map[string]bool{
+	"internal/netsim.New":                    true,
+	"internal/netsim.(*Network).setupShards": true,
+	"internal/netsim.(*Network).exchange":    true,
+}
+
+// RankOwnership checks rank derivation, stream-key uniqueness, and
+// shard-write confinement across all below-boundary packages.
+func RankOwnership(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		rel := modRelPath(pkg)
+		if aboveBoundary(rel) || rel == rngPackage {
+			continue
+		}
+		rw := newRankWrites(pkg)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkRankCall(p, pkg, rw, call, &diags)
+				return true
+			})
+		}
+	}
+	diags = append(diags, checkShardWrites(p)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// checkRankCall inspects one call site for the rank-derivation and
+// stream-key rules.
+func checkRankCall(p *Pass, pkg *Package, rw *rankWrites, call *ast.CallExpr, diags *[]Diagnostic) {
+	obj := calleeFunc(pkg, call)
+	if obj == nil || obj.Pkg() == nil ||
+		!strings.HasSuffix(obj.Pkg().Path(), rngPackage) {
+		return
+	}
+	report := func(msg string) {
+		if w := p.Waivers.use(p.Fset, call); w != nil {
+			return
+		}
+		*diags = append(*diags, Diagnostic{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "rank-ownership",
+			Message:  msg,
+		})
+	}
+	switch obj.Name() {
+	case "ScheduleRank", "AfterRank":
+		if len(call.Args) < 2 {
+			return
+		}
+		if !rw.derived(call.Args[1], 0, make(map[types.Object]bool)) {
+			report(obj.Name() + " rank argument does not derive from a RankOwner.Next() draw: ranks minted outside the owner break the deterministic cross-shard merge")
+		}
+	case "NewStream":
+		if len(call.Args) < 2 {
+			return
+		}
+		if tv, ok := pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+			report("NewStream key is a compile-time constant: per-entity streams sharing a literal key collide; derive the key from the entity's identity")
+		}
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := pkg.Info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[f]; ok {
+			if m, ok := s.Obj().(*types.Func); ok {
+				return m
+			}
+			return nil
+		}
+		obj, _ := pkg.Info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// rankWrites indexes, package-wide, every expression written into each
+// variable or struct field, so rank derivation can be traced through
+// locals ("dlR := ls.rank.Next()") and through fields ("handoff{rank:
+// dlR}" read later as "h.rank" in another function).
+type rankWrites struct {
+	pkg    *Package
+	byObj  map[types.Object][]ast.Expr
+	opaque map[types.Object]bool // written in a form we cannot trace
+}
+
+func newRankWrites(pkg *Package) *rankWrites {
+	rw := &rankWrites{
+		pkg:    pkg,
+		byObj:  make(map[types.Object][]ast.Expr),
+		opaque: make(map[types.Object]bool),
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				rw.recordAssign(node)
+			case *ast.ValueSpec:
+				rw.recordSpec(node)
+			case *ast.CompositeLit:
+				rw.recordComposite(node)
+			case *ast.IncDecStmt:
+				rw.markOpaque(node.X)
+			case *ast.RangeStmt:
+				rw.markOpaque(node.Key)
+				rw.markOpaque(node.Value)
+			}
+			return true
+		})
+	}
+	return rw
+}
+
+func (rw *rankWrites) objectOf(e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := rw.pkg.Info.Uses[x]; obj != nil {
+			return obj
+		}
+		return rw.pkg.Info.Defs[x]
+	case *ast.SelectorExpr:
+		return rw.pkg.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func (rw *rankWrites) record(lhs ast.Expr, rhs ast.Expr) {
+	obj := rw.objectOf(lhs)
+	if obj == nil {
+		return
+	}
+	if rhs == nil {
+		rw.opaque[obj] = true
+		return
+	}
+	rw.byObj[obj] = append(rw.byObj[obj], rhs)
+}
+
+func (rw *rankWrites) markOpaque(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if obj := rw.objectOf(e); obj != nil {
+		rw.opaque[obj] = true
+	}
+}
+
+func (rw *rankWrites) recordAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			rw.record(as.Lhs[i], as.Rhs[i])
+		}
+		return
+	}
+	// Tuple assignment (multi-return): untraceable, mark opaque.
+	for _, lhs := range as.Lhs {
+		rw.markOpaque(lhs)
+	}
+}
+
+func (rw *rankWrites) recordSpec(spec *ast.ValueSpec) {
+	if len(spec.Values) != len(spec.Names) {
+		return // zero-value declaration writes nothing
+	}
+	for i, name := range spec.Names {
+		rw.record(name, spec.Values[i])
+	}
+}
+
+// recordComposite records struct-literal field writes, keyed and
+// positional.
+func (rw *rankWrites) recordComposite(lit *ast.CompositeLit) {
+	tv, ok := rw.pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				if obj := rw.pkg.Info.Uses[key]; obj != nil {
+					rw.byObj[obj] = append(rw.byObj[obj], kv.Value)
+				}
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			rw.byObj[st.Field(i)] = append(rw.byObj[st.Field(i)], elt)
+		}
+	}
+}
+
+// derived reports whether e provably derives from RankOwner.Next():
+// either it IS a Next() draw, or it reads a variable/field whose every
+// traced write derives.
+func (rw *rankWrites) derived(e ast.Expr, depth int, seen map[types.Object]bool) bool {
+	if depth > 8 {
+		return false
+	}
+	switch x := unparen(e).(type) {
+	case *ast.CallExpr:
+		return isNextDraw(rw.pkg, x)
+	case *ast.Ident, *ast.SelectorExpr:
+		obj := rw.objectOf(x)
+		if obj == nil || rw.opaque[obj] {
+			return false
+		}
+		if seen[obj] {
+			// A cycle among traced writes: every entry into the cycle
+			// was a derived write, so the fixpoint is derived.
+			return true
+		}
+		seen[obj] = true
+		writes := rw.byObj[obj]
+		if len(writes) == 0 {
+			return false
+		}
+		for _, w := range writes {
+			if !rw.derived(w, depth+1, seen) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isNextDraw reports whether the call is RankOwner.Next() from eventsim.
+func isNextDraw(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok || m.Name() != "Next" || m.Pkg() == nil {
+		return false
+	}
+	if !strings.HasSuffix(m.Pkg().Path(), rngPackage) {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "RankOwner"
+}
+
+// checkShardWrites walks every below-boundary function body (closures
+// under their own identity) and flags assignments that write through an
+// element of a `shards` slice outside the barrier allowlist — unless the
+// element was resolved through the shard-ownership map (`shardOf`),
+// which IS the owning shard.
+func checkShardWrites(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, fn := range p.Graph().Funcs() {
+		if fn.Above || fn.Body == nil || fn.Rel == rngPackage {
+			continue
+		}
+		if barrierFunc(fn) {
+			continue
+		}
+		pkg := fn.Pkg
+		check := func(lhs ast.Expr, node ast.Node) {
+			if !writesThroughShards(pkg, lhs) {
+				return
+			}
+			if w := p.Waivers.use(p.Fset, node); w != nil {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(node.Pos()),
+				Analyzer: "rank-ownership",
+				Message:  "cross-shard state write outside the handoff rings: shard state may only be mutated by its owning shard or at the exchange barrier",
+			})
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures are their own nodes
+			}
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					check(lhs, node)
+				}
+			case *ast.IncDecStmt:
+				check(node.X, node)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// barrierFunc reports whether fn (or an enclosing function) is on the
+// shard-write barrier allowlist.
+func barrierFunc(fn *FuncNode) bool {
+	for cur := fn; cur != nil; cur = cur.Encl {
+		if rankOwnBarrier[cur.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// writesThroughShards reports whether the LHS expression dereferences an
+// element of a field or variable named "shards" indexed by anything
+// other than a shard-ownership lookup (an index expression over a
+// "shardOf" field).
+func writesThroughShards(pkg *Package, lhs ast.Expr) bool {
+	found := false
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			walk(x.X)
+		case *ast.StarExpr:
+			walk(x.X)
+		case *ast.IndexExpr:
+			if namedExpr(x.X) == "shards" && namedExpr(indexRoot(x.Index)) != "shardOf" {
+				found = true
+				return
+			}
+			walk(x.X)
+		}
+	}
+	walk(lhs)
+	_ = pkg
+	return found
+}
+
+// namedExpr returns the terminal identifier name of an ident or
+// selector expression ("n.shards" -> "shards"), or "".
+func namedExpr(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// indexRoot unwraps an index expression to what is being indexed
+// ("n.shardOf[id]" -> "n.shardOf"), or returns e unchanged.
+func indexRoot(e ast.Expr) ast.Expr {
+	if ix, ok := unparen(e).(*ast.IndexExpr); ok {
+		return ix.X
+	}
+	return e
+}

@@ -1,0 +1,37 @@
+package dataplane
+
+// Call-graph fixture A (checked by TestCallGraph): static calls,
+// interface dispatch via method-set matching, concrete method values
+// feeding function-typed fields (the pipelineStep pattern), and closure
+// node naming.
+
+type verdict int
+
+type stepFn func(int) verdict
+
+type pipelineStep struct{ run stepFn }
+
+type ppm interface{ process(int) verdict }
+
+type countPPM struct{ n int }
+
+func (c *countPPM) process(x int) verdict { return verdict(x + c.n) }
+
+type dropPPM struct{}
+
+func (dropPPM) process(x int) verdict { return 0 }
+
+func helper(x int) verdict { return verdict(x) }
+
+func direct(x int) verdict { return helper(x) }
+
+func dynamic(p ppm, x int) verdict { return p.process(x) }
+
+func bind(c *countPPM) pipelineStep { return pipelineStep{run: c.process} }
+
+func exec(s pipelineStep, x int) verdict { return s.run(x) }
+
+func outer(x int) int {
+	inc := func(v int) int { return v + 1 }
+	return inc(x)
+}

@@ -1,0 +1,20 @@
+package dataplane
+
+// Call-graph fixture B (checked by TestCallGraph): an interface method
+// value ("p.hit" taken, not called) marks every implementing method
+// address-taken, so a later call through a matching func value
+// conservatively resolves to all of them.
+
+type iface interface{ hit(int) int }
+
+type impl struct{}
+
+func (impl) hit(x int) int { return x }
+
+type other struct{}
+
+func (other) hit(x int) int { return x + 1 }
+
+func take(p iface) func(int) int { return p.hit }
+
+func callThrough(f func(int) int, x int) int { return f(x) }

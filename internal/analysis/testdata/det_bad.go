@@ -9,7 +9,7 @@ import (
 // fastflex/internal/netsim, so every construct below must be flagged.
 
 func wallClock() int64 {
-	return time.Now().UnixNano() // want determinism "time.Now in a simulation package"
+	return time.Now().UnixNano() // want determinism "time.Now on a simulation path"
 }
 
 func privateRNG() float64 {
@@ -19,17 +19,25 @@ func privateRNG() float64 {
 }
 
 func globalRNG() float64 {
-	return rand.Float64() // want determinism "global math/rand.Float64 below or at the concurrency boundary"
+	return rand.Float64() // want determinism "global math/rand.Float64 on a simulation path"
 }
 
 func spawn(done chan struct{}) {
-	go close(done) // want determinism "goroutine launch below the concurrency boundary"
+	go close(done) // want determinism "goroutine launch below the concurrency boundary" // want determinism "channel close below the concurrency boundary"
 }
 
 func leakOrder(counts map[string]int) []string {
 	var out []string
-	for k := range counts { // want determinism "map iteration in a simulation package"
+	for k := range counts { // want determinism "map iteration on a simulation path"
 		out = append(out, k)
 	}
 	return out
+}
+
+func fpReduce(weights map[string]float64) float64 {
+	var sum float64
+	for _, w := range weights { // want determinism "map iteration on a simulation path"
+		sum += w // want determinism "floating-point reduction over unordered map iteration"
+	}
+	return sum
 }

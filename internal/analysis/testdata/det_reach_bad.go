@@ -1,0 +1,23 @@
+package dataplane
+
+// Reachability fixture: internal/dataplane is a serial-substrate
+// package, so a map iteration is only banned when the function is
+// reachable from a simulation entrypoint. (*Switch).Process is an
+// entrypoint; classify is two hops below it, so the iteration gets
+// flagged — with the Process -> classify chain in the diagnostic.
+
+type Switch struct {
+	seen map[uint64]bool
+}
+
+func (s *Switch) Process(x int) int {
+	return s.classify(x)
+}
+
+func (s *Switch) classify(x int) int {
+	t := 0
+	for k := range s.seen { // want determinism "map iteration on a simulation path"
+		t += int(k)
+	}
+	return x + t
+}

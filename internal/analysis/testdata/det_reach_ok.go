@@ -1,0 +1,26 @@
+package dataplane
+
+// Corrected twin of det_reach_bad.go: the per-packet path no longer
+// calls classify, so the map iteration sits in unreachable code and the
+// serial-substrate residual rules (goroutine ban only) say nothing
+// about it. Nothing here may be flagged.
+
+type Switch struct {
+	fib  []int
+	seen map[uint64]bool
+}
+
+func (s *Switch) Process(x int) int {
+	if uint(x) < uint(len(s.fib)) {
+		return s.fib[x]
+	}
+	return -1
+}
+
+func (s *Switch) classify(x int) int {
+	t := 0
+	for k := range s.seen {
+		t += int(k)
+	}
+	return x + t
+}

@@ -28,14 +28,14 @@ func fanOut(jobs []func()) time.Duration {
 }
 
 func pickSeed() int64 {
-	return rand.Int63() // want determinism "global math/rand.Int63 below or at the concurrency boundary"
+	return rand.Int63() // want determinism "global math/rand.Int63 on a simulation path"
 }
 
 func shuffleWork(seeds map[string]int64) []int64 {
 	src := rand.NewSource(1) // want determinism "math/rand.NewSource outside internal/eventsim"
 	_ = src
 	var out []int64
-	for _, s := range seeds { // want determinism "map iteration in a simulation package"
+	for _, s := range seeds { // want determinism "map iteration on a simulation path"
 		out = append(out, s)
 	}
 	return out

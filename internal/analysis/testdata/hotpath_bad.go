@@ -1,13 +1,16 @@
 package dataplane
 
-// Interpreter idioms inside annotated functions: every map index (read or
-// write) and every interface method call must be flagged.
+// Interpreter idioms and hidden allocations inside annotated functions:
+// map indexes, interface dispatch, escaping closures, interface boxing,
+// unsized append growth, and string<->[]byte copies must all be flagged.
 
 type badPPM interface{ process(int) int }
 
 type badSwitch struct {
 	table map[uint32]int32
 	ppms  []badPPM
+	cb    func(int)
+	sink  any
 }
 
 //ffvet:hotpath
@@ -30,4 +33,36 @@ func dispatch(s *badSwitch, x int) int {
 		x = p.process(x) // want hotpath "interface method call"
 	}
 	return x
+}
+
+//ffvet:hotpath
+func armCallback(s *badSwitch, base int) {
+	s.cb = func(d int) { _ = base + d } // want hotpath "closure literal"
+}
+
+func observe(v any) { _ = v }
+
+//ffvet:hotpath
+func boxCounter(s *badSwitch, n uint64) {
+	observe(n) // want hotpath "interface boxing: non-pointer argument"
+	s.sink = n // want hotpath "interface boxing: non-pointer value stored in interface"
+	_ = any(n) // want hotpath "interface conversion boxes a non-pointer value"
+}
+
+//ffvet:hotpath
+func collect(out []int32, fib []int32) []int32 {
+	for _, v := range fib {
+		out = append(out, v) // want hotpath "append may grow the backing array"
+	}
+	return out
+}
+
+//ffvet:hotpath
+func stringify(payload []byte) string {
+	return string(payload) // want hotpath "conversion copies per packet"
+}
+
+//ffvet:hotpath
+func bytify(key string) []byte {
+	return []byte(key) // want hotpath "conversion copies per packet"
 }

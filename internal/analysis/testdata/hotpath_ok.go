@@ -1,7 +1,8 @@
 package dataplane
 
 // Clean hot-path code: dense slice indexing, bound func values, concrete
-// method calls. Maps and interfaces are fine off the hot path.
+// method calls, pointer-shaped interface values, pre-sized appends, and
+// constant conversions. Maps and interfaces are fine off the hot path.
 
 type okStep struct {
 	run func(int) int
@@ -30,6 +31,45 @@ func runCompiled(steps []okStep, c *okCounter, x int) int {
 	}
 	c.bump() // concrete method call is fine
 	return x
+}
+
+func observePtr(v any) { _ = v }
+
+// pointerShaped stores only pointer-shaped values in interfaces: the
+// interface data word holds the pointer, no heap box.
+//
+//ffvet:hotpath
+func pointerShaped(c *okCounter, sink *any) {
+	observePtr(c)
+	*sink = c
+}
+
+// presizedAppend appends into storage with proven capacity: a
+// three-argument make and a reslice of an existing backing array.
+//
+//ffvet:hotpath
+func presizedAppend(scratch []int32, fib []int32) []int32 {
+	out := make([]int32, 0, len(fib))
+	for _, v := range fib {
+		out = append(out, v)
+	}
+	tmp := append(scratch[:0], out...)
+	return tmp
+}
+
+// invokedInline runs a literal immediately: the closure never escapes.
+//
+//ffvet:hotpath
+func invokedInline(x int) int {
+	return func(v int) int { return v + 1 }(x)
+}
+
+// waivedGrow documents the one legitimate growth site with a reason.
+//
+//ffvet:hotpath
+func waivedGrow(log []int32, v int32) []int32 {
+	//ffvet:ok cold slow-path branch, taken at most once per flow
+	return append(log, v)
 }
 
 // interpret is the retired interpreter shape: maps and interface dispatch

@@ -1,0 +1,37 @@
+package netsim
+
+import (
+	"fastflex/internal/eventsim"
+)
+
+// Rank-ownership fixture, positive cases: ranks minted from literals or
+// loop indexes, a constant stream key, and a cross-shard write outside
+// the barrier functions.
+
+type shardState struct {
+	eng       *eventsim.Engine
+	delivered int
+}
+
+type Network struct {
+	shards  []*shardState
+	shardOf []int
+}
+
+func (n *Network) mintLiteral(fn func()) {
+	n.shards[0].eng.ScheduleRank(0, 42, fn) // want rank-ownership "rank argument does not derive from a RankOwner"
+}
+
+func (n *Network) mintFromLoop(fn func()) {
+	for i := range n.shards {
+		n.shards[i].eng.AfterRank(0, uint64(i), fn) // want rank-ownership "rank argument does not derive from a RankOwner"
+	}
+}
+
+func constKeyStream(seed int64) {
+	_ = eventsim.NewStream(seed, 7) // want rank-ownership "NewStream key is a compile-time constant"
+}
+
+func (n *Network) pokePeer() {
+	n.shards[1].delivered++ // want rank-ownership "cross-shard state write"
+}

@@ -1,18 +1,36 @@
 package eventsim
 
-// Tier-4 fixture: checked as if it were internal/eventsim/shard.go, one of
-// the two allowlisted shard-runtime files. The goroutine ban is lifted —
-// the conservative barrier protocol makes scheduler interleaving
-// unobservable — so the launch below produces no diagnostic. Everything
-// else about the file still sits below the concurrency boundary.
+// Shard-runtime fixture: checked as if it were part of
+// internal/eventsim. The concurrency exemption keys on package path +
+// function identity — (*ShardGroup).Run/start/stop/runWindow — so the
+// worker launch inside start (and the channel loop in the closure it
+// spawns, which inherits the exemption from its enclosing function)
+// produces no diagnostic, while an unexempt function in the very same
+// file keeps the goroutine ban.
 
-func launchShardWorkers(windows []chan int, done chan struct{}) {
-	for _, ch := range windows {
+type ShardGroup struct {
+	workers []chan int
+	done    chan struct{}
+}
+
+func (g *ShardGroup) start() {
+	for _, ch := range g.workers {
 		ch := ch
-		go func() { // no diagnostic: shard-runtime files may spawn workers
+		go func() { // no diagnostic: exempt shard-runtime function
 			for range ch {
 			}
-			done <- struct{}{}
+			g.done <- struct{}{}
 		}()
 	}
+}
+
+func (g *ShardGroup) stop() {
+	for _, ch := range g.workers {
+		close(ch) // no diagnostic: exempt shard-runtime function
+	}
+	<-g.done
+}
+
+func helperElsewhere(done chan struct{}) {
+	go close(done) // want determinism "goroutine launch below the concurrency boundary"
 }

@@ -1,10 +1,22 @@
 package dataplane
 
-// Negative control for the tier-4 allowlist: the file is named shard.go
-// but lives in internal/dataplane, which has no shard-runtime entry, so
-// the goroutine ban applies as usual. The exemption is keyed on the full
-// package-relative path, not the basename.
+// Regression fixture for the old file-whitelist brittleness: this file
+// is named shard.go AND declares a (*ShardGroup).start with the exact
+// identity the eventsim exemption names — but it lives in
+// internal/dataplane, and exemptions key on package path + function
+// identity, so neither the filename nor the method name buys it
+// goroutine permission.
 
-func notAShardRuntime(done chan struct{}) {
-	go close(done) // want determinism "goroutine launch below the concurrency boundary"
+type ShardGroup struct {
+	workers []chan int
+}
+
+func (g *ShardGroup) start() {
+	for _, ch := range g.workers {
+		ch := ch
+		go func() { // want determinism "goroutine launch below the concurrency boundary"
+			for range ch {
+			}
+		}()
+	}
 }

@@ -1,20 +1,39 @@
 package netsim
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
-// Tier-4 fixture for the netsim side: internal/netsim/shard.go may launch
-// goroutines, but every other simulation-package ban still applies inside
-// it — the exemption is per-rule, not a blanket waiver. The wall-clock
-// read below must still be flagged.
+// Shard-runtime fixture for the netsim side: the handoff-ring exemption
+// — (*handoffRing).push/drain by identity — lifts only the
+// concurrency-class bans (the atomics below). Every value-class ban
+// still applies inside an exempt function: the wall-clock read inside
+// push must be flagged, because the exemption argues about scheduler
+// visibility, not about time.
 
-func drainAtBarrier(rings []chan int) {
-	for _, ch := range rings {
-		go func(c chan int) { // no diagnostic: shard-runtime file
-			<-c
-		}(ch)
-	}
+type handoffRing struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+	buf  []int
 }
 
-func stampWindow() int64 {
-	return time.Now().UnixNano() // want determinism "time.Now in a simulation package"
+func (r *handoffRing) push(v int) bool {
+	h := r.head.Load() // no diagnostic: exempt shard-runtime function
+	t := r.tail.Load()
+	if h-t == uint64(len(r.buf)) {
+		return false
+	}
+	_ = time.Now() // want determinism "time.Now on a simulation path"
+	r.buf[h%uint64(len(r.buf))] = v
+	r.head.Store(h + 1)
+	return true
+}
+
+func (r *handoffRing) drain(fn func(int)) {
+	h := r.head.Load() // no diagnostic: exempt shard-runtime function
+	for t := r.tail.Load(); t < h; t++ {
+		fn(r.buf[t%uint64(len(r.buf))])
+	}
+	r.tail.Store(h)
 }

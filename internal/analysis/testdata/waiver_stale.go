@@ -1,0 +1,34 @@
+package netsim
+
+import "sort"
+
+// Waiver-lifecycle fixture (checked procedurally by TestStaleWaivers,
+// not with want comments): the first waiver suppresses nothing — the
+// loop feeds a sort, so no finding exists under it — and must be
+// reported stale; the second is consumed by a real map-iteration
+// finding and stays silent; the floating hotpath directive anchors no
+// function declaration and must be reported.
+
+func sortedAnyway(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//ffvet:ok keys are sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func usedWaiver(m map[string]uint64) uint64 {
+	var t uint64
+	//ffvet:ok summing is order-independent
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func anchorless() int {
+	//ffvet:hotpath
+	return 0
+}

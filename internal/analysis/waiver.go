@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Waiver directives.
+//
+// A statement carrying (on its own line or the line immediately above) a
+// comment of the form
+//
+//	//ffvet:ok <reason>
+//
+// is exempt from the waivable checks (unordered map iteration, the
+// hotpath allocation heuristics, rank-ownership derivation). The reason
+// is mandatory: a bare waiver is itself a finding. A waiver that no
+// longer suppresses anything is also a finding ("stale"), so waivers
+// cannot accumulate as the code under them is fixed or deleted.
+const okDirective = "//ffvet:ok"
+
+// hotpathDirective marks a function as per-packet hot path; it must
+// appear on a line of its own inside a function's doc comment. The
+// hotpath analyzer enforces the hot-path contract inside annotated
+// functions; the waiver analyzer reports directives that are not
+// attached to any function declaration (they enforce nothing).
+const hotpathDirective = "//ffvet:hotpath"
+
+// WaiverEntry is one //ffvet:ok directive found in the tree.
+type WaiverEntry struct {
+	Pos    token.Position
+	Reason string
+	// Used is set when an analyzer consulted this waiver at the moment
+	// it would otherwise have emitted a finding. Unused waivers are
+	// stale: the code they excuse no longer trips any check.
+	Used bool
+}
+
+// hotpathEntry is one //ffvet:hotpath directive; Attached is set by the
+// hotpath analyzer when the directive sits in a FuncDecl doc comment.
+type hotpathEntry struct {
+	Pos      token.Position
+	Attached bool
+}
+
+// WaiverSet indexes every ffvet directive in the loaded files.
+type WaiverSet struct {
+	byLine  map[string]map[int]*WaiverEntry // filename -> line -> waiver
+	bare    []token.Position                // //ffvet:ok with no reason
+	hotpath []*hotpathEntry
+}
+
+func NewWaiverSet() *WaiverSet {
+	return &WaiverSet{byLine: make(map[string]map[int]*WaiverEntry)}
+}
+
+// scanFile records every ffvet directive in the file's comments.
+func (ws *WaiverSet) scanFile(fset *token.FileSet, file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == hotpathDirective {
+				ws.hotpath = append(ws.hotpath, &hotpathEntry{Pos: fset.Position(c.Pos())})
+				continue
+			}
+			if !strings.HasPrefix(c.Text, okDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, okDirective)
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				continue // e.g. "//ffvet:okay" — not the directive
+			}
+			pos := fset.Position(c.Pos())
+			reason := strings.TrimSpace(rest)
+			if reason == "" {
+				ws.bare = append(ws.bare, pos)
+				continue
+			}
+			lines := ws.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]*WaiverEntry)
+				ws.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = &WaiverEntry{Pos: pos, Reason: reason}
+		}
+	}
+}
+
+// at returns the waiver covering a node: one on the node's first line or
+// the line immediately above. It does not mark usage.
+func (ws *WaiverSet) at(fset *token.FileSet, node ast.Node) *WaiverEntry {
+	pos := fset.Position(node.Pos())
+	lines := ws.byLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	if w := lines[pos.Line]; w != nil {
+		return w
+	}
+	return lines[pos.Line-1]
+}
+
+// use returns the waiver covering node and marks it used. Analyzers must
+// call this only at the moment a finding would otherwise be emitted —
+// that is what makes Used an exact staleness oracle.
+func (ws *WaiverSet) use(fset *token.FileSet, node ast.Node) *WaiverEntry {
+	w := ws.at(fset, node)
+	if w != nil {
+		w.Used = true
+	}
+	return w
+}
+
+// markHotpathAttached records that the directive at pos anchors a real
+// function annotation.
+func (ws *WaiverSet) markHotpathAttached(pos token.Position) {
+	for _, h := range ws.hotpath {
+		if h.Pos == pos {
+			h.Attached = true
+		}
+	}
+}
+
+// All returns every reasoned waiver, sorted by position.
+func (ws *WaiverSet) All() []*WaiverEntry {
+	var out []*WaiverEntry
+	for _, lines := range ws.byLine {
+		for _, w := range lines {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// Waiver is the stale-waiver analyzer. It must run after every analyzer
+// that consumes waivers. Three findings: a bare //ffvet:ok (the reason is
+// the audit trail CI counts), a reasoned waiver that suppressed nothing
+// this run, and a //ffvet:hotpath directive not attached to any function
+// declaration (a floating directive enforces nothing and reads as if it
+// did).
+func Waiver(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, pos := range p.Waivers.bare {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "waiver",
+			Message:  "ffvet:ok directive requires a reason",
+		})
+	}
+	for _, w := range p.Waivers.All() {
+		if !w.Used {
+			diags = append(diags, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: "waiver",
+				Message:  "stale ffvet:ok waiver (" + w.Reason + "): it no longer suppresses any finding; delete it",
+			})
+		}
+	}
+	for _, h := range p.Waivers.hotpath {
+		if !h.Attached {
+			diags = append(diags, Diagnostic{
+				Pos:      h.Pos,
+				Analyzer: "waiver",
+				Message:  "ffvet:hotpath directive is not attached to a function declaration and enforces nothing; move it into a function's doc comment or delete it",
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}

@@ -142,8 +142,18 @@ func (a *Crossfire) Stop() {
 		a.ticker.Stop()
 		a.ticker = nil
 	}
-	for _, srcs := range a.sources {
-		for _, s := range srcs {
+	keys := make([]flowKey, 0, len(a.sources))
+	for k := range a.sources {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bot != keys[j].bot {
+			return keys[i].bot < keys[j].bot
+		}
+		return keys[i].server < keys[j].server
+	})
+	for _, k := range keys {
+		for _, s := range a.sources[k] {
 			s.Stop()
 		}
 	}
@@ -190,6 +200,7 @@ func pairsOf(hops []packet.Addr) []HopPair {
 func (a *Crossfire) rankedTargets() []HopPair {
 	count := make(map[HopPair]int)
 	depth := make(map[HopPair]int)
+	//ffvet:ok commutative count/max accumulation; pairs are sorted before use
 	for _, hops := range a.traces {
 		for i, p := range pairsOf(hops) {
 			count[p]++
@@ -367,11 +378,13 @@ func usable(hops []packet.Addr) bool {
 // she detected a routing change"). Only complete traces are compared.
 func (a *Crossfire) scoutRound() {
 	old := make(map[flowKey][]packet.Addr, len(a.traces))
+	//ffvet:ok whole-map copy; iteration order cannot escape into simulation state
 	for k, v := range a.traces {
 		old[k] = v
 	}
 	a.scout(func() {
 		changed := 0
+		//ffvet:ok commutative counter; iteration order cannot escape
 		for k, hops := range a.traces {
 			if !usable(hops) || !usable(old[k]) {
 				continue
