@@ -100,6 +100,7 @@ func compareBaseline(path string, thresholdPct float64,
 	}
 	baseWall, baseAlloc := statsByID(base.Experiments)
 	curWall, curAlloc := currentStats(results)
+	var offenders []string
 
 	fmt.Printf("-- min wall / mean alloc vs %s (wall %+.0f%%, alloc %+d%%) --\n",
 		path, thresholdPct, allocThresholdPct)
@@ -128,6 +129,9 @@ func compareBaseline(path string, thresholdPct float64,
 			if b >= compareMinWallMS {
 				regressed = true
 				mark = "  WALL REGRESSION"
+				offenders = append(offenders, fmt.Sprintf(
+					"%s: min wall %.1f ms -> %.1f ms (%+.1f%%, threshold %+.0f%%)",
+					d.ID, b, c, wallDelta, thresholdPct))
 			} else {
 				mark = "  (under min wall, not gated)"
 			}
@@ -135,6 +139,9 @@ func compareBaseline(path string, thresholdPct float64,
 		if allocDelta > allocThresholdPct && ba >= compareMinAllocMB {
 			regressed = true
 			mark += "  ALLOC REGRESSION"
+			offenders = append(offenders, fmt.Sprintf(
+				"%s: mean alloc %.2f MB -> %.2f MB (%+.1f%%, threshold %+d%%)",
+				d.ID, ba, ca, allocDelta, allocThresholdPct))
 		}
 		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%% %11.2f %11.2f %+7.1f%%%s\n",
 			d.ID, b, c, wallDelta, ba, ca, allocDelta, mark)
@@ -146,6 +153,9 @@ func compareBaseline(path string, thresholdPct float64,
 			if baseWallTotal >= compareMinWallMS {
 				regressed = true
 				mark = "  WALL REGRESSION"
+				offenders = append(offenders, fmt.Sprintf(
+					"total: min wall %.1f ms -> %.1f ms (%+.1f%%, threshold %+.0f%%)",
+					baseWallTotal, curWallTotal, delta, thresholdPct))
 			} else {
 				mark = "  (under min wall, not gated)"
 			}
@@ -154,6 +164,14 @@ func compareBaseline(path string, thresholdPct float64,
 			"total", baseWallTotal, curWallTotal, delta, mark)
 	}
 	fmt.Println()
+	// Name the offenders on stderr: CI logs truncate tables, and "exit 1"
+	// with no culprit sends people diffing the whole table by hand.
+	if len(offenders) > 0 {
+		fmt.Fprintf(os.Stderr, "ffbench: regression gate failed (%d offender(s)):\n", len(offenders))
+		for _, o := range offenders {
+			fmt.Fprintf(os.Stderr, "  %s\n", o)
+		}
+	}
 	return regressed, nil
 }
 

@@ -59,6 +59,14 @@ var serialPackages = map[string]bool{
 // byte-identical whatever the worker count.
 const runnerPackage = "internal/experiment"
 
+// servePackage is the ffserved service layer, the second above-boundary
+// package: workers, timeouts, and drains need goroutines, channels, and
+// the wall clock, but the same residual rules as the runner apply —
+// result payloads must stay byte-identical however many tenants run
+// concurrently, so ambient randomness and order-leaking map iteration
+// stay banned.
+const servePackage = "internal/serve"
+
 // rngPackage is the one package allowed to construct rand sources: all
 // module randomness flows from eventsim seeds.
 const rngPackage = "internal/eventsim"
@@ -73,7 +81,7 @@ func aboveBoundary(rel string) bool {
 	if !strings.HasPrefix(rel, "internal/") {
 		return true
 	}
-	return rel == runnerPackage || rel == "internal/analysis"
+	return rel == runnerPackage || rel == servePackage || rel == "internal/analysis"
 }
 
 // modRelPath strips the module prefix: "fastflex/internal/netsim" →
@@ -188,7 +196,7 @@ func sinkBanned(fn *FuncNode, k SinkKind, reachable bool) bool {
 	switch {
 	case serialPackages[fn.Rel]:
 		return k == SinkGoroutine
-	case fn.Rel == runnerPackage:
+	case fn.Rel == runnerPackage, fn.Rel == servePackage:
 		return k == SinkGlobalRand || k == SinkMapRange || k == SinkFPReduce
 	}
 	return false

@@ -73,6 +73,13 @@ var layerTable = map[string][]string{
 		"internal/sketch", "internal/state", "internal/topo",
 	},
 
+	// The ffserved service layer drives experiments exactly as cmd/ffbench
+	// does: strictly through internal/experiment. Seeing anything below it
+	// would let a request reach into live simulation state.
+	"internal/serve": {
+		"internal/experiment",
+	},
+
 	// Tooling: the static analyzer may read the domain model it audits,
 	// but nothing imports it back.
 	"internal/analysis": {

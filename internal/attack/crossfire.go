@@ -1,9 +1,3 @@
-// Package attack implements the adversaries of §4: the Crossfire
-// link-flooding attacker (traceroute reconnaissance, critical-link
-// selection, low-rate legitimate-looking bot flows), its rolling variant
-// that re-targets whenever it detects a routing change, a pulsing attacker
-// that tries to induce mode flapping, a volumetric DDoS, and a multi-vector
-// combiner.
 package attack
 
 import (

@@ -1,0 +1,20 @@
+// Package attack implements the adversaries of §4: the Crossfire
+// link-flooding attacker (traceroute reconnaissance, critical-link
+// selection, low-rate legitimate-looking bot flows), its rolling variant
+// that re-targets whenever it detects a routing change, a pulsing attacker
+// that tries to induce mode flapping, a volumetric DDoS, and a multi-vector
+// combiner.
+//
+// Layer (DESIGN.md §2): attackers sit beside the control plane — they may
+// import netsim, eventsim, packet, and topo, but never the defense stack
+// (booster, control, core): the adversary observes the network only
+// through traceroutes and flow throughput, exactly as the paper's threat
+// model prescribes.
+//
+// Determinism contract (ffvet tier: serial substrate): attack controllers
+// run inside the simulation event loop, so they are strictly serial and
+// seed-deterministic — target selection sorts candidates and breaks ties
+// on IDs, and any randomness comes from the engine's seeded RNG, never an
+// ambient source. ffvet residually bans goroutine launches here; code on
+// a live simulation path gets full strictness from the reachability pass.
+package attack

@@ -1,13 +1,3 @@
-// Package booster implements the defense apps ("boosters") from §4.1 of the
-// paper: LFA detection over link loads and per-flow TCP state, a packet
-// dropping / rate limiting mitigation, Hula-style congestion-aware rerouting
-// with normal-flow pinning, NetHide-style topology obfuscation, and a
-// HashPipe heavy-hitter detector for volumetric DDoS.
-//
-// Boosters are dataplane.PPMs: they act only through the pipeline context
-// (reading and tagging packets, choosing egresses, emitting probes). The
-// only outside facilities they receive are read-only closures (link loads,
-// probe dedup) wired in at placement time.
 package booster
 
 import (

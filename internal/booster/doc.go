@@ -1,0 +1,21 @@
+// Package booster implements the defense apps ("boosters") from §4.1 of the
+// paper: LFA detection over link loads and per-flow TCP state, a packet
+// dropping / rate limiting mitigation, Hula-style congestion-aware rerouting
+// with normal-flow pinning, NetHide-style topology obfuscation, and a
+// HashPipe heavy-hitter detector for volumetric DDoS.
+//
+// Boosters are dataplane.PPMs: they act only through the pipeline context
+// (reading and tagging packets, choosing egresses, emitting probes). The
+// only outside facilities they receive are read-only closures (link loads,
+// probe dedup) wired in at placement time.
+//
+// Layer (DESIGN.md §2): strictly below control and netsim orchestration —
+// a booster that imported control would collapse the RTT-vs-controller
+// asymmetry that Figure 3 measures.
+//
+// Determinism contract (ffvet tier: simulation state): boosters hold live
+// per-switch state (sketches, flow tables, mode sets), so ffvet applies
+// full strictness regardless of reachability — no goroutines, no channels,
+// no wall clock, no ambient randomness, no order-dependent map iteration.
+// Same seed, same packet sequence, same booster decisions, bit for bit.
+package booster

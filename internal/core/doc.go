@@ -1,0 +1,19 @@
+// Package core is the FastFlex fabric: the public API that realizes the
+// paper's full workflow (Figure 1). Given a topology and a set of
+// boosters, it analyzes their dataflow graphs, merges shared PPMs,
+// schedules them onto switches under resource budgets, installs the
+// multimode pipelines, wires detectors to the distributed mode-change
+// protocol, and exposes dynamic scaling — so that, as the network routes
+// traffic end-to-end, it also turns defenses on and off as needed.
+//
+// Layer (DESIGN.md §2): the assembly layer — core may import every
+// simulation and defense package below it; only the experiment harness
+// (and through it, the service layer) sits above.
+//
+// Determinism contract (ffvet tier: simulation state): a Fabric owns live
+// simulation state, so ffvet applies full strictness regardless of
+// reachability — no goroutines, no wall clock, no ambient randomness, no
+// order-dependent map iteration (plans and reports iterate sorted key
+// slices). One Fabric serves one strictly serial run; concurrency across
+// runs belongs to internal/experiment's Runner, never here.
+package core

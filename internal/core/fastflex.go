@@ -1,10 +1,3 @@
-// Package core is the FastFlex fabric: the public API that realizes the
-// paper's full workflow (Figure 1). Given a topology and a set of
-// boosters, it analyzes their dataflow graphs, merges shared PPMs,
-// schedules them onto switches under resource budgets, installs the
-// multimode pipelines, wires detectors to the distributed mode-change
-// protocol, and exposes dynamic scaling — so that, as the network routes
-// traffic end-to-end, it also turns defenses on and off as needed.
 package core
 
 import (

@@ -79,6 +79,14 @@ type Figure3Config struct {
 	// K >= 1 runs the windowed sharded engine over a K-way partition.
 	// Results are identical for every K >= 1 (see DESIGN.md).
 	Shards int
+	// Prebuilt, when non-nil, skips the topology build and reuses an
+	// already-attached topology (see BuildFig3Topology). The builders are
+	// deterministic, so a run over a prebuilt topology is byte-identical
+	// to one that builds its own; ffserved's engine pool relies on this
+	// to serve repeated scenario shapes from warm topologies. The graph
+	// is strictly read-only during a run, so one Prebuilt value may back
+	// any number of concurrent runs.
+	Prebuilt *Fig3Topology
 	// LargeRegions, when > 0, swaps the plain Figure-2 topology for the
 	// ISP-scale multi-region variant with that many remote regions of
 	// RegionSize switches each. Attack and user traffic then enters the
@@ -147,6 +155,50 @@ type fig3Topology interface {
 	AttachServers(n int) []topo.NodeID
 }
 
+// Fig3Topology is a fully built Figure-3 topology: the graph with every
+// user, bot, and server host already attached. Construction is the only
+// phase that mutates the graph; a simulation run only ever reads it, so a
+// single Fig3Topology can back many runs — sequential or concurrent —
+// without affecting their results. ffserved's engine pool caches these as
+// "warm engines" keyed by topology shape.
+type Fig3Topology struct {
+	G                    *topo.Graph
+	Users, Bots, Servers []topo.NodeID
+}
+
+// BuildFig3Topology constructs the topology a Figure3 run over cfg would
+// build for itself: the Figure-2 victim network, or the multi-region
+// ISP-scale variant when LargeRegions > 0. The builders are deterministic
+// (no RNG, creation-order node IDs), so two calls with equal configs
+// produce structurally identical graphs and a run over either is
+// byte-identical to a run that builds inline.
+func BuildFig3Topology(cfg Figure3Config) *Fig3Topology {
+	cfg.fillDefaults()
+	var f fig3Topology = topo.NewFigure2()
+	if cfg.LargeRegions > 0 {
+		f = topo.NewMultiRegion(cfg.LargeRegions, cfg.RegionSize)
+	}
+	bt := &Fig3Topology{}
+	bt.Users = f.AttachUsers(cfg.Users)
+	bt.Bots = f.AttachBots(cfg.Bots)
+	bt.Servers = f.AttachServers(cfg.Servers)
+	bt.G = f.Graph()
+	return bt
+}
+
+// TopologyKey is a canonical fingerprint of the topology a config builds
+// (after defaults have been applied): two configs with equal keys build
+// structurally identical topologies, so their runs can share one
+// Fig3Topology. ffserved's engine pool uses this as its cache key.
+func (c Figure3Config) TopologyKey() string {
+	c.fillDefaults()
+	if c.LargeRegions > 0 {
+		return fmt.Sprintf("multiregion/%dx%d/u%d.b%d.s%d",
+			c.LargeRegions, c.RegionSize, c.Users, c.Bots, c.Servers)
+	}
+	return fmt.Sprintf("figure2/u%d.b%d.s%d", c.Users, c.Bots, c.Servers)
+}
+
 // Figure3Result extends Result with the headline numbers EXPERIMENTS.md
 // records.
 type Figure3Result struct {
@@ -170,13 +222,16 @@ type Figure3Result struct {
 // user flows under a rolling link-flooding attack, for one defense arm.
 func Figure3(cfg Figure3Config) *Figure3Result {
 	cfg.fillDefaults()
-	var f fig3Topology = topo.NewFigure2()
-	if cfg.LargeRegions > 0 {
-		f = topo.NewMultiRegion(cfg.LargeRegions, cfg.RegionSize)
+	bt := cfg.Prebuilt
+	if bt == nil {
+		bt = BuildFig3Topology(cfg)
+	} else if len(bt.Users) != cfg.Users || len(bt.Bots) != cfg.Bots || len(bt.Servers) != cfg.Servers {
+		panic(fmt.Sprintf("experiment: prebuilt topology has %d/%d/%d users/bots/servers, config wants %d/%d/%d",
+			len(bt.Users), len(bt.Bots), len(bt.Servers), cfg.Users, cfg.Bots, cfg.Servers))
 	}
-	users := f.AttachUsers(cfg.Users)
-	bots := f.AttachBots(cfg.Bots)
-	servers := f.AttachServers(cfg.Servers)
+	users := bt.Users
+	bots := bt.Bots
+	servers := bt.Servers
 	var srvAddr []packet.Addr
 	for _, s := range servers {
 		srvAddr = append(srvAddr, packet.HostAddr(int(s)))
@@ -192,7 +247,7 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 	coreCfg.Net.Seed = cfg.Seed
 	coreCfg.Net.Shards = cfg.Shards
 	coreCfg.Reroute.RerouteAllOverride = cfg.RerouteAllOverride
-	fab, err := core.New(f.Graph(), coreCfg)
+	fab, err := core.New(bt.G, coreCfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: building fabric: %v", err))
 	}
@@ -281,6 +336,12 @@ func fractionBelowBetween(s *metrics.Series, th float64, from, to time.Duration)
 // Figure3Compare runs all arms and assembles the side-by-side table the
 // paper's figure conveys.
 func Figure3Compare(base Figure3Config) *Result {
+	// Build (or reuse) the topology once and share it across the three
+	// arms: each arm only reads the graph, and the builders are
+	// deterministic, so this is byte-identical to per-arm builds.
+	if base.Prebuilt == nil {
+		base.Prebuilt = BuildFig3Topology(base)
+	}
 	res := &Result{Name: "Figure 3: FastFlex vs baseline under rolling LFA"}
 	tb := &metrics.Table{Header: []string{"defense", "stable Mbps", "attack mean", "degraded<80%", "rolls"}}
 	for _, d := range []Defense{DefenseNone, DefenseBaseline, DefenseFastFlex} {

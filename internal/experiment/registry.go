@@ -28,32 +28,50 @@ type Def struct {
 // are pinned per mode.
 var DefaultShards int
 
-// fig3LargeConfig is the ISP-scale Figure-3 variant used for parallel
-// speedup measurements: four remote regions feed the victim region over
-// the backbone, with enough bots that most simulated work happens outside
-// the victim region and the partitioner can spread it across shards.
-func fig3LargeConfig(seed int64) Figure3Config {
-	return Figure3Config{
-		Seed:         seed,
-		LargeRegions: 4,
-		RegionSize:   10,
-		Users:        16,
-		Servers:      8,
-		Bots:         96,
-		Shards:       DefaultShards,
+// Fig3Scenario returns the exact Figure3Config behind a registry Figure-3
+// experiment ("fig3" is the paper topology, "fig3x" the ISP-scale
+// multi-region variant used for parallel speedup measurements: four remote
+// regions feed the victim region over the backbone, with enough bots that
+// most simulated work happens outside the victim region). Other front ends
+// (ffserved) call this to rebuild the same run — optionally over a
+// prebuilt warm topology — without duplicating these numbers, which is
+// what keeps API results byte-identical to ffbench's. short selects the
+// cut-down CI variant: the horizon shrinks from 120 s to 30 s of simulated
+// time, long enough for the attack to land and the defense to respond so
+// the shape checks still discriminate. The second return is false when id
+// is not a Figure-3 scenario.
+func Fig3Scenario(id string, seed int64, short bool) (Figure3Config, bool) {
+	var cfg Figure3Config
+	switch id {
+	case "fig3":
+		cfg = Figure3Config{Seed: seed}
+	case "fig3x":
+		cfg = Figure3Config{
+			Seed:         seed,
+			LargeRegions: 4,
+			RegionSize:   10,
+			Users:        16,
+			Servers:      8,
+			Bots:         96,
+			Shards:       DefaultShards,
+		}
+	default:
+		return Figure3Config{}, false
 	}
+	if short {
+		cfg.Duration = 30 * time.Second
+		cfg.AttackStart = 10 * time.Second
+		cfg.ScoutEvery = 5 * time.Second
+	}
+	return cfg, true
 }
 
-// shortFig3Compare shrinks the Figure-3 horizon from 120 s to 30 s of simulated
-// time: long enough for the attack to land and the defense to respond, so
-// the shape checks still discriminate, short enough for a CI smoke job.
-func shortFig3Compare(seed int64) *Result {
-	return Figure3Compare(Figure3Config{
-		Duration:    30 * time.Second,
-		AttackStart: 10 * time.Second,
-		ScoutEvery:  5 * time.Second,
-		Seed:        seed,
-	})
+// fig3Run adapts a Fig3Scenario id to the registry's Run signature.
+func fig3Run(id string, short bool) func(int64) *Result {
+	return func(seed int64) *Result {
+		cfg, _ := Fig3Scenario(id, seed, short)
+		return Figure3Compare(cfg)
+	}
 }
 
 // Registry enumerates every experiment in the order EXPERIMENTS.md
@@ -73,21 +91,9 @@ func Registry() []Def {
 		{ID: "fig1d", Desc: "Figure 1(d): dynamic scaling at runtime",
 			Run: func(int64) *Result { return Figure1dScale() }},
 		{ID: "fig3", Desc: "Figure 3: FastFlex vs baseline under rolling LFA", Seeded: true,
-			Run: func(seed int64) *Result {
-				return Figure3Compare(Figure3Config{Seed: seed})
-			},
-			ShortRun: shortFig3Compare},
+			Run: fig3Run("fig3", false), ShortRun: fig3Run("fig3", true)},
 		{ID: "fig3x", Desc: "Figure 3 at ISP scale: multi-region topology (sharded engine target)", Seeded: true,
-			Run: func(seed int64) *Result {
-				return Figure3Compare(fig3LargeConfig(seed))
-			},
-			ShortRun: func(seed int64) *Result {
-				cfg := fig3LargeConfig(seed)
-				cfg.Duration = 30 * time.Second
-				cfg.AttackStart = 10 * time.Second
-				cfg.ScoutEvery = 5 * time.Second
-				return Figure3Compare(cfg)
-			}},
+			Run: fig3Run("fig3x", false), ShortRun: fig3Run("fig3x", true)},
 		{ID: "a1", Desc: "A1: mode-change latency vs diameter",
 			Run: func(int64) *Result { return AblationModeLatency() }},
 		{ID: "a2", Desc: "A2: PPM sharing",

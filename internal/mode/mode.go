@@ -1,9 +1,3 @@
-// Package mode implements FastFlex's distributed control (§3.3): the
-// in-dataplane mode-change protocol that lets detectors activate and clear
-// defense modes across the network via probe packets — no SDN controller in
-// the loop — plus region scoping for mixed-vector attacks, dwell-time
-// hysteresis for stability against attacker-induced flapping (§6), and
-// periodic detector-view synchronization for distributed detection.
 package mode
 
 import (

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MetricsText renders the daemon's metrics in the Prometheus text
+// exposition format (stdlib-only; no client library). Series are emitted
+// in a fixed order from plain struct fields — never from map iteration —
+// so two scrapes of the same state are byte-identical. The metrics
+// dictionary in OPERATIONS.md documents every series here; keep the two
+// in sync.
+func (m *Manager) MetricsText() string {
+	met, ps, inflight, queueDepth, queueCap, workers, draining, uptime := m.snapshot()
+
+	var b strings.Builder
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(&b, "# HELP ffserved_jobs_total Jobs finished, by terminal state.\n")
+	fmt.Fprintf(&b, "# TYPE ffserved_jobs_total counter\n")
+	fmt.Fprintf(&b, "ffserved_jobs_total{state=\"done\"} %d\n", met.jobsDone)
+	fmt.Fprintf(&b, "ffserved_jobs_total{state=\"failed\"} %d\n", met.jobsFailed)
+	fmt.Fprintf(&b, "ffserved_jobs_total{state=\"canceled\"} %d\n", met.jobsCanceled)
+
+	counter("ffserved_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", met.jobsSubmitted)
+	counter("ffserved_job_timeouts_total", "Jobs that hit their wall-clock ceiling (subset of failed).", met.jobTimeouts)
+	counter("ffserved_runs_total", "Individual experiment runs (one per seed) completed.", met.runsTotal)
+	counter("ffserved_run_wall_seconds_total", "Wall-clock seconds spent in completed runs.",
+		fmt.Sprintf("%.6f", met.runWallSeconds))
+	counter("ffserved_run_alloc_bytes_total", "Heap bytes allocated by completed runs.", met.runAllocBytes)
+	counter("ffserved_engine_pool_hits_total", "Runs served from a warm pooled topology.", ps.hits)
+	counter("ffserved_engine_pool_misses_total", "Runs that had to cold-build their topology.", ps.misses)
+	counter("ffserved_engine_pool_evictions_total", "Warm topologies evicted by the pool bound.", ps.evictions)
+	counter("ffserved_panics_recovered_total", "Panics recovered from isolated jobs.", met.panicsRecovered)
+	counter("ffserved_runs_detached_total", "Workers detached from a run by cancel or timeout.", met.runsDetached)
+
+	gauge("ffserved_jobs_inflight", "Jobs currently running.", inflight)
+	gauge("ffserved_queue_depth", "Jobs queued and not yet running.", queueDepth)
+	gauge("ffserved_queue_capacity", "Configured queue bound.", queueCap)
+	gauge("ffserved_workers", "Configured worker-pool size.", workers)
+	gauge("ffserved_engine_pool_size", "Warm topologies currently pooled.", ps.size)
+	gauge("ffserved_draining", "1 while the daemon refuses new jobs.", boolGauge(draining))
+	gauge("ffserved_uptime_seconds", "Seconds since the manager started.",
+		fmt.Sprintf("%.3f", uptime.Seconds()))
+	return b.String()
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

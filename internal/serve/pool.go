@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+
+	"fastflex/internal/experiment"
+)
+
+// enginePool caches warm, fully built topologies keyed by their shape
+// (experiment.Figure3Config.TopologyKey), so a daemon serving many tenants
+// does not cold-start the same build per request. This is safe because a
+// Fig3Topology is written only during construction and strictly read
+// during runs: one warm entry can back any number of concurrent
+// simulations, and a run over a pooled topology is byte-identical to one
+// that builds inline (the builders are deterministic).
+//
+// The pool is bounded; when full, the oldest entry is evicted FIFO —
+// long-running daemons serving a rotating scenario population stay at a
+// fixed footprint.
+type enginePool struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*experiment.Fig3Topology
+	order   []string // insertion order, for FIFO eviction
+
+	hits, misses, evictions uint64
+}
+
+func newEnginePool(max int) *enginePool {
+	if max < 1 {
+		max = 1
+	}
+	return &enginePool{max: max, entries: make(map[string]*experiment.Fig3Topology)}
+}
+
+// warm returns a topology for cfg, reusing a pooled one when the shape is
+// already warm. The build for a miss runs outside the lock: two
+// concurrent first requests for one shape may both build, but only one
+// entry is kept and both results are valid (the builds are structurally
+// identical).
+func (p *enginePool) warm(cfg experiment.Figure3Config) (bt *experiment.Fig3Topology, hit bool) {
+	key := cfg.TopologyKey()
+	p.mu.Lock()
+	if bt = p.entries[key]; bt != nil {
+		p.hits++
+		p.mu.Unlock()
+		return bt, true
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	built := experiment.BuildFig3Topology(cfg)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing := p.entries[key]; existing != nil {
+		return existing, false // lost a build race; keep the first entry
+	}
+	p.entries[key] = built
+	p.order = append(p.order, key)
+	if len(p.order) > p.max {
+		delete(p.entries, p.order[0])
+		p.order = p.order[1:]
+		p.evictions++
+	}
+	return built, false
+}
+
+// poolStats is a consistent snapshot for /metrics.
+type poolStats struct {
+	hits, misses, evictions uint64
+	size                    int
+}
+
+func (p *enginePool) stats() poolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return poolStats{hits: p.hits, misses: p.misses, evictions: p.evictions, size: len(p.entries)}
+}

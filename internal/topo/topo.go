@@ -1,8 +1,3 @@
-// Package topo models network topologies: switches, hosts, and capacitated
-// links, together with the path algorithms FastFlex's traffic engineering,
-// placement, and attack modules need (Dijkstra, k-shortest paths, link
-// criticality analysis) and builders for the topologies the paper evaluates
-// on (the Figure-2 topology, fat-trees, and random graphs).
 package topo
 
 import (
