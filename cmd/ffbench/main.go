@@ -5,8 +5,10 @@
 //
 // Runs fan out across a worker pool (experiment.Runner); each run is an
 // independent seed-deterministic simulation, and results print in registry
-// order with wall times confined to the JSON report, so serial and
-// parallel invocations emit byte-identical text.
+// order, so serial and parallel invocations emit byte-identical experiment
+// text. Wall-clock-derived numbers are confined to the JSON report and the
+// clearly-delimited trailing "engine throughput" block (whose event and
+// packet counts are deterministic; only the /sec rates vary).
 //
 // Usage:
 //
@@ -63,7 +65,14 @@ type runReport struct {
 	Seed    int64   `json:"seed"`
 	WallMS  float64 `json:"wall_ms"`
 	AllocMB float64 `json:"alloc_mb"`
-	Error   string  `json:"error,omitempty"`
+	// Events/Packets are deterministic workload counters (simulation
+	// events fired, switch pipeline passes); the *PerSec rates divide
+	// them by this run's wall time, so only the rates vary run to run.
+	Events        uint64  `json:"events,omitempty"`
+	Packets       uint64  `json:"packets,omitempty"`
+	EventsPerSec  float64 `json:"events_per_sec,omitempty"`
+	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 type metricJSON struct {
@@ -83,6 +92,7 @@ func main() {
 	check := flag.Bool("check", false, "exit 1 if the result shape checks fail")
 	compare := flag.String("compare", "", "baseline BENCH_ffbench.json: print a wall-time comparison and exit 1 on regression")
 	regress := flag.Float64("regress", 15, "regression threshold for -compare, percent")
+	aregress := flag.Float64("aregress", 10, "allocation regression threshold for -compare, percent")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -161,6 +171,8 @@ func main() {
 		}
 	}
 
+	printThroughput(defs, results)
+
 	shapeErrs := experiment.ShapeChecks(agg)
 	for _, e := range shapeErrs {
 		fmt.Fprintf(os.Stderr, "ffbench: shape check failed: %s\n", e)
@@ -178,7 +190,7 @@ func main() {
 	regressed := false
 	if *compare != "" {
 		var err error
-		regressed, err = compareBaseline(*compare, *regress, defs, results)
+		regressed, err = compareBaseline(*compare, *regress, *aregress, defs, results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ffbench: comparing baseline: %v\n", err)
 			os.Exit(1)
@@ -192,6 +204,41 @@ func main() {
 	}
 	if failed || regressed || (*check && len(shapeErrs) > 0) {
 		os.Exit(1)
+	}
+}
+
+// printThroughput renders the engine-throughput block: per experiment, the
+// deterministic workload counters (events fired, pipeline passes — byte-
+// identical across worker counts, shard counts, and batching modes) and
+// the wall-clock rates they imply, summed over seeds. The rates are the
+// one part of ffbench's text that varies run to run; everything above this
+// block stays byte-identical.
+func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
+	printed := false
+	for _, d := range defs {
+		var events, packets uint64
+		var wall time.Duration
+		for _, rr := range results {
+			if rr.ID != d.ID || rr.Err != nil || rr.Result == nil {
+				continue
+			}
+			events += rr.Result.Events
+			packets += rr.Result.Packets
+			wall += rr.Wall
+		}
+		if events == 0 || wall <= 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("-- engine throughput (wall-clock rates vary run to run) --")
+			printed = true
+		}
+		secs := wall.Seconds()
+		fmt.Printf("  %-10s %12d events %11d pkts   %8.2f Mev/s %8.2f Mpkt/s\n",
+			d.ID, events, packets, float64(events)/secs/1e6, float64(packets)/secs/1e6)
+	}
+	if printed {
+		fmt.Println()
 	}
 }
 
@@ -266,6 +313,14 @@ func writeReport(defs []experiment.Def, seeds []int64, workers int, short bool,
 				Seed:    rr.Seed,
 				WallMS:  float64(rr.Wall.Microseconds()) / 1e3,
 				AllocMB: float64(rr.AllocBytes) / (1 << 20),
+			}
+			if rr.Result != nil && rr.Result.Events > 0 {
+				run.Events = rr.Result.Events
+				run.Packets = rr.Result.Packets
+				if secs := rr.Wall.Seconds(); secs > 0 {
+					run.EventsPerSec = float64(run.Events) / secs
+					run.PacketsPerSec = float64(run.Packets) / secs
+				}
 			}
 			if rr.Err != nil {
 				run.Error = rr.Err.Error()

@@ -237,6 +237,27 @@ func TestHotpathFixtures(t *testing.T) {
 	checkFixture(t, "fastflex/internal/dataplane", "hotpath_ok.go", Hotpath)
 }
 
+// TestHotpathLoopFixtures pins the statement-level annotation form: a
+// //ffvet:hotpath directly above a for/range statement enforces the map
+// and interface bans inside that loop body only.
+func TestHotpathLoopFixtures(t *testing.T) {
+	checkFixture(t, "fastflex/internal/dataplane", "hotpath_loop_bad.go", Hotpath)
+	checkFixture(t, "fastflex/internal/dataplane", "hotpath_loop_ok.go", Hotpath)
+}
+
+// TestHotpathLoopAttachment proves the waiver analyzer treats a
+// loop-attached directive as anchored: running Hotpath before Waiver over
+// the loop fixtures must yield no floating-directive findings.
+func TestHotpathLoopAttachment(t *testing.T) {
+	for _, file := range []string{"hotpath_loop_bad.go", "hotpath_loop_ok.go"} {
+		p := fixturePass(t, "fastflex/internal/dataplane", file)
+		_ = Hotpath(p)
+		for _, d := range Waiver(p) {
+			t.Errorf("%s: unexpected waiver diagnostic: %s", file, d)
+		}
+	}
+}
+
 // TestHotpathAnnotationsPresent pins the annotation set: the per-packet
 // entry points the compiled-forwarding-plane refactor flattened must stay
 // annotated, so a future edit cannot silently drop the enforcement.

@@ -30,8 +30,17 @@ import (
 //   - append through a slice not provably pre-sized (growth reallocates
 //     the backing array mid-packet);
 //   - string <-> []byte conversions (each copies the contents).
+//
+// The directive also attaches to a single for/range statement (on the
+// line immediately above it): batch execution runs per-packet inner loops
+// inside functions — and func literals, which cannot carry doc comments —
+// that are otherwise cold, and those loop bodies get the two outright
+// bans (map indexing, interface dispatch). The allocation heuristics stay
+// function-level: a batch loop's surrounding setup may legitimately
+// allocate once per run.
 
-// Hotpath enforces the hot-path contract on annotated functions.
+// Hotpath enforces the hot-path contract on annotated functions and
+// annotated batch loops.
 func Hotpath(p *Pass) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range p.Pkgs {
@@ -42,16 +51,75 @@ func Hotpath(p *Pass) []Diagnostic {
 					continue
 				}
 				pos, ok := hotpathAnnotation(p.Fset, fn)
-				if !ok {
+				if ok {
+					p.Waivers.markHotpathAttached(pos)
+					checkHotpathFunc(p, pkg, fn, &diags)
 					continue
 				}
-				p.Waivers.markHotpathAttached(pos)
-				checkHotpathFunc(p, pkg, fn, &diags)
+				checkHotpathLoops(p, pkg, fn, &diags)
 			}
 		}
 	}
 	sortDiagnostics(diags)
 	return diags
+}
+
+// checkHotpathLoops finds for/range statements annotated with a hotpath
+// directive on the line above and enforces the non-waivable bans inside
+// their bodies. Only reached for functions without a function-level
+// annotation (which already covers every nested loop).
+func checkHotpathLoops(p *Pass, pkg *Package, fn *ast.FuncDecl, diags *[]Diagnostic) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		pos, ok := p.Waivers.hotpathAbove(p.Fset, n)
+		if !ok {
+			return true
+		}
+		p.Waivers.markHotpathAttached(pos)
+		checkHotpathLoopBody(p, pkg, fn.Name.Name, body, diags)
+		return true
+	})
+}
+
+// checkHotpathLoopBody applies the interpreter-idiom bans — map index
+// expressions and interface method calls, no waiver — to one annotated
+// batch loop body.
+func checkHotpathLoopBody(p *Pass, pkg *Package, fnName string, body *ast.BlockStmt, diags *[]Diagnostic) {
+	report := func(pos token.Pos, msg string) {
+		*diags = append(*diags, Diagnostic{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "hotpath",
+			Message:  msg + " in hotpath batch loop in " + fnName,
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.IndexExpr:
+			tv, ok := pkg.Info.Types[node.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				report(node.Pos(), "map index expression")
+			}
+		case *ast.CallExpr:
+			if sel, ok := unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := pkg.Info.Selections[sel]; ok &&
+					s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+					report(node.Pos(), "interface method call ("+s.Obj().Name()+")")
+				}
+			}
+		}
+		return true
+	})
 }
 
 // hotpathAnnotation returns the position of the hotpath directive in the

@@ -1,0 +1,46 @@
+package dataplane
+
+// Statement-level hotpath annotations: a //ffvet:hotpath on the line above
+// a for/range statement marks a batch inner loop as per-packet code inside
+// an otherwise cold function. Map indexing and interface dispatch inside
+// the annotated body are banned with no waiver.
+
+type loopPPM interface{ process(int) int }
+
+type loopBatch struct {
+	vals  []int
+	table map[int]int
+	ppms  []loopPPM
+}
+
+func drainBadMap(b *loopBatch) int {
+	total := 0
+	//ffvet:hotpath
+	for _, v := range b.vals {
+		total += b.table[v] // want hotpath "map index expression"
+	}
+	return total
+}
+
+func drainBadDispatch(b *loopBatch, x int) int {
+	//ffvet:hotpath
+	for i := 0; i < len(b.ppms); i++ {
+		x = b.ppms[i].process(x) // want hotpath "interface method call"
+	}
+	return x
+}
+
+// closures are where the statement form earns its keep: a func literal
+// cannot carry a doc comment, so its hot inner loop is annotated directly.
+func makeDrainer(b *loopBatch) func() int {
+	return func() int {
+		total := 0
+		//ffvet:hotpath
+		for _, v := range b.vals {
+			if b.table[v] > 0 { // want hotpath "map index expression"
+				total++
+			}
+		}
+		return total
+	}
+}

@@ -1,0 +1,46 @@
+package dataplane
+
+// Clean statement-level hotpath loops, and the boundaries of the
+// annotation: the bans apply only inside the annotated loop body, and an
+// unannotated loop in the same function keeps its interpreter idioms.
+
+type okLoopStep struct {
+	run func(int) int
+}
+
+type okLoopBatch struct {
+	vals  []int
+	fib   []int32
+	table map[int]int
+	steps []okLoopStep
+}
+
+// drainDense is the batch shape: dense slice reads and bound func values
+// inside the annotated loop; the map lookup happens before it.
+func drainDense(b *okLoopBatch, x int) int {
+	base := b.table[x] // cold setup, outside the annotated loop
+	//ffvet:hotpath
+	for _, v := range b.vals {
+		if uint(v) < uint(len(b.fib)) {
+			base += int(b.fib[v])
+		}
+		for _, s := range b.steps { // nested loops inherit the annotation
+			base = s.run(base)
+		}
+	}
+	return base
+}
+
+// drainMixed pins the boundary: only the annotated loop is enforced, the
+// unannotated one may keep its map traffic.
+func drainMixed(b *okLoopBatch) int {
+	total := 0
+	//ffvet:hotpath
+	for _, v := range b.vals {
+		total += v
+	}
+	for _, v := range b.vals {
+		total += b.table[v] // not annotated: allowed
+	}
+	return total
+}

@@ -21,11 +21,13 @@ import (
 // cannot accumulate as the code under them is fixed or deleted.
 const okDirective = "//ffvet:ok"
 
-// hotpathDirective marks a function as per-packet hot path; it must
-// appear on a line of its own inside a function's doc comment. The
-// hotpath analyzer enforces the hot-path contract inside annotated
-// functions; the waiver analyzer reports directives that are not
-// attached to any function declaration (they enforce nothing).
+// hotpathDirective marks per-packet hot-path code; it must appear on a
+// line of its own, either inside a function's doc comment (the whole
+// function is hot) or on the line immediately above a for/range statement
+// (a batch inner loop is hot — the form closures use, since func literals
+// cannot carry doc comments). The hotpath analyzer enforces the hot-path
+// contract inside annotated functions and loop bodies; the waiver
+// analyzer reports directives attached to neither (they enforce nothing).
 const hotpathDirective = "//ffvet:hotpath"
 
 // WaiverEntry is one //ffvet:ok directive found in the tree.
@@ -39,7 +41,8 @@ type WaiverEntry struct {
 }
 
 // hotpathEntry is one //ffvet:hotpath directive; Attached is set by the
-// hotpath analyzer when the directive sits in a FuncDecl doc comment.
+// hotpath analyzer when the directive sits in a FuncDecl doc comment or
+// directly above a for/range statement.
 type hotpathEntry struct {
 	Pos      token.Position
 	Attached bool
@@ -50,10 +53,16 @@ type WaiverSet struct {
 	byLine  map[string]map[int]*WaiverEntry // filename -> line -> waiver
 	bare    []token.Position                // //ffvet:ok with no reason
 	hotpath []*hotpathEntry
+	// hotpathByLine indexes the same entries for the statement-level
+	// lookup: filename -> directive line -> entry.
+	hotpathByLine map[string]map[int]*hotpathEntry
 }
 
 func NewWaiverSet() *WaiverSet {
-	return &WaiverSet{byLine: make(map[string]map[int]*WaiverEntry)}
+	return &WaiverSet{
+		byLine:        make(map[string]map[int]*WaiverEntry),
+		hotpathByLine: make(map[string]map[int]*hotpathEntry),
+	}
 }
 
 // scanFile records every ffvet directive in the file's comments.
@@ -62,7 +71,15 @@ func (ws *WaiverSet) scanFile(fset *token.FileSet, file *ast.File) {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
 			if text == hotpathDirective {
-				ws.hotpath = append(ws.hotpath, &hotpathEntry{Pos: fset.Position(c.Pos())})
+				pos := fset.Position(c.Pos())
+				h := &hotpathEntry{Pos: pos}
+				ws.hotpath = append(ws.hotpath, h)
+				lines := ws.hotpathByLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*hotpathEntry)
+					ws.hotpathByLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = h
 				continue
 			}
 			if !strings.HasPrefix(c.Text, okDirective) {
@@ -123,6 +140,17 @@ func (ws *WaiverSet) markHotpathAttached(pos token.Position) {
 	}
 }
 
+// hotpathAbove returns the hotpath directive on the line immediately above
+// the node (the statement-level annotation form), if any. It does not mark
+// attachment; the hotpath analyzer does that when it enforces the loop.
+func (ws *WaiverSet) hotpathAbove(fset *token.FileSet, node ast.Node) (token.Position, bool) {
+	pos := fset.Position(node.Pos())
+	if h := ws.hotpathByLine[pos.Filename][pos.Line-1]; h != nil {
+		return h.Pos, true
+	}
+	return token.Position{}, false
+}
+
 // All returns every reasoned waiver, sorted by position.
 func (ws *WaiverSet) All() []*WaiverEntry {
 	var out []*WaiverEntry
@@ -169,7 +197,7 @@ func Waiver(p *Pass) []Diagnostic {
 			diags = append(diags, Diagnostic{
 				Pos:      h.Pos,
 				Analyzer: "waiver",
-				Message:  "ffvet:hotpath directive is not attached to a function declaration and enforces nothing; move it into a function's doc comment or delete it",
+				Message:  "ffvet:hotpath directive is not attached to a function declaration or loop statement and enforces nothing; move it into a function's doc comment, onto the line above a for/range statement, or delete it",
 			})
 		}
 	}

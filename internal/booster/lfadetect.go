@@ -101,13 +101,16 @@ type LFADetector struct {
 	links []topo.LinkID
 	load  func(topo.LinkID) float64
 
-	flows     *sketch.FlowTable
-	protected map[packet.Addr]bool
-	// suspSrc holds sources owning suspicious flows. Any traffic from
-	// them — including fresh flows and traceroute probes — inherits
-	// SuspicionLow, which is what routes the attacker's reconnaissance
-	// into the obfuscation booster.
-	suspSrc map[packet.Addr]uint8
+	flows *sketch.FlowTable
+	// protected is indexed by the dense node index a host address encodes
+	// (packet.Addr.Node); nil means protect everything. Both it and
+	// suspSrc are consulted per packet, so they are slices, not maps.
+	protected []bool
+	// suspSrc holds suspicion levels for sources owning suspicious flows,
+	// indexed by node. Any traffic from them — including fresh flows and
+	// traceroute probes — inherits SuspicionLow, which is what routes the
+	// attacker's reconnaissance into the obfuscation booster.
+	suspSrc []uint8
 
 	lastEval     time.Duration
 	calmSince    time.Duration
@@ -132,20 +135,27 @@ type LFADetector struct {
 func NewLFADetector(self topo.NodeID, links []topo.LinkID, load func(topo.LinkID) float64, cfg LFAConfig) *LFADetector {
 	cfg.fillDefaults()
 	d := &LFADetector{
-		cfg:     cfg,
-		self:    self,
-		links:   links,
-		load:    load,
-		flows:   sketch.NewFlowTable(cfg.FlowCapacity),
-		suspSrc: make(map[packet.Addr]uint8),
+		cfg:   cfg,
+		self:  self,
+		links: links,
+		load:  load,
+		flows: sketch.NewFlowTable(cfg.FlowCapacity),
 	}
-	if len(cfg.Protected) > 0 {
-		d.protected = make(map[packet.Addr]bool, len(cfg.Protected))
-		for _, a := range cfg.Protected {
-			d.protected[a] = true
+	for _, a := range cfg.Protected {
+		if n := a.Node(); n >= 0 {
+			d.protected = growTo(d.protected, n)
+			d.protected[n] = true
 		}
 	}
 	return d
+}
+
+// growTo extends a dense node-indexed slice to cover index n.
+func growTo[T any](s []T, n int) []T {
+	for n >= len(s) {
+		s = append(s, *new(T))
+	}
+	return s
 }
 
 // Name implements PPM.
@@ -164,14 +174,17 @@ func (d *LFADetector) Active() bool { return d.attackActive }
 func (d *LFADetector) Process(ctx *dataplane.Context) dataplane.Verdict {
 	p := ctx.Pkt
 	if p.Proto == packet.ProtoTCP || p.Proto == packet.ProtoUDP {
-		if d.protected == nil || d.protected[p.Dst] {
+		dn := p.Dst.Node()
+		if d.protected == nil || (uint(dn) < uint(len(d.protected)) && d.protected[dn]) {
 			s := d.flows.Observe(p, ctx.Now)
 			if s.Suspicion > p.Suspicion {
 				p.Suspicion = s.Suspicion
 			}
 		}
-		if lvl := d.suspSrc[p.Src]; lvl > p.Suspicion {
-			p.Suspicion = lvl
+		if sn := p.Src.Node(); uint(sn) < uint(len(d.suspSrc)) {
+			if lvl := d.suspSrc[sn]; lvl > p.Suspicion {
+				p.Suspicion = lvl
+			}
 		}
 	}
 	if ctx.Now-d.lastEval >= d.cfg.EvalEvery {
@@ -317,8 +330,11 @@ func (d *LFADetector) classify(now time.Duration) int {
 			}
 			// Suspicion is per-source, not just per-flow: the same bot's
 			// reconnaissance probes must be treated as suspicious too.
-			if SuspicionLow > d.suspSrc[s.Key.Src()] {
-				d.suspSrc[s.Key.Src()] = SuspicionLow
+			if sn := s.Key.Src().Node(); sn >= 0 {
+				d.suspSrc = growTo(d.suspSrc, sn)
+				if SuspicionLow > d.suspSrc[sn] {
+					d.suspSrc[sn] = SuspicionLow
+				}
 			}
 		}
 		return true
@@ -333,7 +349,9 @@ func (d *LFADetector) unmarkAll() {
 		s.MarkedAt = 0
 		return true
 	})
-	d.suspSrc = make(map[packet.Addr]uint8)
+	for i := range d.suspSrc {
+		d.suspSrc[i] = 0
+	}
 	d.Suspicious = 0
 	d.marked = false
 }
@@ -382,7 +400,10 @@ func (d *LFADetector) Restore(data []byte) error {
 		s.MarkedAt = time.Duration(binary.BigEndian.Uint64(rec[45:53]))
 		s.Suspicion = rec[53]
 		if s.Suspicion > SuspicionNone {
-			d.suspSrc[s.Key.Src()] = SuspicionLow
+			if sn := s.Key.Src().Node(); sn >= 0 {
+				d.suspSrc = growTo(d.suspSrc, sn)
+				d.suspSrc[sn] = SuspicionLow
+			}
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"fastflex/internal/dataplane"
 	"fastflex/internal/packet"
+	"fastflex/internal/sketch"
 	"fastflex/internal/topo"
 )
 
@@ -81,7 +82,9 @@ type Reroute struct {
 
 	linkUtil  func(topo.LinkID) float64
 	seenProbe func(packet.DedupKey) bool
-	dstSwitch map[packet.Addr]topo.NodeID
+	// dstSwitch maps a destination host's dense node index to its edge
+	// switch (-1 = unknown); consulted per packet, so a slice, not a map.
+	dstSwitch []topo.NodeID
 
 	// table[dst switch][egress link] = advertised path utilization.
 	table     map[topo.NodeID]map[topo.LinkID]rerouteEntry
@@ -89,7 +92,7 @@ type Reroute struct {
 	seq       uint32
 
 	// flowlets pins flows to their current egress between bursts.
-	flowlets map[packet.FlowKey]flowletEntry
+	flowlets flowletTable
 
 	Rerouted uint64 // packets steered off their TE egress
 	Probes   uint64 // probes originated
@@ -97,21 +100,112 @@ type Reroute struct {
 }
 
 type flowletEntry struct {
+	key       packet.FlowKey
 	via       topo.LinkID
 	firstSeen time.Duration
 	lastSeen  time.Duration
+}
+
+// flowletTable is a fixed-capacity open-addressed map from flow key to
+// flowlet pin. It sits on the steering path of every data packet, where a
+// Go map would pay variable-length hashing plus bucket probing per
+// lookup. Slot values are entry index + 1; 0 marks an empty slot.
+type flowletTable struct {
+	entries []flowletEntry
+	free    []int32
+	slots   []int32
+	mask    uint64
+}
+
+func newFlowletTable(capacity int) flowletTable {
+	slots := 8
+	for slots < 2*capacity {
+		slots *= 2
+	}
+	t := flowletTable{
+		entries: make([]flowletEntry, 0, capacity),
+		slots:   make([]int32, slots),
+		mask:    uint64(slots - 1),
+	}
+	return t
+}
+
+// findSlot returns the slot holding k, or the empty slot where k belongs.
+func (t *flowletTable) findSlot(k packet.FlowKey) uint64 {
+	i := sketch.HashFlowKey(k) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 || t.entries[s-1].key == k {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *flowletTable) lookup(k packet.FlowKey) *flowletEntry {
+	if s := t.slots[t.findSlot(k)]; s != 0 {
+		return &t.entries[s-1]
+	}
+	return nil
+}
+
+// insert stores a new entry; the caller has checked len() < capacity and
+// that k is absent.
+func (t *flowletTable) insert(e flowletEntry) {
+	var idx int32
+	if ln := len(t.free); ln > 0 {
+		idx = t.free[ln-1]
+		t.free = t.free[:ln-1]
+		t.entries[idx] = e
+	} else {
+		idx = int32(len(t.entries))
+		t.entries = append(t.entries, e)
+	}
+	t.slots[t.findSlot(e.key)] = idx + 1
+}
+
+func (t *flowletTable) len() int { return len(t.entries) - len(t.free) }
+
+// evictStale deletes every entry whose last packet is older than timeout.
+// Live entries are reinserted into a cleared slot array — simpler than
+// per-slot backshift deletion, and eviction only runs when the table
+// fills.
+func (t *flowletTable) evictStale(now, timeout time.Duration) {
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	t.free = t.free[:0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if now-e.lastSeen >= timeout {
+			e.key = packet.FlowKey{}
+			t.free = append(t.free, int32(i))
+			continue
+		}
+		t.slots[t.findSlot(e.key)] = int32(i) + 1
+	}
 }
 
 // NewReroute builds the rerouting booster for one switch.
 func NewReroute(self topo.NodeID, g *topo.Graph, dstSwitch map[packet.Addr]topo.NodeID,
 	linkUtil func(topo.LinkID) float64, seenProbe func(packet.DedupKey) bool, cfg RerouteConfig) *Reroute {
 	cfg.fillDefaults()
-	return &Reroute{
+	r := &Reroute{
 		cfg: cfg, self: self, g: g,
-		linkUtil: linkUtil, seenProbe: seenProbe, dstSwitch: dstSwitch,
+		linkUtil: linkUtil, seenProbe: seenProbe,
 		table:    make(map[topo.NodeID]map[topo.LinkID]rerouteEntry),
-		flowlets: make(map[packet.FlowKey]flowletEntry),
+		flowlets: newFlowletTable(cfg.FlowletCapacity),
 	}
+	//ffvet:ok each key writes its own dense slot, so order cannot matter
+	for a, sw := range dstSwitch {
+		if n := a.Node(); n >= 0 {
+			for n >= len(r.dstSwitch) {
+				r.dstSwitch = append(r.dstSwitch, -1)
+			}
+			r.dstSwitch[n] = sw
+		}
+	}
+	return r
 }
 
 // Name implements PPM.
@@ -161,8 +255,11 @@ func (r *Reroute) Process(ctx *dataplane.Context) dataplane.Verdict {
 	if p.Proto != packet.ProtoTCP && p.Proto != packet.ProtoUDP {
 		return dataplane.Continue
 	}
-	dsw, ok := r.dstSwitch[p.Dst]
-	if !ok || dsw == r.self {
+	dsw := topo.NodeID(-1)
+	if n := p.Dst.Node(); uint(n) < uint(len(r.dstSwitch)) {
+		dsw = r.dstSwitch[n]
+	}
+	if dsw < 0 || dsw == r.self {
 		return dataplane.Continue
 	}
 	// Pinning policy (Figure 2 step 2 vs 3): with mitigation mode active,
@@ -176,11 +273,10 @@ func (r *Reroute) Process(ctx *dataplane.Context) dataplane.Verdict {
 	// path changes never reorder a flow mid-burst.
 	key := p.Key()
 	if r.cfg.FlowletTimeout > 0 {
-		if fl, ok := r.flowlets[key]; ok &&
+		if fl := r.flowlets.lookup(key); fl != nil &&
 			ctx.Now-fl.lastSeen < r.cfg.FlowletTimeout &&
 			ctx.Now-fl.firstSeen < r.cfg.MaxFlowletAge {
 			fl.lastSeen = ctx.Now
-			r.flowlets[key] = fl
 			if fl.via != ctx.OutLink {
 				ctx.OutLink = fl.via
 				r.Rerouted++
@@ -221,18 +317,17 @@ func (r *Reroute) recordFlowlet(key packet.FlowKey, via topo.LinkID, now time.Du
 	if r.cfg.FlowletTimeout <= 0 || via < 0 {
 		return
 	}
-	if len(r.flowlets) >= r.cfg.FlowletCapacity {
-		//ffvet:ok evicting every stale entry is order-independent
-		for k, fl := range r.flowlets {
-			if now-fl.lastSeen >= r.cfg.FlowletTimeout {
-				delete(r.flowlets, k)
-			}
-		}
-		if len(r.flowlets) >= r.cfg.FlowletCapacity {
+	if fl := r.flowlets.lookup(key); fl != nil {
+		fl.via, fl.firstSeen, fl.lastSeen = via, now, now
+		return
+	}
+	if r.flowlets.len() >= r.cfg.FlowletCapacity {
+		r.flowlets.evictStale(now, r.cfg.FlowletTimeout)
+		if r.flowlets.len() >= r.cfg.FlowletCapacity {
 			return // table genuinely full of live flowlets; skip recording
 		}
 	}
-	r.flowlets[key] = flowletEntry{via: via, firstSeen: now, lastSeen: now}
+	r.flowlets.insert(flowletEntry{key: key, via: via, firstSeen: now, lastSeen: now})
 }
 
 // handleProbe folds a received utilization probe into the table and

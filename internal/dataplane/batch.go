@@ -1,0 +1,97 @@
+package dataplane
+
+import (
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// Batched pipeline execution.
+//
+// When the simulator pops a run of delivery events that all fire at the
+// same virtual instant, it collects the packets into a Batch and runs the
+// compiled pipeline over the whole run with one context and one per-run
+// switch entry, instead of paying the full event-loop round trip per
+// packet.
+//
+// The batch executes packet-major: packet k completes every stage — and
+// its emission dispatch and forwarding epilogue, via the caller's done
+// callback — before packet k+1 starts. Stage-major execution (all packets
+// through stage 1, then all through stage 2) would amortize more per
+// stage, but it is not byte-identical: stages mutate shared switch state
+// (sketches, dedup tables, mode sets), so packet k+1's stage-1 writes
+// would land before packet k's stage-2 reads, an interleaving the serial
+// engine never produces. Byte identity only permits fusing work that was
+// already adjacent in (At, seq) order, and within that order each packet's
+// stages are contiguous — so packet-major is the most that may be fused,
+// and the amortization is confined to the per-packet entry overhead.
+
+// Batch is a struct-of-arrays view of a run of packets that arrived at
+// the same virtual instant: index k holds packet k and its ingress link.
+// The driving simulator appends entries in event pop order and processes
+// contiguous same-switch spans through ProcessBatch.
+type Batch struct {
+	Pkts []*packet.Packet
+	In   []topo.LinkID
+}
+
+// Add appends one arrival to the batch.
+func (b *Batch) Add(p *packet.Packet, in topo.LinkID) {
+	b.Pkts = append(b.Pkts, p)
+	b.In = append(b.In, in)
+}
+
+// Len returns the number of collected arrivals.
+func (b *Batch) Len() int { return len(b.Pkts) }
+
+// Reset empties the batch, keeping the backing arrays so a pooled batch
+// stops allocating once it has grown to the burst high-water mark.
+func (b *Batch) Reset() {
+	for i := range b.Pkts {
+		b.Pkts[i] = nil
+	}
+	b.Pkts = b.Pkts[:0]
+	b.In = b.In[:0]
+}
+
+// Down is the batch verdict for a packet that reached a switch mid-
+// repurpose: the pipeline never ran (no Processed count, no emissions) and
+// the simulator accounts the packet as dropped-at-down-switch. It is only
+// produced by ProcessBatch; Process callers check Reconfiguring first.
+const Down Verdict = 0xff
+
+// ProcessBatch runs batch entries [lo, hi) through the compiled pipeline,
+// packet-major (see the package comment above for why not stage-major).
+// For each packet it plays exactly the serial entry sequence — the
+// reconfiguring gate, the mode-set read, the step loop — and then invokes
+// done(k, verdict), which must dispatch ctx.Emissions(), clear them, and
+// apply the forwarding epilogue before the next packet runs. The caller
+// seeds ctx with the per-run invariants (Now, Switch, RNG); per-packet
+// fields are written here. Mode reads stay inside the loop because a
+// fused control packet can swap the mode set mid-batch.
+//
+//ffvet:hotpath
+func (s *Switch) ProcessBatch(ctx *Context, b *Batch, lo, hi int, done func(k int, v Verdict)) {
+	for k := lo; k < hi; k++ {
+		if s.Reconfiguring {
+			done(k, Down)
+			continue
+		}
+		s.Processed++
+		ctx.Pkt = b.Pkts[k]
+		ctx.InLink = b.In[k]
+		ctx.Modes = s.modes
+		ctx.OutLink = -1
+		v := Continue
+		for _, step := range s.active {
+			sv := step.run(ctx)
+			if sv != Continue {
+				if sv == Drop {
+					s.Dropped++
+				}
+				v = sv
+				break
+			}
+		}
+		done(k, v)
+	}
+}

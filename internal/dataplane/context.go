@@ -63,6 +63,15 @@ func (c *Context) Emit(p *packet.Packet, via topo.LinkID) {
 // Emissions returns the packets emitted during this pipeline pass.
 func (c *Context) Emissions() []Emission { return c.emissions }
 
+// ClearEmissions drops already-dispatched emissions so one pooled context
+// can carry every packet of a batch without a full per-packet Reset.
+func (c *Context) ClearEmissions() {
+	for i := range c.emissions {
+		c.emissions[i] = Emission{}
+	}
+	c.emissions = c.emissions[:0]
+}
+
 // Reset clears the context for reuse, keeping the emissions backing array
 // so pooled contexts (netsim recycles one per pipeline pass) stop
 // allocating once the array has grown to the pipeline's emission high-water

@@ -16,12 +16,22 @@ import (
 // inside its own callback is safe; cancelling a stale handle after the
 // event fired is not.
 type Event struct {
-	At   time.Duration // virtual time at which the event fires
-	Fn   func()        // callback; runs with the clock set to At
-	seq  uint64        // tie-breaker: insertion order for equal At
-	next *Event        // intrusive link in the calendar bucket's sorted list
-	idx  int           // bucket index, farIdx in the far tier, -1 otherwise
-	dead bool          // set by Cancel
+	At time.Duration // virtual time at which the event fires
+	Fn func()        // callback; runs with the clock set to At
+
+	// Class and Key tag an event for batch fusion (see PopAdjacent): a
+	// model that schedules many events of one kind may mark them with a
+	// non-zero class byte and an identifying key, letting the callback of
+	// one event drain the run of same-time, same-class events that would
+	// fire immediately after it. Both are cleared when the event is
+	// recycled; events left untagged (Class 0) are never fused.
+	Class uint8
+	Key   int32
+
+	seq  uint64 // tie-breaker: insertion order for equal At
+	next *Event // intrusive link in the calendar bucket's sorted list
+	idx  int    // bucket index, farIdx in the far tier, -1 otherwise
+	dead bool   // set by Cancel
 }
 
 // Cancelled reports whether the event was cancelled before firing.
@@ -108,7 +118,13 @@ type Engine struct {
 	// occ mirrors bucket occupancy one bit per bucket, so the cursor
 	// crosses idle stretches by word scan instead of probing every empty
 	// bucket in between.
-	buckets   [numBuckets]*Event
+	buckets [numBuckets]*Event
+	// tails[b] is the last event of bucket b's sorted list (nil when the
+	// bucket is empty). Simulated traffic is overwhelmingly scheduled in
+	// near-FIFO order, so most insertions land at or after the current
+	// tail; the tail pointer turns that common case into an O(1) append
+	// instead of a full list walk.
+	tails     [numBuckets]*Event
 	occ       [numBuckets / 64]uint64
 	nearCount int
 	cur       int
@@ -172,11 +188,25 @@ func (e *Engine) insertNear(ev *Event) {
 		e.curEnd = (ev.At &^ (bucketWidth - 1)) + bucketWidth
 	}
 	h := e.buckets[b]
-	if h == nil || evLess(ev, h) {
+	switch {
+	case h == nil:
+		ev.next = nil
+		e.buckets[b] = ev
+		e.tails[b] = ev
+		e.occ[b>>6] |= 1 << uint(b&63)
+	case !evLess(ev, e.tails[b]):
+		// At or after the tail — (At, seq) keys are unique, so this means
+		// strictly after: append. This is the near-universal case for
+		// packet traffic, which is scheduled in close to FIFO order.
+		ev.next = nil
+		e.tails[b].next = ev
+		e.tails[b] = ev
+	case evLess(ev, h):
 		ev.next = h
 		e.buckets[b] = ev
-		e.occ[b>>6] |= 1 << uint(b&63)
-	} else {
+	default:
+		// Interior insert: ev sorts strictly before the tail, so the walk
+		// always terminates at a non-nil successor and the tail stands.
 		p := h
 		for p.next != nil && evLess(p.next, ev) {
 			p = p.next
@@ -261,6 +291,7 @@ func (e *Engine) popMin() *Event {
 	ev := e.peekMin()
 	if e.buckets[e.cur] = ev.next; ev.next == nil {
 		e.occ[e.cur>>6] &^= 1 << uint(e.cur&63)
+		e.tails[e.cur] = nil
 	}
 	ev.next = nil
 	ev.idx = -1
@@ -274,12 +305,15 @@ func (e *Engine) removeNear(ev *Event) {
 	if p := e.buckets[b]; p == ev {
 		if e.buckets[b] = ev.next; ev.next == nil {
 			e.occ[b>>6] &^= 1 << uint(b&63)
+			e.tails[b] = nil
 		}
 	} else {
 		for p.next != ev {
 			p = p.next
 		}
-		p.next = ev.next
+		if p.next = ev.next; ev.next == nil {
+			e.tails[b] = p
+		}
 	}
 	ev.next = nil
 	ev.idx = -1
@@ -338,11 +372,14 @@ func (e *Engine) compactFar() {
 	e.far = keep
 }
 
-// alloc returns a reset Event, reusing a fired one when possible.
+// alloc returns a reset Event, reusing a fired one when possible. The
+// popped slot is not nil'ed: recycled events are immortal anyway (the
+// free list never shrinks), so the stale pointer beyond len pins nothing
+// that would otherwise be collected, and skipping the store drops a write
+// barrier from every Schedule.
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
-		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 		return ev
 	}
@@ -350,25 +387,28 @@ func (e *Engine) alloc() *Event {
 }
 
 // release recycles a cleanly fired event (see the free-list comment).
+// Every caller pops the event first, which already leaves next=nil,
+// idx=-1, and (checked) dead=false, so only the fusion tags need
+// clearing here. Fn is deliberately left set — it is overwritten by the
+// next alloc+Schedule, and nil'ing it would cost a write-barriered store
+// per event; the price is that a free-listed event keeps its last
+// callback alive until reuse, which is bounded by the free list size.
 func (e *Engine) release(ev *Event) {
-	ev.Fn = nil
-	ev.next = nil
-	ev.dead = false
-	ev.idx = -1
+	ev.Class = 0
+	ev.Key = 0
 	e.free = append(e.free, ev)
 }
 
-// push files a filled-in event into the near ring or the far buffer.
-func (e *Engine) push(ev *Event) {
-	if ev.At < e.split {
-		e.insertNear(ev)
-	} else {
-		ev.idx = farIdx
-		e.far = append(e.far, farEntry{at: ev.At, ev: ev})
-		e.farLive++
-		if len(e.far) > 64 && len(e.far) > 4*e.farLive {
-			e.compactFar()
-		}
+// pushFar files a filled-in event into the far buffer. The Schedule
+// variants branch between this and insertNear directly (rather than
+// through a shared push helper) so the hot near-tier path stays one call
+// deep.
+func (e *Engine) pushFar(ev *Event) {
+	ev.idx = farIdx
+	e.far = append(e.far, farEntry{at: ev.At, ev: ev})
+	e.farLive++
+	if len(e.far) > 64 && len(e.far) > 4*e.farLive {
+		e.compactFar()
 	}
 }
 
@@ -386,7 +426,11 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	ev.Fn = fn
 	ev.seq = e.seq
 	e.seq++
-	e.push(ev)
+	if at < e.split {
+		e.insertNear(ev)
+	} else {
+		e.pushFar(ev)
+	}
 	return ev
 }
 
@@ -418,7 +462,11 @@ func (e *Engine) ScheduleRank(at time.Duration, rank uint64, fn func()) *Event {
 	ev.At = at
 	ev.Fn = fn
 	ev.seq = rank
-	e.push(ev)
+	if at < e.split {
+		e.insertNear(ev)
+	} else {
+		e.pushFar(ev)
+	}
 	return ev
 }
 
@@ -503,6 +551,13 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue is empty, until the virtual clock
 // would pass horizon, or until Stop is called. The clock finishes at
 // min(horizon, last event time). It returns the number of events executed.
+//
+// The loop is Step with the pop fused into the peek: peekMin leaves the
+// cursor parked on the head's bucket, so after the horizon check the head
+// is unlinked in place instead of paying a second peek per event. Pop
+// order is identical to repeated Step calls by construction.
+//
+//ffvet:hotpath
 func (e *Engine) Run(horizon time.Duration) uint64 {
 	start := e.fired
 	e.stopped = false
@@ -510,22 +565,93 @@ func (e *Engine) Run(horizon time.Duration) uint64 {
 		// Peek without popping so an over-horizon event stays queued.
 		// Migration and cursor movement only reposition events and the
 		// scan state, never fire anything, so peeking is side-effect
-		// free as far as the simulation is concerned.
-		if e.nearCount == 0 {
-			if e.farLive == 0 {
-				break
+		// free as far as the simulation is concerned. The cursor-bucket
+		// head check is peekMin's fast path, open-coded so the common
+		// event-behind-event case pays no call: a non-nil head inside the
+		// cursor window implies nearCount > 0 and is the global minimum.
+		ev := e.buckets[e.cur]
+		if ev == nil || ev.At >= e.curEnd {
+			if e.nearCount == 0 {
+				if e.farLive == 0 {
+					break
+				}
+				e.migrate()
 			}
-			e.migrate()
+			ev = e.peekMin()
 		}
-		if e.peekMin().At > horizon {
+		if ev.At > horizon {
 			break
 		}
-		e.Step()
+		if e.buckets[e.cur] = ev.next; ev.next == nil {
+			e.occ[e.cur>>6] &^= 1 << uint(e.cur&63)
+			e.tails[e.cur] = nil
+		}
+		ev.next = nil
+		ev.idx = -1
+		e.nearCount--
+		e.now = ev.At
+		e.fired++
+		ev.Fn()
+		if !ev.dead {
+			e.release(ev)
+		}
 	}
 	if e.now < horizon {
 		e.now = horizon
 	}
 	return e.fired - start
+}
+
+// PopAdjacent removes the next pending event if and only if it fires at
+// exactly the current virtual time and carries the given non-zero class
+// tag, returning its Key. The event's callback is NOT invoked: the caller
+// assumes responsibility for performing that event's work, in pop order,
+// before returning to the dispatch loop. This is the batching primitive —
+// the callback of one event drains the run of same-time, same-class
+// events behind it into a batch and processes them together.
+//
+// Fusion is order-preserving by construction: all pending events fire at
+// or after now, every event at exactly now lives in bucketOf(now) (bucket
+// membership is a pure function of the fire time, and far-tier events are
+// due strictly later than every near event), and that bucket's list is
+// sorted by (At, seq). So the event removed here is precisely the one the
+// dispatch loop would pop next. Work the caller performs while draining
+// can only schedule events with later keys (serial seq counters and
+// per-entity merge ranks grow monotonically), so it cannot change which
+// event is adjacent. Fused events count toward Fired exactly as if they
+// had dispatched individually.
+//
+// Events fused this way must not have retained handles: the Event is
+// recycled immediately, so a later Cancel through an old handle would hit
+// an unrelated event.
+//
+//ffvet:hotpath
+func (e *Engine) PopAdjacent(class uint8) (key int32, ok bool) {
+	if e.stopped || e.nearCount == 0 {
+		return 0, false
+	}
+	// PopAdjacent runs inside an event callback, where the dequeue cursor
+	// is parked on the fired event's bucket — which is bucketOf(now), since
+	// bucket membership is a pure function of the fire time. Callbacks
+	// cannot move the cursor (insertNear only pulls it back for events
+	// before the current window, and nothing at >= now qualifies), so the
+	// cursor bucket is the one holding any same-instant events.
+	b := e.cur
+	h := e.buckets[b]
+	if h == nil || h.At != e.now || h.Class != class {
+		return 0, false
+	}
+	if e.buckets[b] = h.next; h.next == nil {
+		e.occ[b>>6] &^= 1 << uint(b&63)
+		e.tails[b] = nil
+	}
+	h.next = nil
+	h.idx = -1
+	e.nearCount--
+	e.fired++
+	key = h.Key
+	e.release(h)
+	return key, true
 }
 
 // Ticker repeatedly invokes a callback on a fixed virtual-time period until

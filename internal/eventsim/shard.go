@@ -56,6 +56,15 @@ type ShardGroup struct {
 	// Lookahead is the conservative window width. Zero means unbounded
 	// windows (valid only when no cross-shard traffic can exist).
 	Lookahead time.Duration
+	// Bound, if set, replaces the static base+Lookahead computation with
+	// a caller-supplied conservative bound (e.g. one derived from which
+	// cross-shard links are actually active). It runs at the barrier, so
+	// it may read any shard's state. The returned bound must be > base
+	// whenever events are pending (progress) and must guarantee that no
+	// cross-engine hand-off emitted during the window lands at or before
+	// it (conservativeness); it is still capped by the horizon and the
+	// coordinator's next event.
+	Bound func(base, horizon time.Duration) time.Duration
 	// Exchange is called at every barrier, before the coordinator runs, to
 	// move cross-shard hand-offs into their destination engines.
 	Exchange func()
@@ -77,9 +86,13 @@ func (g *ShardGroup) Run(horizon time.Duration) {
 			break
 		}
 		tend := horizon
-		// base <= horizon - Lookahead also guards the addition against
-		// overflow for huge horizons.
-		if g.Lookahead > 0 && base <= horizon-g.Lookahead {
+		if g.Bound != nil {
+			if b := g.Bound(base, horizon); b < tend {
+				tend = b
+			}
+		} else if g.Lookahead > 0 && base <= horizon-g.Lookahead {
+			// base <= horizon - Lookahead also guards the addition
+			// against overflow for huge horizons.
 			tend = base + g.Lookahead
 		}
 		if at, ok := g.Coord.PeekAt(); ok && at < tend {

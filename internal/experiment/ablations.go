@@ -55,6 +55,7 @@ func AblationModeLatency() *Result {
 			}
 		})
 		n.Run(2 * time.Second)
+		res.Workload(n.EventsFired(), n.PacketsProcessed())
 		var worst time.Duration
 		for i := range activated {
 			if activated[i] == 0 {
@@ -183,6 +184,7 @@ func AblationRepurpose() *Result {
 				panic(err)
 			}
 			n.Run(time.Second + lat)
+			res.Workload(n.EventsFired(), n.PacketsProcessed())
 			during := n.Host(servers[0]).TotalRecvBytes() - before
 			offered := 5e6 / 8 * lat.Seconds()
 			tb.AddRow(fmt.Sprintf("%v", lat), fmt.Sprintf("%v", frr),
@@ -279,6 +281,7 @@ func ablationPinning(seed int64, short bool, shards int) *Result {
 		}
 		tb.AddRow(name, fmt.Sprintf("%.2f", r.AttackMean), fmt.Sprintf("%.2f", r.FractionDegraded))
 		res.Metric(metric, r.AttackMean)
+		res.Workload(r.Events, r.Packets)
 	}
 	res.Table = tb
 	res.Note("pinning keeps normal flows on their short TE paths; rerouting everything drags them onto longer detours shared with attack traffic")
@@ -331,6 +334,7 @@ func AblationStability(seed int64) *Result {
 		pulse := attack.NewPulsing(n, crossfireOnOff{base}, 3*time.Second, 1500*time.Millisecond)
 		n.Eng.Schedule(5*time.Second, pulse.Start)
 		fab.Run(60 * time.Second)
+		res.Workload(n.EventsFired(), n.PacketsProcessed())
 		var suppressed uint64
 		//ffvet:ok summing counters is order-independent
 		for _, c := range fab.Controllers {

@@ -19,6 +19,21 @@ type Result struct {
 	// across seeds into mean±stddev, ffbench emits them as JSON, and the
 	// shape checks gate CI on them.
 	Metrics map[string]float64
+
+	// Events and Packets are the run's deterministic workload counters:
+	// simulation events fired and switch pipeline passes, summed over
+	// every network the experiment drove (see Workload). ffbench divides
+	// them by wall time to report events/sec and packets/sec throughput.
+	Events  uint64
+	Packets uint64
+}
+
+// Workload accumulates the deterministic work counters of one simulated
+// network into the result. Experiments that build several networks (or
+// compose sub-results) call it once per network or per sub-result.
+func (r *Result) Workload(events, packets uint64) {
+	r.Events += events
+	r.Packets += packets
 }
 
 // Note appends a formatted observation to the result.

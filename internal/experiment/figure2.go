@@ -97,6 +97,7 @@ func Figure2Modes() *Result {
 			atk.Rolls))
 
 	res.Table = tb
+	res.Workload(n.EventsFired(), n.PacketsProcessed())
 	if detectAt > 0 {
 		res.Note("attack started at 10s; detection at %.2fs; mitigation modes at %.2fs — RTT-timescale response",
 			detectAt.Seconds(), mitigateAt.Seconds())

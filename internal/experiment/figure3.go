@@ -79,6 +79,12 @@ type Figure3Config struct {
 	// K >= 1 runs the windowed sharded engine over a K-way partition.
 	// Results are identical for every K >= 1 (see DESIGN.md).
 	Shards int
+	// DisableBatch turns off same-instant delivery batching and
+	// StaticLookahead pins the window bound to base+minCutDelay. Both are
+	// perf knobs whose results are byte-identical to the defaults; the
+	// golden tests run every combination to prove it.
+	DisableBatch    bool
+	StaticLookahead bool
 	// Prebuilt, when non-nil, skips the topology build and reuses an
 	// already-attached topology (see BuildFig3Topology). The builders are
 	// deterministic, so a run over a prebuilt topology is byte-identical
@@ -246,6 +252,8 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 	coreCfg.Net = netsim.DefaultConfig()
 	coreCfg.Net.Seed = cfg.Seed
 	coreCfg.Net.Shards = cfg.Shards
+	coreCfg.Net.DisableBatch = cfg.DisableBatch
+	coreCfg.Net.StaticLookahead = cfg.StaticLookahead
 	coreCfg.Reroute.RerouteAllOverride = cfg.RerouteAllOverride
 	fab, err := core.New(bt.G, coreCfg)
 	if err != nil {
@@ -310,6 +318,7 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 		Rolls:      atk.Rolls,
 	}
 	res.FractionDegraded = fractionBelowBetween(norm, 0.8, cfg.AttackStart+2*time.Second, cfg.AttackStop)
+	res.Workload(n.EventsFired(), n.PacketsProcessed())
 	res.Name = "Figure 3 (" + cfg.Defense.String() + ")"
 	res.Series = []*metrics.Series{norm}
 	res.Note("stable goodput %.1f Mbps, attack-window mean %.0f%% of stable, %.0f%% of samples degraded below 80%%, attacker rolls %d",
@@ -358,6 +367,7 @@ func Figure3Compare(base Figure3Config) *Result {
 		res.Metric("attack_mean_"+d.String(), r.AttackMean)
 		res.Metric("degraded_"+d.String(), r.FractionDegraded)
 		res.Metric("stable_mbps_"+d.String(), r.StableMean*8/1e6)
+		res.Workload(r.Events, r.Packets)
 	}
 	res.Table = tb
 	return res

@@ -106,6 +106,7 @@ func Figure1dScale() *Result {
 
 	n.Run(60 * time.Second)
 	sampler.Stop()
+	res.Workload(n.EventsFired(), n.PacketsProcessed())
 
 	stable := sampler.S.MeanBetween(4*time.Second, 10*time.Second)
 	norm := sampler.S.Normalize(stable)

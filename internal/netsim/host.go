@@ -16,9 +16,15 @@ type Host struct {
 	node topo.NodeID
 	addr packet.Addr
 
-	// Receive accounting, keyed by source address.
-	recvBytes   map[packet.Addr]uint64
-	recvPackets map[packet.Addr]uint64
+	// Receive accounting. Host and router addresses encode a dense node
+	// index, so the common path is a slice indexed by sender node; other
+	// address shapes fall back to the map. lastSrc/lastStat memo the most
+	// recent sender's entry: deliveries cluster by flow, so the common
+	// case skips even the slice lookup.
+	recv      []*hostStat
+	recvOther map[packet.Addr]*hostStat
+	lastSrc   packet.Addr
+	lastStat  *hostStat
 
 	// icmpHandlers receive every ICMP packet delivered to this host,
 	// keyed so transient listeners (traceroute) can deregister.
@@ -35,11 +41,48 @@ func newHost(n *Network, node topo.NodeID) *Host {
 		net:          n,
 		node:         node,
 		addr:         packet.HostAddr(int(node)),
-		recvBytes:    make(map[packet.Addr]uint64),
-		recvPackets:  make(map[packet.Addr]uint64),
+		recv:         make([]*hostStat, len(n.G.Nodes)),
 		ackHandlers:  make(map[uint16]func(*packet.Packet)),
 		icmpHandlers: make(map[int]func(*packet.Packet)),
 	}
+}
+
+// hostStat is one sender's receive counters.
+type hostStat struct {
+	bytes uint64
+	pkts  uint64
+}
+
+// account charges one delivered data packet to its sender's counters.
+func (h *Host) account(p *packet.Packet) {
+	st := h.lastStat
+	if st == nil || p.Src != h.lastSrc {
+		st = h.stat(p.Src)
+		h.lastSrc, h.lastStat = p.Src, st
+	}
+	st.bytes += uint64(p.PayloadLen)
+	st.pkts++
+}
+
+// stat returns (creating if needed) the counters for one sender address.
+func (h *Host) stat(src packet.Addr) *hostStat {
+	if n := src.Node(); uint(n) < uint(len(h.recv)) {
+		st := h.recv[n]
+		if st == nil {
+			st = &hostStat{}
+			h.recv[n] = st
+		}
+		return st
+	}
+	st := h.recvOther[src]
+	if st == nil {
+		st = &hostStat{}
+		if h.recvOther == nil {
+			h.recvOther = make(map[packet.Addr]*hostStat)
+		}
+		h.recvOther[src] = st
+	}
+	return st
 }
 
 // Addr returns the host's network address.
@@ -49,14 +92,30 @@ func (h *Host) Addr() packet.Addr { return h.addr }
 func (h *Host) Node() topo.NodeID { return h.node }
 
 // RecvBytes returns the total bytes received from src.
-func (h *Host) RecvBytes(src packet.Addr) uint64 { return h.recvBytes[src] }
+func (h *Host) RecvBytes(src packet.Addr) uint64 {
+	if n := src.Node(); uint(n) < uint(len(h.recv)) {
+		if st := h.recv[n]; st != nil {
+			return st.bytes
+		}
+		return 0
+	}
+	if st := h.recvOther[src]; st != nil {
+		return st.bytes
+	}
+	return 0
+}
 
 // TotalRecvBytes returns all application bytes received.
 func (h *Host) TotalRecvBytes() uint64 {
 	var t uint64
+	for _, st := range h.recv {
+		if st != nil {
+			t += st.bytes
+		}
+	}
 	//ffvet:ok summing byte counts is order-independent
-	for _, b := range h.recvBytes {
-		t += b
+	for _, st := range h.recvOther {
+		t += st.bytes
 	}
 	return t
 }
@@ -92,8 +151,7 @@ func (h *Host) receive(p *packet.Packet, in topo.LinkID) {
 			}
 			return
 		}
-		h.recvBytes[p.Src] += uint64(p.PayloadLen)
-		h.recvPackets[p.Src]++
+		h.account(p)
 		// Auto-ACK data so window-based senders can clock themselves.
 		// receive runs inside the host's shard, so allocate there.
 		ack := h.net.newPacketAt(h.node)
@@ -102,8 +160,7 @@ func (h *Host) receive(p *packet.Packet, in topo.LinkID) {
 		ack.Flags, ack.Seq = packet.FlagACK, p.Seq
 		h.net.SendFromHost(h.node, ack)
 	default:
-		h.recvBytes[p.Src] += uint64(p.PayloadLen)
-		h.recvPackets[p.Src]++
+		h.account(p)
 	}
 }
 

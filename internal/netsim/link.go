@@ -18,6 +18,11 @@ type pktRing struct {
 	buf  []*packet.Packet
 	head int
 	n    int
+	// min is a capacity floor applied on first growth. Queue rings set it
+	// to the worst-case packet count their byte cap admits, so a link that
+	// carries traffic allocates its full-size ring once and never grows
+	// again in steady state — while idle links never allocate at all.
+	min int
 }
 
 func (r *pktRing) len() int { return r.n }
@@ -43,6 +48,9 @@ func (r *pktRing) grow() {
 	if size == 0 {
 		size = 16
 	}
+	for size < r.min {
+		size *= 2
+	}
 	buf := make([]*packet.Packet, size)
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
@@ -55,7 +63,30 @@ func (r *pktRing) grow() {
 // transmitter with a finite tail-drop FIFO queue, plus utilization
 // accounting over rolling windows.
 type linkState struct {
-	net  *Network
+	// The fields enqueue and transmitNext touch per packet sit together at
+	// the top of the struct: the admission check, queue accounting, and
+	// the serialization-delay memo then share a cache line or two instead
+	// of faulting across the whole struct.
+	net *Network
+	// lossRate is an artificial random-loss probability (fault
+	// injection for FEC and fault-tolerance experiments); enqueue checks
+	// it on every packet.
+	lossRate    float64
+	queuedBytes int
+	busy        bool
+
+	// Serialization-delay memo: traffic is dominated by a handful of
+	// packet sizes, so the float division in transmitNext is cached per
+	// size. Same inputs give the same bits, so no timestamp can change.
+	lastSize int
+	lastTx   time.Duration
+
+	queue    pktRing // awaiting transmission
+	inflight pktRing // transmitted, propagating toward the far end
+
+	sentPkts  uint64
+	sentBytes uint64
+
 	link topo.Link
 
 	// sh is the shard owning the link (its From node's shard); every
@@ -73,23 +104,12 @@ type linkState struct {
 	// first SetLinkLoss; serial mode draws from the engine RNG).
 	rng *rand.Rand
 
-	queue       pktRing // awaiting transmission
-	inflight    pktRing // transmitted, propagating toward the far end
-	queuedBytes int
-	busy        bool
-
 	// Preallocated event callbacks, one pair per link, so per-packet
 	// scheduling closes over nothing.
 	txDone  func()
 	deliver func()
 
-	sentPkts  uint64
-	sentBytes uint64
-	drops     uint64
-
-	// lossRate is an artificial random-loss probability (fault
-	// injection for FEC and fault-tolerance experiments).
-	lossRate float64
+	drops uint64
 
 	windowBytes    uint64
 	lastWindowUtil float64
@@ -105,10 +125,18 @@ func newLinkState(n *Network, l topo.Link) *linkState {
 	ls.txDone = ls.transmitNext
 	// Arrivals are FIFO: transmissions serialize on the link and every
 	// packet adds the same propagation delay, so the earliest-scheduled
-	// delivery is always the head of the inflight ring.
+	// delivery is always the head of the inflight ring. deliverRun pops
+	// the head and then fuses any same-instant delivery events queued
+	// right behind this one (see network.go).
 	ls.deliver = func() {
-		ls.net.arrive(ls.link.ID, ls.inflight.pop())
+		ls.net.deliverRun(ls)
 	}
+	// The queue ring's byte cap admits at most QueueBytes/MinWireLen
+	// packets, so flooring the ring there means steady state never grows
+	// it (satellite: pre-size from the configured queue capacity). The
+	// inflight ring has no such static bound — it tracks rate×delay, not
+	// the queue cap — and keeps the default doubling.
+	ls.queue.min = n.Cfg.QueueBytes / packet.MinWireLen
 	return ls
 }
 
@@ -156,9 +184,13 @@ func (ls *linkState) transmitNext() {
 	pkt := ls.queue.pop()
 	size := pkt.Len()
 	ls.queuedBytes -= size
-	tx := time.Duration(float64(size*8) / ls.link.BitsPerSec * float64(time.Second))
-	if tx <= 0 {
-		tx = time.Nanosecond
+	tx := ls.lastTx
+	if size != ls.lastSize {
+		tx = time.Duration(float64(size*8) / ls.link.BitsPerSec * float64(time.Second))
+		if tx <= 0 {
+			tx = time.Nanosecond
+		}
+		ls.lastSize, ls.lastTx = size, tx
 	}
 	ls.sentPkts++
 	ls.sentBytes += uint64(size)
@@ -184,13 +216,15 @@ func (ls *linkState) transmitNext() {
 			})
 		} else {
 			ls.inflight.push(pkt)
-			ls.sh.eng.AfterRank(tx+prop, dlR, ls.deliver)
+			ev := ls.sh.eng.AfterRank(tx+prop, dlR, ls.deliver)
+			ev.Class, ev.Key = classDeliver, int32(ls.link.ID)
 		}
 		return
 	}
 	ls.inflight.push(pkt)
 	ls.net.Eng.After(tx, ls.txDone)
-	ls.net.Eng.After(tx+prop, ls.deliver)
+	ev := ls.net.Eng.After(tx+prop, ls.deliver)
+	ev.Class, ev.Key = classDeliver, int32(ls.link.ID)
 }
 
 // rollWindow closes the current utilization window.

@@ -216,10 +216,10 @@ func TestAIMDTrackingMapsBounded(t *testing.T) {
 	// of segments ever acknowledged. Now every map must stay within the
 	// flow's reordering window, far below the segment count.
 	const bound = 512
-	acked, sendTimes, inflight := src.ackedMapSizes()
-	if acked > bound || sendTimes > bound || inflight > bound {
-		t.Fatalf("tracking maps unbounded after %d segments: acked=%d sendTimes=%d inflight=%d (bound %d)",
-			segments, acked, sendTimes, inflight, bound)
+	acked, inflight := src.ackedMapSizes()
+	if acked > bound || inflight > bound {
+		t.Fatalf("tracking maps unbounded after %d segments: acked=%d inflight=%d (bound %d)",
+			segments, acked, inflight, bound)
 	}
 }
 

@@ -31,6 +31,19 @@ type Config struct {
 	// RNG draws come from per-entity streams instead of one shared
 	// engine RNG.
 	Shards int
+	// DisableBatch turns off same-instant delivery fusion, forcing one
+	// event-loop round trip per packet. Results are byte-identical either
+	// way (fusion only coalesces events already adjacent in pop order);
+	// the knob exists so tests can prove that and benchmarks can measure
+	// the difference. Batching also self-disables while a Tracer is
+	// attached, keeping the per-arrival hook exact.
+	DisableBatch bool
+	// StaticLookahead forces windowed runs back to the fixed
+	// min-cut-delay window width instead of the adaptive per-barrier
+	// bound computed from quiescent cut links. Results are byte-identical
+	// either way (windows are pure synchronization points); the knob
+	// exists for A/B measurement of barrier counts.
+	StaticLookahead bool
 }
 
 // DefaultConfig returns the standard simulation parameters.
@@ -106,8 +119,12 @@ type Network struct {
 func New(g *topo.Graph, cfg Config) *Network {
 	if cfg.QueueBytes == 0 {
 		shards := cfg.Shards
+		disableBatch := cfg.DisableBatch
+		staticLookahead := cfg.StaticLookahead
 		cfg = DefaultConfig()
 		cfg.Shards = shards
+		cfg.DisableBatch = disableBatch
+		cfg.StaticLookahead = staticLookahead
 	}
 	n := &Network{
 		Eng:      eventsim.New(cfg.Seed),
@@ -174,6 +191,7 @@ func (n *Network) setupShards(cfg Config) {
 			sh.eng = eventsim.New(cfg.Seed + int64(i) + 1)
 			sh.eng.RequireRank()
 		}
+		sh.batchDone = sh.makeBatchDone()
 		n.shards[i] = sh
 	}
 	n.nextOwnerKey = uint64(len(g.Nodes)) + uint64(len(g.Links))
@@ -213,6 +231,55 @@ func (n *Network) setupShards(cfg Config) {
 		Lookahead: lookahead,
 		Exchange:  n.exchange,
 	}
+	if !cfg.StaticLookahead && len(n.part.CutLinks) > 0 {
+		n.group.Bound = n.adaptiveBound
+	}
+}
+
+// adaptiveBound computes a per-window conservative bound from the actual
+// state of the cut links, instead of the static worst case base+minDelay.
+// It runs at barriers (all shard state is quiescent and safe to read).
+//
+// Per cut link, the earliest a NEW hand-off can reach the far end:
+//
+//   - busy or backlogged: the transmitter may start another packet at any
+//     event time t >= base, so arrivals land at t+tx+prop > base+prop
+//     (tx >= 1ns). Bound: base + prop.
+//   - quiescent (idle transmitter, empty queue): only an event executing
+//     in the source shard can enqueue traffic, and that shard's earliest
+//     pending event is at srcNext >= base, so arrivals land strictly after
+//     srcNext + prop. Bound: srcNext + prop. An empty source engine
+//     contributes no bound at all: nothing can run there this window, and
+//     hand-offs *into* it are capped by the links they cross.
+//
+// Every bound is >= base + prop >= base + minDelay, so the adaptive window
+// is never narrower than the static one, and > base, so the earliest event
+// always fires and the loop makes progress. Hand-offs already emitted in
+// earlier windows are ordinary pending events and show up in base itself.
+// The coordinator is capped separately by ShardGroup.Run, which also keeps
+// barrier-time traffic injection conservative. Windows are pure
+// synchronization points, so widening them never changes results — only
+// how many barriers a run pays for.
+func (n *Network) adaptiveBound(base, horizon time.Duration) time.Duration {
+	tend := horizon
+	for _, lid := range n.part.CutLinks {
+		ls := n.links[lid]
+		prop := time.Duration(ls.link.DelayNS)
+		var bound time.Duration
+		if ls.busy || ls.queue.len() > 0 {
+			bound = base + prop
+		} else {
+			srcNext, ok := ls.sh.eng.PeekAt()
+			if !ok {
+				continue
+			}
+			bound = srcNext + prop
+		}
+		if bound < tend {
+			tend = bound
+		}
+	}
+	return tend
 }
 
 // NewPacket returns a zeroed packet from the network's pool. Callers run
@@ -327,6 +394,33 @@ func (n *Network) DropsLoss() uint64 {
 	return t
 }
 
+// EventsFired returns the total simulation events executed across the
+// coordinator and every shard engine. Fused deliveries count one event
+// apiece (PopAdjacent increments the popping engine's counter), so the
+// total is identical batched or unbatched — it measures workload, and
+// dividing it by wall time gives the engine's events/sec throughput.
+func (n *Network) EventsFired() uint64 {
+	t := n.Eng.Fired()
+	if n.windowed {
+		for _, sh := range n.shards {
+			t += sh.eng.Fired()
+		}
+	}
+	return t
+}
+
+// PacketsProcessed returns the total switch pipeline passes (every packet
+// entering a switch pipeline counts once, at every switch it traverses).
+func (n *Network) PacketsProcessed() uint64 {
+	var t uint64
+	for _, sw := range n.switches {
+		if sw != nil {
+			t += sw.Processed
+		}
+	}
+	return t
+}
+
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.Eng.Now() }
 
@@ -382,6 +476,104 @@ func (n *Network) SendFromHost(h topo.NodeID, pkt *packet.Packet) {
 		panic(fmt.Sprintf("netsim: host %d has no access link", h))
 	}
 	n.Enqueue(out[0], pkt)
+}
+
+// classDeliver tags link-delivery events for batch fusion: when a run of
+// them is adjacent at the head of an engine (same instant, consecutive
+// ranks), deliverRun pops the whole run and processes the packets as one
+// batch. Only local (same-shard) deliveries are tagged; cross-shard
+// arrivals travel as pooled arrivalEvents that carry their packet
+// explicitly and are left unfused.
+const classDeliver = 1
+
+// deliverRun fires when the head-of-line packet of ls reaches the far end.
+// It pops that packet and then fuses every delivery event queued at the
+// same instant directly behind it in the engine (they would be popped next
+// anyway, in exactly this order), amortizing the event-loop round trip and
+// the per-switch pipeline entry over the run. With batching disabled — by
+// config, or implicitly by an attached Tracer — or when no same-instant
+// delivery is pending, it reduces to the plain one-packet arrival.
+//
+//ffvet:hotpath
+func (n *Network) deliverRun(ls *linkState) {
+	if n.Cfg.DisableBatch || n.Tracer != nil {
+		n.arrive(ls.link.ID, ls.inflight.pop())
+		return
+	}
+	sh := n.shards[ls.dstShard]
+	key, ok := sh.eng.PopAdjacent(classDeliver)
+	if !ok {
+		n.arrive(ls.link.ID, ls.inflight.pop())
+		return
+	}
+	b := &sh.batch
+	b.Add(ls.inflight.pop(), ls.link.ID)
+	for {
+		ls2 := n.links[key]
+		b.Add(ls2.inflight.pop(), ls2.link.ID)
+		key, ok = sh.eng.PopAdjacent(classDeliver)
+		if !ok {
+			break
+		}
+	}
+	n.drainBatch(sh)
+	b.Reset()
+}
+
+// drainBatch plays a fused run of arrivals in pop order: hosts receive
+// singly, and maximal spans of consecutive packets bound for the same
+// switch run through the batched pipeline entry. Per-packet side effects
+// (counters, emissions, forwarding) happen in exactly the order the serial
+// event loop would produce, so fusion is invisible to every observer.
+//
+//ffvet:hotpath
+func (n *Network) drainBatch(sh *shardState) {
+	pkts, ins := sh.batch.Pkts, sh.batch.In
+	for i := 0; i < len(pkts); {
+		in := ins[i]
+		to := n.G.Links[in].To
+		if host := n.hosts[to]; host != nil {
+			pkt := pkts[i]
+			sh.delivered++
+			host.receive(pkt, in)
+			if host.sink == nil {
+				sh.freePacket(pkt)
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(pkts) && n.G.Links[ins[j]].To == to {
+			j++
+		}
+		n.processSwitchRun(sh, to, i, j)
+		i = j
+	}
+}
+
+// processSwitchRun pushes batch entries [lo, hi) — all arrivals at switch
+// id — through the pipeline with one context setup for the whole span.
+// The per-packet epilogue runs via sh.batchDone before the next packet
+// starts, which is what keeps the fused run byte-identical to hi-lo
+// separate arrivals.
+func (n *Network) processSwitchRun(sh *shardState, id topo.NodeID, lo, hi int) {
+	sw := n.switches[id]
+	if sw == nil {
+		panic(fmt.Sprintf("netsim: node %d is not a switch", id))
+	}
+	ctx := sh.getCtx()
+	ctx.Now = sh.eng.Now()
+	ctx.Switch = id
+	if n.windowed {
+		ctx.RNG = n.swRNG[id]
+	} else {
+		ctx.RNG = n.Eng.RNG()
+	}
+	sh.batchCtx = ctx
+	sh.batchSwitch = id
+	sw.ProcessBatch(ctx, &sh.batch, lo, hi, sh.batchDone)
+	sh.batchCtx = nil
+	sh.putCtx(ctx)
 }
 
 // arrive handles a packet reaching the far end of a link. It executes in

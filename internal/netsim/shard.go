@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,15 @@ type shardState struct {
 	hopFree []*hopEvent
 	arrFree []*arrivalEvent
 
+	// Batched-delivery scratch state. batch collects a fused run of
+	// same-instant arrivals (deliverRun); batchCtx/batchSwitch expose the
+	// span's pipeline context to batchDone, the preallocated per-packet
+	// epilogue closure ProcessBatch invokes between packets.
+	batch       dataplane.Batch
+	batchCtx    *dataplane.Context
+	batchSwitch topo.NodeID
+	batchDone   func(k int, v dataplane.Verdict)
+
 	// out[d] carries hand-offs to shard d; nil on the diagonal and in
 	// serial mode.
 	out []*handoffRing
@@ -47,6 +57,53 @@ func (sh *shardState) after(d time.Duration, o *eventsim.RankOwner, fn func()) *
 		return sh.eng.AfterRank(d, o.Next(), fn)
 	}
 	return sh.eng.After(d, fn)
+}
+
+// makeBatchDone builds the shard's per-packet batch epilogue: the exact
+// tail of processAtSwitch (emission dispatch, verdict accounting, the
+// switch-latency hop), applied to batch entry k. ProcessBatch calls it
+// after each packet's pipeline pass and before the next packet's, so side
+// effects land in serial order.
+func (sh *shardState) makeBatchDone() func(int, dataplane.Verdict) {
+	n := sh.n
+	return func(k int, v dataplane.Verdict) {
+		pkt := sh.batch.Pkts[k]
+		if v == dataplane.Down {
+			sh.dropsDown++
+			sh.freePacket(pkt)
+			return
+		}
+		ctx := sh.batchCtx
+		id := sh.batchSwitch
+		if ems := ctx.Emissions(); len(ems) > 0 {
+			in := sh.batch.In[k]
+			//ffvet:hotpath
+			for _, em := range ems {
+				n.dispatchEmission(id, em, in, 0)
+			}
+			ctx.ClearEmissions()
+		}
+		out := ctx.OutLink
+		switch v {
+		case dataplane.Drop:
+			sh.dropsPipeline++
+			sh.freePacket(pkt)
+			return
+		case dataplane.Consume:
+			sh.freePacket(pkt)
+			return
+		}
+		if out < 0 {
+			sh.dropsNoRoute++
+			sh.freePacket(pkt)
+			return
+		}
+		if n.G.Links[out].From != id {
+			panic(fmt.Sprintf("netsim: switch %d chose egress link %d owned by node %d",
+				id, out, n.G.Links[out].From))
+		}
+		n.scheduleHop(sh, id, out, pkt)
+	}
 }
 
 // freePacket recycles a packet into this shard's pool (recycling is off

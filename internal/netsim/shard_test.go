@@ -18,12 +18,22 @@ type shardFingerprint struct {
 	linkSentPkts                                    []uint64
 	linkDrops                                       []uint64
 	now                                             time.Duration
+	// windows counts barrier rounds. It is engine telemetry, not a
+	// simulation result: adaptive lookahead legitimately changes it, so
+	// equality checks that span lookahead modes must skip it.
+	windows uint64
 }
 
 // runSharded builds the multi-region topology with mixed CBR/AIMD traffic
 // plus injected loss, runs it for two virtual seconds under the given
 // shard count, and fingerprints the result.
 func runSharded(t *testing.T, shards int) shardFingerprint {
+	return runShardedCfg(t, shards, nil)
+}
+
+// runShardedCfg is runSharded with a config hook, so tests can toggle
+// batching and lookahead knobs over the identical scenario.
+func runShardedCfg(t *testing.T, shards int, mutate func(*Config)) shardFingerprint {
 	t.Helper()
 	m := topo.NewMultiRegion(3, 5)
 	users := m.AttachUsers(6)
@@ -34,6 +44,9 @@ func runSharded(t *testing.T, shards int) shardFingerprint {
 	cfg := DefaultConfig()
 	cfg.Seed = 11
 	cfg.Shards = shards
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	n := New(g, cfg)
 	installShortestPathRoutes(n)
 
@@ -75,6 +88,7 @@ func runSharded(t *testing.T, shards int) shardFingerprint {
 		down:      n.DropsDown(),
 		loss:      n.DropsLoss(),
 		now:       n.Now(),
+		windows:   n.Windows(),
 	}
 	for _, s := range aimds {
 		fp.ackedBytes = append(fp.ackedBytes, s.AckedBytes())

@@ -32,6 +32,9 @@ type CBRSource struct {
 	seq     uint32
 	sent    uint64
 	pending *eventsim.Event
+	// arming is the timer callback, allocated once so the per-packet
+	// reschedule closes over nothing.
+	arming func()
 }
 
 // NewCBRSource creates a stopped CBR source; call Start to begin sending.
@@ -41,11 +44,19 @@ func NewCBRSource(n *Network, host topo.NodeID, dst packet.Addr, sport, dport ui
 	if n.Host(host) == nil {
 		panic("netsim: CBR source host is not a host node")
 	}
-	return &CBRSource{
+	s := &CBRSource{
 		net: n, host: host, dst: dst, sport: sport, dport: dport,
 		proto: proto, payload: payload, rateBps: rateBps,
 		sh: n.shardAt(host), rank: n.newRankOwner(),
 	}
+	s.arming = func() {
+		if !s.running {
+			return
+		}
+		s.emit()
+		s.scheduleNext(false)
+	}
+	return s
 }
 
 // Start begins (or resumes) transmission.
@@ -92,13 +103,7 @@ func (s *CBRSource) scheduleNext(first bool) {
 		// coordinator RNG keeps the draw partition-invariant.
 		iv = time.Duration(s.net.Eng.RNG().Int63n(int64(iv) + 1))
 	}
-	s.pending = s.sh.after(iv, &s.rank, func() {
-		if !s.running {
-			return
-		}
-		s.emit()
-		s.scheduleNext(false)
-	})
+	s.pending = s.sh.after(iv, &s.rank, s.arming)
 }
 
 func (s *CBRSource) emit() {
@@ -140,7 +145,11 @@ type AIMDSource struct {
 	cwnd     float64
 	ssthresh float64
 	nextSeq  uint32
-	inflight map[uint32]*eventsim.Event
+	inflight map[uint32]*rtoTimer
+	// rtoFree recycles rtoTimers, so steady-state transmission allocates
+	// neither a closure nor a map entry per packet (the timer carries the
+	// send timestamp that a separate sendTimes map used to hold).
+	rtoFree []*rtoTimer
 	// Acked-segment tracking is a cumulative floor plus a sparse set above
 	// it: every seq < ackedFloor is acknowledged, and acked holds only the
 	// out-of-order segments at or above the floor. Entries are folded into
@@ -149,7 +158,6 @@ type AIMDSource struct {
 	// of the flow.
 	ackedFloor uint32
 	acked      map[uint32]bool
-	sendTimes  map[uint32]time.Duration
 
 	// maxRateBps, when > 0, caps the window like an application-limited
 	// sender (a video stream or web session): the flow never offers more
@@ -174,9 +182,8 @@ func NewAIMDSource(n *Network, host topo.NodeID, dst packet.Addr, sport, dport u
 		net: n, host: host, dst: dst, sport: sport, dport: dport, payload: payload,
 		sh: n.shardAt(host), rank: n.newRankOwner(),
 		cwnd: 2, ssthresh: 64,
-		inflight:  make(map[uint32]*eventsim.Event),
-		acked:     make(map[uint32]bool),
-		sendTimes: make(map[uint32]time.Duration),
+		inflight: make(map[uint32]*rtoTimer),
+		acked:    make(map[uint32]bool),
 	}
 	n.Host(host).ackHandlers[sport] = s.onAck
 	return s
@@ -195,9 +202,10 @@ func (s *AIMDSource) Start() {
 func (s *AIMDSource) Stop() {
 	s.running = false
 	//ffvet:ok cancelling every pending timer is order-independent
-	for seq, ev := range s.inflight {
-		s.sh.eng.Cancel(ev)
+	for seq, t := range s.inflight {
+		s.sh.eng.Cancel(t.ev)
 		delete(s.inflight, seq)
+		s.rtoFree = append(s.rtoFree, t)
 	}
 }
 
@@ -261,29 +269,54 @@ func (s *AIMDSource) transmit(seq uint32) {
 	p.Proto, p.SrcPort, p.DstPort = packet.ProtoTCP, s.sport, s.dport
 	p.Flags, p.Seq, p.PayloadLen = flags, seq, s.payload
 	s.sentPackets++
-	if old, ok := s.inflight[seq]; ok {
-		s.sh.eng.Cancel(old)
+	t, ok := s.inflight[seq]
+	if ok {
+		s.sh.eng.Cancel(t.ev)
+	} else {
+		t = s.getTimer()
+		t.seq = seq
+		s.inflight[seq] = t
 	}
-	s.inflight[seq] = s.sh.after(s.rto(), &s.rank, func() { s.onTimeout(seq) })
-	s.sendTimes[seq] = s.sh.eng.Now()
+	t.ev = s.sh.after(s.rto(), &s.rank, t.fire)
+	t.sendTime = s.sh.eng.Now()
 	s.net.SendFromHost(s.host, p)
+}
+
+// rtoTimer is a pooled per-segment retransmission timer. fire is allocated
+// once per pool entry, so arming a timer schedules no closure; sendTime
+// doubles as the RTT-sample timestamp for the segment.
+type rtoTimer struct {
+	src      *AIMDSource
+	seq      uint32
+	ev       *eventsim.Event
+	sendTime time.Duration
+	fire     func()
+}
+
+func (s *AIMDSource) getTimer() *rtoTimer {
+	if ln := len(s.rtoFree); ln > 0 {
+		t := s.rtoFree[ln-1]
+		s.rtoFree[ln-1] = nil
+		s.rtoFree = s.rtoFree[:ln-1]
+		return t
+	}
+	t := &rtoTimer{src: s}
+	t.fire = func() { t.src.onTimeout(t) }
+	return t
 }
 
 func (s *AIMDSource) onAck(p *packet.Packet) {
 	seq := p.Seq
-	ev, ok := s.inflight[seq]
-	if ok {
-		s.sh.eng.Cancel(ev)
+	if t, ok := s.inflight[seq]; ok {
+		s.sh.eng.Cancel(t.ev)
 		delete(s.inflight, seq)
-	}
-	if at, ok := s.sendTimes[seq]; ok {
-		sample := s.sh.eng.Now() - at
+		sample := s.sh.eng.Now() - t.sendTime
 		if s.srtt == 0 {
 			s.srtt = sample
 		} else {
 			s.srtt = (7*s.srtt + sample) / 8
 		}
-		delete(s.sendTimes, seq)
+		s.rtoFree = append(s.rtoFree, t)
 	}
 	if !s.isAcked(seq) {
 		s.markAcked(seq)
@@ -298,12 +331,13 @@ func (s *AIMDSource) onAck(p *packet.Packet) {
 	s.pump()
 }
 
-func (s *AIMDSource) onTimeout(seq uint32) {
+func (s *AIMDSource) onTimeout(t *rtoTimer) {
 	if !s.running {
 		return
 	}
+	seq := t.seq
 	delete(s.inflight, seq)
-	delete(s.sendTimes, seq)
+	s.rtoFree = append(s.rtoFree, t)
 	s.timeouts++
 	s.ssthresh = s.cwnd / 2
 	if s.ssthresh < 2 {
@@ -334,6 +368,6 @@ func (s *AIMDSource) markAcked(seq uint32) {
 
 // ackedMapSizes reports the sparse tracking-map sizes (tests assert these
 // stay bounded in steady state).
-func (s *AIMDSource) ackedMapSizes() (acked, sendTimes, inflight int) {
-	return len(s.acked), len(s.sendTimes), len(s.inflight)
+func (s *AIMDSource) ackedMapSizes() (acked, inflight int) {
+	return len(s.acked), len(s.inflight)
 }

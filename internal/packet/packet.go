@@ -189,6 +189,11 @@ const (
 	maxStateLen   = 1 << 12
 )
 
+// MinWireLen is the smallest wire size Len can return (a bare network
+// header). The simulator uses it to bound worst-case queue occupancy: a
+// byte-capped FIFO can never hold more than cap/MinWireLen packets.
+const MinWireLen = baseHeaderLen
+
 // Len returns the packet's total wire size in bytes, the number used for
 // transmission-time and queue-occupancy accounting.
 func (p *Packet) Len() int {

@@ -40,9 +40,21 @@ func (s *FlowState) RateBps() float64 {
 
 // FlowTable is a fixed-capacity connection table with LRU eviction,
 // modeling the bounded per-flow state an ASIC stage can hold.
+//
+// The index is an open-addressed hash table over preallocated nodes
+// rather than a Go map: Observe runs once per packet inside detector
+// PPMs, and linear probing over a half-loaded power-of-two slot array
+// costs one predictable cache line in the common case where a runtime
+// map pays hashing plus bucket-group probing. Node storage never moves,
+// so *FlowState pointers handed out by Observe stay valid for the
+// table's lifetime.
 type FlowTable struct {
 	cap   int
-	flows map[packet.FlowKey]*flowNode
+	nodes []flowNode // fixed backing store, len == cap
+	free  []int32    // recycled node indices, LIFO
+	used  int
+	slots []int32 // open-addressed index: node index + 1, 0 = empty
+	mask  uint64
 	head  *flowNode // most recently used
 	tail  *flowNode // least recently used
 	evils uint64    // eviction counter, exported via Evictions
@@ -50,6 +62,7 @@ type FlowTable struct {
 
 type flowNode struct {
 	state      FlowState
+	idx        int32 // position in nodes, for the free list
 	prev, next *flowNode
 }
 
@@ -58,23 +71,77 @@ func NewFlowTable(capacity int) *FlowTable {
 	if capacity <= 0 {
 		panic("sketch: flow table capacity must be positive")
 	}
-	return &FlowTable{cap: capacity, flows: make(map[packet.FlowKey]*flowNode, capacity)}
+	// Slots stay at most half full so probe runs stay short.
+	slots := 8
+	for slots < 2*capacity {
+		slots *= 2
+	}
+	return &FlowTable{
+		cap:   capacity,
+		nodes: make([]flowNode, capacity),
+		slots: make([]int32, slots),
+		mask:  uint64(slots - 1),
+	}
+}
+
+// HashFlowKey mixes the five-tuple into a table index. Two overlapping
+// 8-byte loads cover the 13-byte key without a length-dispatched hash
+// loop; it is the index hash for the open-addressed flow structures here
+// and in the boosters. (packet.FlowKey.Hash stays the sketch-row hash —
+// changing that would move every sketch counter.)
+func HashFlowKey(k packet.FlowKey) uint64 {
+	a := uint64(k[0]) | uint64(k[1])<<8 | uint64(k[2])<<16 | uint64(k[3])<<24 |
+		uint64(k[4])<<32 | uint64(k[5])<<40 | uint64(k[6])<<48 | uint64(k[7])<<56
+	b := uint64(k[5]) | uint64(k[6])<<8 | uint64(k[7])<<16 | uint64(k[8])<<24 |
+		uint64(k[9])<<32 | uint64(k[10])<<40 | uint64(k[11])<<48 | uint64(k[12])<<56
+	h := a ^ b*0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// findSlot returns the slot holding k, or the empty slot where k would be
+// inserted.
+func (t *FlowTable) findSlot(k packet.FlowKey) uint64 {
+	i := HashFlowKey(k) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 || t.nodes[s-1].state.Key == k {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
 }
 
 // Observe updates (or inserts) the state for the packet's flow and returns
 // it. now is the virtual time of the observation.
 func (t *FlowTable) Observe(p *packet.Packet, now time.Duration) *FlowState {
 	k := p.Key()
-	n, ok := t.flows[k]
-	if !ok {
-		if len(t.flows) >= t.cap {
-			t.evict()
-		}
-		n = &flowNode{state: FlowState{Key: k, FirstSeen: now}}
-		t.flows[k] = n
-		t.pushFront(n)
-	} else {
+	i := t.findSlot(k)
+	var n *flowNode
+	if s := t.slots[i]; s != 0 {
+		n = &t.nodes[s-1]
 		t.moveFront(n)
+	} else {
+		if t.used >= t.cap {
+			t.evict()
+			// Eviction backshifts slots, so k's probe position may move.
+			i = t.findSlot(k)
+		}
+		var idx int32
+		if ln := len(t.free); ln > 0 {
+			idx = t.free[ln-1]
+			t.free = t.free[:ln-1]
+		} else {
+			idx = int32(t.used)
+		}
+		t.used++
+		n = &t.nodes[idx]
+		n.state = FlowState{Key: k, FirstSeen: now}
+		n.idx = idx
+		t.slots[i] = idx + 1
+		t.pushFront(n)
 	}
 	s := &n.state
 	s.LastSeen = now
@@ -96,14 +163,14 @@ func (t *FlowTable) Observe(p *packet.Packet, now time.Duration) *FlowState {
 
 // Lookup returns the state for a key without touching recency, or nil.
 func (t *FlowTable) Lookup(k packet.FlowKey) *FlowState {
-	if n, ok := t.flows[k]; ok {
-		return &n.state
+	if s := t.slots[t.findSlot(k)]; s != 0 {
+		return &t.nodes[s-1].state
 	}
 	return nil
 }
 
 // Len returns the number of tracked flows.
-func (t *FlowTable) Len() int { return len(t.flows) }
+func (t *FlowTable) Len() int { return t.used }
 
 // Evictions returns how many flows have been evicted for capacity.
 func (t *FlowTable) Evictions() uint64 { return t.evils }
@@ -120,15 +187,38 @@ func (t *FlowTable) Range(fn func(*FlowState) bool) {
 
 // Delete removes a flow from the table.
 func (t *FlowTable) Delete(k packet.FlowKey) {
-	if n, ok := t.flows[k]; ok {
-		t.unlink(n)
-		delete(t.flows, k)
+	i := t.findSlot(k)
+	if s := t.slots[i]; s != 0 {
+		t.remove(&t.nodes[s-1], i)
+	}
+}
+
+// remove drops a tracked node: list unlink, free-list return, and slot
+// erase with linear-probing backshift so later probe chains stay intact.
+func (t *FlowTable) remove(n *flowNode, i uint64) {
+	t.unlink(n)
+	t.free = append(t.free, n.idx)
+	t.used--
+	t.slots[i] = 0
+	for j := (i + 1) & t.mask; t.slots[j] != 0; j = (j + 1) & t.mask {
+		home := HashFlowKey(t.nodes[t.slots[j]-1].state.Key) & t.mask
+		// Shift the entry down iff its home slot does not sit strictly
+		// inside the (i, j] gap we just opened (cyclic comparison).
+		if (j-home)&t.mask >= (j-i)&t.mask {
+			t.slots[i] = t.slots[j]
+			t.slots[j] = 0
+			i = j
+		}
 	}
 }
 
 // Reset clears all flows.
 func (t *FlowTable) Reset() {
-	t.flows = make(map[packet.FlowKey]*flowNode, t.cap)
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	t.free = t.free[:0]
+	t.used = 0
 	t.head, t.tail = nil, nil
 }
 
@@ -141,8 +231,7 @@ func (t *FlowTable) evict() {
 	if t.tail == nil {
 		return
 	}
-	delete(t.flows, t.tail.state.Key)
-	t.unlink(t.tail)
+	t.remove(t.tail, t.findSlot(t.tail.state.Key))
 	t.evils++
 }
 

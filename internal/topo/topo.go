@@ -54,13 +54,24 @@ type Link struct {
 type Graph struct {
 	Nodes []Node
 	Links []Link
-	out   map[NodeID][]LinkID
-	in    map[NodeID][]LinkID
+	// Adjacency is dense, indexed by NodeID (IDs are allocated
+	// sequentially by AddNode): Out sits on the per-hop forwarding path,
+	// where a slice index beats a map probe.
+	out [][]LinkID
+	in  [][]LinkID
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{out: make(map[NodeID][]LinkID), in: make(map[NodeID][]LinkID)}
+	return &Graph{}
+}
+
+// ensureAdj grows the adjacency tables to cover node id.
+func (g *Graph) ensureAdj(id NodeID) {
+	for int(id) >= len(g.out) {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+	}
 }
 
 // AddNode appends a node of the given kind and returns its ID.
@@ -78,6 +89,11 @@ func (g *Graph) AddNode(kind NodeKind, name string) NodeID {
 func (g *Graph) AddLink(from, to NodeID, bps float64, delayNS int64) LinkID {
 	id := LinkID(len(g.Links))
 	g.Links = append(g.Links, Link{ID: id, From: from, To: to, BitsPerSec: bps, DelayNS: delayNS, Reverse: -1})
+	if from > to {
+		g.ensureAdj(from)
+	} else {
+		g.ensureAdj(to)
+	}
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
 	return id
@@ -94,14 +110,24 @@ func (g *Graph) AddDuplex(a, b NodeID, bps float64, delayNS int64) LinkID {
 }
 
 // Out returns the IDs of links leaving n.
-func (g *Graph) Out(n NodeID) []LinkID { return g.out[n] }
+func (g *Graph) Out(n NodeID) []LinkID {
+	if uint(n) < uint(len(g.out)) {
+		return g.out[n]
+	}
+	return nil
+}
 
 // In returns the IDs of links entering n.
-func (g *Graph) In(n NodeID) []LinkID { return g.in[n] }
+func (g *Graph) In(n NodeID) []LinkID {
+	if uint(n) < uint(len(g.in)) {
+		return g.in[n]
+	}
+	return nil
+}
 
 // LinkBetween returns the first link from a to b, or -1 if none exists.
 func (g *Graph) LinkBetween(a, b NodeID) LinkID {
-	for _, lid := range g.out[a] {
+	for _, lid := range g.Out(a) {
 		if g.Links[lid].To == b {
 			return lid
 		}
@@ -129,7 +155,7 @@ func (g *Graph) kind(k NodeKind) []NodeID {
 func (g *Graph) Neighbors(n NodeID) []NodeID {
 	seen := make(map[NodeID]bool)
 	var out []NodeID
-	for _, lid := range g.out[n] {
+	for _, lid := range g.Out(n) {
 		to := g.Links[lid].To
 		if !seen[to] {
 			seen[to] = true
@@ -153,7 +179,7 @@ func (g *Graph) HostEdgeSwitch(h NodeID) NodeID {
 	if int(h) >= len(g.Nodes) || g.Nodes[h].Kind != Host {
 		return -1
 	}
-	for _, lid := range g.out[h] {
+	for _, lid := range g.Out(h) {
 		to := g.Links[lid].To
 		if g.Nodes[to].Kind == Switch {
 			return to
@@ -237,7 +263,7 @@ func (g *Graph) ShortestPath(src, dst NodeID, banned map[LinkID]bool) (Path, boo
 		if best == dst {
 			break
 		}
-		for _, lid := range g.out[best] {
+		for _, lid := range g.Out(best) {
 			if banned[lid] {
 				continue
 			}
@@ -453,7 +479,7 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, lid := range g.out[n] {
+		for _, lid := range g.Out(n) {
 			to := g.Links[lid].To
 			if !seen[to] {
 				seen[to] = true
