@@ -72,7 +72,13 @@ type runReport struct {
 	Packets       uint64  `json:"packets,omitempty"`
 	EventsPerSec  float64 `json:"events_per_sec,omitempty"`
 	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
-	Error         string  `json:"error,omitempty"`
+	// ModeledHosts is the simulated population (packet hosts plus fluid
+	// flow weights) for hybrid-substrate experiments; zero otherwise.
+	// EventsPerModeledHost divides the deterministic event count by it —
+	// the amortized cost figure behind the planet-scale claim.
+	ModeledHosts         uint64  `json:"modeled_hosts,omitempty"`
+	EventsPerModeledHost float64 `json:"events_per_modeled_host,omitempty"`
+	Error                string  `json:"error,omitempty"`
 }
 
 type metricJSON struct {
@@ -216,7 +222,7 @@ func main() {
 func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
 	printed := false
 	for _, d := range defs {
-		var events, packets uint64
+		var events, packets, hosts uint64
 		var wall time.Duration
 		for _, rr := range results {
 			if rr.ID != d.ID || rr.Err != nil || rr.Result == nil {
@@ -224,6 +230,7 @@ func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
 			}
 			events += rr.Result.Events
 			packets += rr.Result.Packets
+			hosts += rr.Result.ModeledHosts
 			wall += rr.Wall
 		}
 		if events == 0 || wall <= 0 {
@@ -234,8 +241,12 @@ func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
 			printed = true
 		}
 		secs := wall.Seconds()
-		fmt.Printf("  %-10s %12d events %11d pkts   %8.2f Mev/s %8.2f Mpkt/s\n",
+		fmt.Printf("  %-10s %12d events %11d pkts   %8.2f Mev/s %8.2f Mpkt/s",
 			d.ID, events, packets, float64(events)/secs/1e6, float64(packets)/secs/1e6)
+		if hosts > 0 {
+			fmt.Printf("   %d modeled hosts, %.1f ev/host", hosts, float64(events)/float64(hosts))
+		}
+		fmt.Println()
 	}
 	if printed {
 		fmt.Println()
@@ -320,6 +331,10 @@ func writeReport(defs []experiment.Def, seeds []int64, workers int, short bool,
 				if secs := rr.Wall.Seconds(); secs > 0 {
 					run.EventsPerSec = float64(run.Events) / secs
 					run.PacketsPerSec = float64(run.Packets) / secs
+				}
+				if hosts := rr.Result.ModeledHosts; hosts > 0 {
+					run.ModeledHosts = hosts
+					run.EventsPerModeledHost = float64(run.Events) / float64(hosts)
 				}
 			}
 			if rr.Err != nil {

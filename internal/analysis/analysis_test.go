@@ -143,6 +143,34 @@ func TestDeterminismReachability(t *testing.T) {
 	checkFixture(t, "fastflex/internal/dataplane", "det_reach_ok.go", Determinism)
 }
 
+// TestDeterminismFluidReachability pins the fluid substrate's entry into
+// the proof: (*FluidFlow).SetRate is an entrypoint, so an unordered
+// floating-point reduction in a fluid recompute is flagged with the
+// SetRate -> recompute chain, and the dense index-ordered twin is silent.
+func TestDeterminismFluidReachability(t *testing.T) {
+	checkFixture(t, "fastflex/internal/netsim", "det_reach_fluid_bad.go", Determinism)
+	checkFixture(t, "fastflex/internal/netsim", "det_reach_fluid_ok.go", Determinism)
+	diags := runFixture(t, "fastflex/internal/netsim", "det_reach_fluid_bad.go", Determinism)
+	var chain []string
+	for _, d := range diags {
+		if strings.Contains(d.Message, "floating-point reduction") {
+			chain = d.Chain
+		}
+	}
+	want := []string{
+		"internal/netsim.(*FluidFlow).SetRate",
+		"internal/netsim.(*fluidLink).recompute",
+	}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+}
+
 // TestDeterminismReachabilityChain asserts the diagnostic carries the
 // shortest entrypoint-to-sink call chain.
 func TestDeterminismReachabilityChain(t *testing.T) {

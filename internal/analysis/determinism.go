@@ -120,6 +120,14 @@ func defaultDetConfig() detConfig {
 			"internal/netsim.(*Network).Run",
 			"internal/dataplane.(*Switch).Process",
 			"internal/core.(*Fabric).Run",
+			// The fluid substrate's mutation surface: rate changes enter the
+			// simulation outside the engine loop (setup code calls these
+			// before Run) and their recompute/propagation path must be as
+			// deterministic as the packet path — fluid state feeds shard
+			// handoffs and the byte ledger.
+			"internal/netsim.(*FluidFlow).Start",
+			"internal/netsim.(*FluidFlow).SetRate",
+			"internal/netsim.(*FluidFlow).Stop",
 		},
 		exempt: map[string]bool{
 			// The windowed shard runtime: worker lifecycle and the

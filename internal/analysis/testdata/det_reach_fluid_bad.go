@@ -1,0 +1,32 @@
+package netsim
+
+// Fluid-path reachability fixture: (*FluidFlow).SetRate is a determinism
+// entrypoint (rate changes mutate simulation state from setup code), so a
+// floating-point reduction over unordered map iteration two hops below it
+// must be flagged with the SetRate -> recompute chain. Real fluid links
+// store contributions in index-ordered dense slices precisely to avoid
+// this shape.
+
+type FluidFlow struct {
+	link *fluidLink
+	rate float64
+}
+
+type fluidLink struct {
+	contribs map[*FluidFlow]float64
+	in       float64
+}
+
+func (f *FluidFlow) SetRate(rate float64) {
+	f.rate = rate
+	f.link.contribs[f] = rate
+	f.link.recompute()
+}
+
+func (l *fluidLink) recompute() {
+	sum := 0.0
+	for _, r := range l.contribs { // want determinism "map iteration on a simulation path"
+		sum += r // want determinism "floating-point reduction over unordered map iteration"
+	}
+	l.in = sum
+}

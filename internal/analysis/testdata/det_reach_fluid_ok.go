@@ -1,0 +1,31 @@
+package netsim
+
+// Corrected twin of det_reach_fluid_bad.go: contributions live in a dense
+// slice and the aggregate is summed in index order, so the reduction is
+// bit-reproducible whatever the flow set's insertion history. Nothing here
+// may be flagged.
+
+type FluidFlow struct {
+	link *fluidLink
+	ci   int
+	rate float64
+}
+
+type fluidLink struct {
+	contribs []float64
+	in       float64
+}
+
+func (f *FluidFlow) SetRate(rate float64) {
+	f.rate = rate
+	f.link.contribs[f.ci] = rate
+	f.link.recompute()
+}
+
+func (l *fluidLink) recompute() {
+	sum := 0.0
+	for i := range l.contribs {
+		sum += l.contribs[i]
+	}
+	l.in = sum
+}

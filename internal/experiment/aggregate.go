@@ -105,6 +105,24 @@ func ShapeChecks(agg map[string]map[string]Agg) []string {
 		check(un <= 0.85,
 			"fig3: undefended run holds %.2f of stable throughput — the attack is not landing", un)
 	}
+	if m, ok := agg["fig3f"]; ok {
+		ff := m["attack_mean_fastflex"].Mean
+		un := m["attack_mean_undefended"].Mean
+		check(ff > un+0.1,
+			"fig3f: fastflex attack-window mean %.2f not clearly above undefended %.2f", ff, un)
+		check(ff >= 0.7,
+			"fig3f: fastflex holds only %.2f of stable throughput under attack, want ≥0.7", ff)
+		check(un <= 0.85,
+			"fig3f: undefended run holds %.2f of stable throughput — the attack is not landing", un)
+		check(m["modeled_hosts"].Mean >= 1e4,
+			"fig3f: only %.0f modeled hosts — the planet-scale population is missing", m["modeled_hosts"].Mean)
+		check(m["bg_conservation_err"].Mean <= 1e-3,
+			"fig3f: fluid byte ledger off by %.2g, want ≤1e-3 (wire-transit residual only)",
+			m["bg_conservation_err"].Mean)
+		del := m["bg_delivered_frac"].Mean
+		check(del > 0.5 && del <= 1+1e-9,
+			"fig3f: background delivered fraction %.2f outside (0.5, 1]", del)
+	}
 	if m, ok := agg["a6"]; ok {
 		pin := m["attack_mean_pin"].Mean
 		all := m["attack_mean_reroute_all"].Mean

@@ -26,6 +26,12 @@ type Result struct {
 	// them by wall time to report events/sec and packets/sec throughput.
 	Events  uint64
 	Packets uint64
+
+	// ModeledHosts is the simulated population the run claims: real packet
+	// hosts plus the host weight of every fluid background flow. Zero for
+	// experiments that predate the hybrid substrate; ffbench reports it
+	// (and events per modeled host) when set.
+	ModeledHosts uint64
 }
 
 // Workload accumulates the deterministic work counters of one simulated

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// fig3fSmallCfg is a cut-down planet-scale config: small enough for a unit
+// test, large enough that fluid flows congest ring links and cross shard
+// cuts in both directions.
+func fig3fSmallCfg(shards int) Figure3fConfig {
+	cfg := Figure3fConfig{
+		Seed:         3,
+		Shards:       shards,
+		HostsPerFlow: 250,
+		Duration:     10 * time.Second,
+		AttackStart:  6 * time.Second,
+	}
+	cfg.fillDefaults()
+	return cfg
+}
+
+// TestFigure3fShardInvariant pins the hybrid substrate's determinism claim
+// on the windowed engine: the FastFlex arm of a short planet-scale run must
+// be byte-identical across shard counts 1, 2, and 4 — foreground series and
+// the fluid byte ledger alike.
+func TestFigure3fShardInvariant(t *testing.T) {
+	base := figure3fRun(fig3fSmallCfg(1), DefenseFastFlex)
+	for _, k := range []int{2, 4} {
+		got := figure3fRun(fig3fSmallCfg(k), DefenseFastFlex)
+		if got.fig.StableMean != base.fig.StableMean ||
+			got.fig.AttackMean != base.fig.AttackMean ||
+			got.fig.Rolls != base.fig.Rolls {
+			t.Errorf("shards=%d: headline diverged: stable %v/%v attack %v/%v rolls %d/%d",
+				k, got.fig.StableMean, base.fig.StableMean,
+				got.fig.AttackMean, base.fig.AttackMean, got.fig.Rolls, base.fig.Rolls)
+		}
+		gs, bs := got.fig.Throughput, base.fig.Throughput
+		if len(gs.V) != len(bs.V) {
+			t.Fatalf("shards=%d: series length %d, want %d", k, len(gs.V), len(bs.V))
+		}
+		for i := range gs.V {
+			if gs.T[i] != bs.T[i] || gs.V[i] != bs.V[i] {
+				t.Fatalf("shards=%d: sample %d diverged: (%v,%v) vs (%v,%v)",
+					k, i, gs.T[i], gs.V[i], bs.T[i], bs.V[i])
+			}
+		}
+		if got.injected != base.injected {
+			t.Errorf("shards=%d: fluid injected %v, want %v", k, got.injected, base.injected)
+		}
+		if got.delivered != base.delivered || got.dropped != base.dropped {
+			t.Errorf("shards=%d: fluid ledger (%v, %v), want (%v, %v)",
+				k, got.delivered, got.dropped, base.delivered, base.dropped)
+		}
+		if got.modeledHosts != base.modeledHosts {
+			t.Errorf("shards=%d: modeled hosts %d, want %d", k, got.modeledHosts, base.modeledHosts)
+		}
+	}
+}
+
+// TestFigure3fMetrics sanity-checks the headline metrics of a short run:
+// the modeled-host count matches the builder's arithmetic and the fluid
+// ledger balances to within the wire-transit residual (flows never stop, so
+// bytes in flight on link propagation at the horizon are absent from the
+// queued term).
+func TestFigure3fMetrics(t *testing.T) {
+	cfg := fig3fSmallCfg(0)
+	res := Figure3f(cfg)
+	// 6 regions with rings 4,8,16,4,8,16: per ring (size-2) intra flows plus
+	// one victim flow, 250 hosts each, plus the packet-level foreground.
+	wantFlows := 0
+	for r := 0; r < cfg.Regions; r++ {
+		wantFlows += cfg.BaseRing<<uint(r%3) - 1
+	}
+	wantHosts := float64(wantFlows*cfg.HostsPerFlow + cfg.Users + cfg.Servers + cfg.Bots)
+	if got := res.Metrics["modeled_hosts"]; got != wantHosts {
+		t.Errorf("modeled_hosts = %v, want %v (%d fluid flows)", got, wantHosts, wantFlows)
+	}
+	if err := res.Metrics["bg_conservation_err"]; err > 1e-3 {
+		t.Errorf("bg_conservation_err = %v, want <= 1e-3", err)
+	}
+	if frac := res.Metrics["bg_delivered_frac"]; frac <= 0 || frac > 1 {
+		t.Errorf("bg_delivered_frac = %v, want (0, 1]", frac)
+	}
+	if res.Metrics["events_per_modeled_host"] <= 0 {
+		t.Error("events_per_modeled_host missing")
+	}
+	if res.Metrics["packet_equiv_event_ratio"] <= 0 {
+		t.Error("packet_equiv_event_ratio missing")
+	}
+}

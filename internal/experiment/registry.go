@@ -94,6 +94,14 @@ func Registry() []Def {
 			Run: fig3Run("fig3", false), ShortRun: fig3Run("fig3", true)},
 		{ID: "fig3x", Desc: "Figure 3 at ISP scale: multi-region topology (sharded engine target)", Seeded: true,
 			Run: fig3Run("fig3x", false), ShortRun: fig3Run("fig3x", true)},
+		{ID: "fig3f", Desc: "Figure 3 at planet scale: hybrid fluid/packet substrate, 10^5 modeled hosts", Seeded: true,
+			Run: func(seed int64) *Result {
+				return Figure3f(Figure3fConfig{Seed: seed, Shards: DefaultShards})
+			},
+			ShortRun: func(seed int64) *Result {
+				return Figure3f(Figure3fConfig{Seed: seed, Shards: DefaultShards,
+					HostsPerFlow: 250, Duration: 20 * time.Second, AttackStart: 8 * time.Second})
+			}},
 		{ID: "a1", Desc: "A1: mode-change latency vs diameter",
 			Run: func(int64) *Result { return AblationModeLatency() }},
 		{ID: "a2", Desc: "A2: PPM sharing",

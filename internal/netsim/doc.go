@@ -14,6 +14,14 @@
 // Networks on separate goroutines; nothing here may spawn goroutines
 // (enforced by ffvet's determinism analyzer).
 //
+// Beside the packet substrate, Config.Fluid enables rate-based fluid
+// background flows (NewFluidFlow): aggregate traffic advanced
+// analytically per link, carrying a modeled-host weight, with foreground
+// packets seeing fluid queues as load (shared buffer admission, FIFO
+// wait, residual-capacity service). Cost is O(rate changes), not
+// O(packets), which is what makes 10^6-host backgrounds simulable; see
+// DESIGN.md "Fluid/packet hybrid substrate".
+//
 // The forwarding hot path (enqueue → transmit → deliver → pipeline) is
 // allocation-free in steady state: packets come from a per-Network pool
 // and are recycled at end-of-life, per-link FIFO rings and preallocated

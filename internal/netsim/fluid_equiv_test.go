@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fastflex/internal/packet"
+	"fastflex/internal/topo"
+)
+
+// The fluid substrate is an approximation; this file pins down how good it
+// has to be. On a topology small enough to simulate packet-by-packet, the
+// same background load is run twice — once as CBR packet sources, once as
+// fluid flows — and the aggregate observables must agree within the
+// tolerances DESIGN.md documents:
+//
+//   - background wire bytes delivered: 10% relative
+//   - background drop fraction: 0.05 absolute
+//   - bottleneck utilization: 0.1 absolute
+//   - foreground AIMD goodput: 25% relative in the uncongested regime;
+//     in overload, the same qualitative collapse (fluid fg <= 50% of its
+//     own uncongested value, matching the packet run's direction)
+//
+// CBR packets use payload 975 => wire length 1000 exactly, so packet-run
+// payload byte counts convert to wire bytes by *1000/975.
+
+const equivWire = 1000
+const equivPayload = equivWire - packet.MinWireLen - 9 // transport framing
+
+// equivResult aggregates one run's background delivery, drop fraction,
+// bottleneck utilization, and foreground goodput.
+type equivResult struct {
+	bgWireBytes float64 // background bytes delivered, wire-level
+	bgDropFrac  float64 // background bytes dropped / offered
+	bottleneck  float64 // smoothed utilization of the shared link
+	fgGoodput   float64 // AIMD acked bytes
+}
+
+// equivTopo: two switches joined by a 10 Mbps, 1 ms duplex bottleneck;
+// senders on s0, receivers and the foreground server on s1.
+func equivRun(t *testing.T, fluid bool, perFlowBps float64) equivResult {
+	t.Helper()
+	g := topo.NewGraph()
+	s0 := g.AddNode(topo.Switch, "s0")
+	s1 := g.AddNode(topo.Switch, "s1")
+	g.AddDuplex(s0, s1, 10e6, 1e6)
+
+	const nBG = 4
+	var senders, receivers []topo.NodeID
+	for i := 0; i < nBG; i++ {
+		senders = append(senders, g.AttachHost(s0, "bg-src", 1e9, 100e3))
+		receivers = append(receivers, g.AttachHost(s1, "bg-dst", 1e9, 100e3))
+	}
+	fgSrc := g.AttachHost(s0, "user", 1e9, 100e3)
+	fgDst := g.AttachHost(s1, "server", 1e9, 100e3)
+
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Fluid = fluid
+	n := New(g, cfg)
+	installShortestPathRoutes(n)
+	bott := g.LinkBetween(s0, s1)
+
+	offered := perFlowBps / 8 * nBG * 4 // bytes over the 4 s run
+	var flows []*FluidFlow
+	var cbrs []*CBRSource
+	if fluid {
+		for i := range senders {
+			f := n.NewFluidFlow(senders[i], receivers[i], perFlowBps, 1)
+			f.Start()
+			flows = append(flows, f)
+		}
+	} else {
+		for i := range senders {
+			s := NewCBRSource(n, senders[i], packet.HostAddr(int(receivers[i])),
+				uint16(7000+i), 80, packet.ProtoUDP, equivPayload, perFlowBps)
+			s.Start()
+			cbrs = append(cbrs, s)
+		}
+	}
+	fg := NewAIMDSource(n, fgSrc, packet.HostAddr(int(fgDst)), 6000, 80, 1200)
+	fg.SetMaxRate(3e6)
+	fg.Start()
+
+	n.Run(4 * time.Second)
+
+	var r equivResult
+	r.bottleneck = n.LinkLoad(bott)
+	r.fgGoodput = float64(fg.AckedBytes())
+	if fluid {
+		var del float64
+		for _, f := range flows {
+			del += f.DeliveredBytes()
+		}
+		r.bgWireBytes = del
+		r.bgDropFrac = n.FluidDroppedBytes() / offered
+	} else {
+		var payload uint64
+		for _, rc := range receivers {
+			payload += n.Host(rc).TotalRecvBytes()
+		}
+		r.bgWireBytes = float64(payload) * equivWire / equivPayload
+		// CBR offered bytes are wire-exact: rate covers the full frame.
+		r.bgDropFrac = 1 - r.bgWireBytes/offered
+	}
+	return r
+}
+
+func absClose(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// TestFluidPacketEquivalenceModerate: 4 x 2 Mbps background (80% of the
+// bottleneck) leaves headroom; both substrates must deliver everything,
+// drop nothing, and leave the foreground AIMD flow comparable goodput.
+func TestFluidPacketEquivalenceModerate(t *testing.T) {
+	pk := equivRun(t, false, 2e6)
+	fl := equivRun(t, true, 2e6)
+
+	if !relClose(fl.bgWireBytes, pk.bgWireBytes, 0.10) {
+		t.Errorf("bg delivered: fluid %.0f vs packet %.0f (>10%%)", fl.bgWireBytes, pk.bgWireBytes)
+	}
+	if !absClose(fl.bgDropFrac, pk.bgDropFrac, 0.05) {
+		t.Errorf("bg drop frac: fluid %.3f vs packet %.3f", fl.bgDropFrac, pk.bgDropFrac)
+	}
+	if !absClose(fl.bottleneck, pk.bottleneck, 0.10) {
+		t.Errorf("bottleneck util: fluid %.3f vs packet %.3f", fl.bottleneck, pk.bottleneck)
+	}
+	if !relClose(fl.fgGoodput, pk.fgGoodput, 0.25) {
+		t.Errorf("fg goodput: fluid %.0f vs packet %.0f (>25%%)", fl.fgGoodput, pk.fgGoodput)
+	}
+}
+
+// TestFluidPacketEquivalenceOverload: 4 x 3.5 Mbps background (140% of the
+// bottleneck) congests the link; delivered bytes pin at capacity, the drop
+// fraction approaches the analytic excess, and the foreground flow
+// collapses the same way under both substrates.
+func TestFluidPacketEquivalenceOverload(t *testing.T) {
+	pk := equivRun(t, false, 3.5e6)
+	fl := equivRun(t, true, 3.5e6)
+
+	if !relClose(fl.bgWireBytes, pk.bgWireBytes, 0.10) {
+		t.Errorf("bg delivered: fluid %.0f vs packet %.0f (>10%%)", fl.bgWireBytes, pk.bgWireBytes)
+	}
+	if !absClose(fl.bgDropFrac, pk.bgDropFrac, 0.05) {
+		t.Errorf("bg drop frac: fluid %.3f vs packet %.3f", fl.bgDropFrac, pk.bgDropFrac)
+	}
+	if fl.bgDropFrac < 0.15 {
+		t.Errorf("fluid drop frac %.3f, want ~0.28 in 140%% overload", fl.bgDropFrac)
+	}
+	if !absClose(fl.bottleneck, pk.bottleneck, 0.10) {
+		t.Errorf("bottleneck util: fluid %.3f vs packet %.3f", fl.bottleneck, pk.bottleneck)
+	}
+	// Foreground collapse: compare each substrate's overloaded goodput to
+	// its own moderate-regime value.
+	pkMod := equivRun(t, false, 2e6)
+	flMod := equivRun(t, true, 2e6)
+	if pk.fgGoodput > 0.5*pkMod.fgGoodput {
+		t.Errorf("packet fg goodput %.0f did not collapse (moderate %.0f)", pk.fgGoodput, pkMod.fgGoodput)
+	}
+	if fl.fgGoodput > 0.5*flMod.fgGoodput {
+		t.Errorf("fluid fg goodput %.0f did not collapse (moderate %.0f)", fl.fgGoodput, flMod.fgGoodput)
+	}
+}

@@ -111,6 +111,11 @@ type linkState struct {
 
 	drops uint64
 
+	// fluid is the link's aggregate background-traffic state (fluid.go),
+	// nil unless a fluid flow crosses the link — so packet-only runs pay
+	// exactly one nil check per touch point and nothing else.
+	fluid *fluidLink
+
 	windowBytes    uint64
 	lastWindowUtil float64
 	smoothedUtil   *sketch.EWMA
@@ -159,7 +164,18 @@ func (ls *linkState) enqueue(pkt *packet.Packet) {
 		}
 	}
 	size := pkt.Len()
-	if ls.queuedBytes+size > ls.net.Cfg.QueueBytes {
+	if fl := ls.fluid; fl != nil {
+		// The buffer is shared with the fluid backlog: foreground packets
+		// tail-drop against the bytes background traffic has already
+		// claimed. Deterministic — occupancy is analytic, no RNG draw.
+		fl.advance(ls.sh.eng.Now())
+		if float64(ls.queuedBytes+size)+fl.q > float64(ls.net.Cfg.QueueBytes) {
+			ls.drops++
+			ls.sh.dropsQueue++
+			ls.sh.freePacket(pkt)
+			return
+		}
+	} else if ls.queuedBytes+size > ls.net.Cfg.QueueBytes {
 		ls.drops++
 		ls.sh.dropsQueue++
 		ls.sh.freePacket(pkt)
@@ -195,6 +211,32 @@ func (ls *linkState) transmitNext() {
 	ls.sentPkts++
 	ls.sentBytes += uint64(size)
 	ls.windowBytes += uint64(size)
+	if fl := ls.fluid; fl != nil {
+		// The serializer first clears the fluid backlog ahead of this
+		// packet (FIFO added latency of q/C); the transmitter stays busy
+		// for the wait too, which is the shared-capacity effect.
+		fl.advance(ls.sh.eng.Now())
+		if fl.q > 0 {
+			// FIFO wait behind the existing backlog: the queue drains at
+			// full capacity and bytes arriving later join behind this
+			// packet, so the wait is exactly q/C.
+			tx += time.Duration(fl.q / fl.cap * 1e9)
+		} else if fl.in > 0 {
+			// Empty fluid queue but live background load: in the packet
+			// world this link would still hold a steady-state backlog of
+			// background frames, throttling sustained foreground traffic
+			// to the residual capacity C-F. Serve at that rate (processor
+			// sharing), floored at 1% of capacity so a momentary F >= C
+			// (the queue is about to grow) stays finite.
+			resid := fl.cap - fl.in
+			if resid < fl.cap*0.01 {
+				resid = fl.cap * 0.01
+			}
+			if rtx := time.Duration(float64(size) / resid * 1e9); rtx > tx {
+				tx = rtx
+			}
+		}
+	}
 	prop := time.Duration(ls.link.DelayNS)
 	if ls.net.windowed {
 		// Draw both ranks up front, in the same order for local and
@@ -227,12 +269,22 @@ func (ls *linkState) transmitNext() {
 	ev.Class, ev.Key = classDeliver, int32(ls.link.ID)
 }
 
-// rollWindow closes the current utilization window.
+// rollWindow closes the current utilization window. Fluid bytes served in
+// the window count toward utilization exactly like transmitted packets, so
+// boosters keyed on LinkLoad see background load they cannot packet-count.
 func (ls *linkState) rollWindow(window time.Duration) {
 	capacity := ls.link.BitsPerSec * window.Seconds()
+	bits := float64(ls.windowBytes * 8)
+	if fl := ls.fluid; fl != nil {
+		// Runs at a barrier (the coordinator ticker), where every engine's
+		// clock agrees, so advancing here closes the window exactly.
+		fl.advance(fl.eng().Now())
+		bits += fl.windowBytes * 8
+		fl.windowBytes = 0
+	}
 	util := 0.0
 	if capacity > 0 {
-		util = float64(ls.windowBytes*8) / capacity
+		util = bits / capacity
 	}
 	ls.lastWindowUtil = util
 	ls.smoothedUtil.Observe(util)

@@ -44,6 +44,13 @@ type Config struct {
 	// either way (windows are pure synchronization points); the knob
 	// exists for A/B measurement of barrier counts.
 	StaticLookahead bool
+	// Fluid enables the flow-level background-traffic substrate
+	// (fluid.go): aggregate flows become rate-based state on links,
+	// advanced analytically between events, while packets stay exact and
+	// see the fluid queues as load. Off (the default) is byte-identical
+	// to the packet-only engine: no fluid state is attached to any link,
+	// no rank or RNG stream is consumed, and no event is ever scheduled.
+	Fluid bool
 }
 
 // DefaultConfig returns the standard simulation parameters.
@@ -106,6 +113,10 @@ type Network struct {
 	// link keys are fixed, so source keys start above both ranges.
 	nextOwnerKey uint64
 
+	// fluidFlows lists every fluid background flow in creation order
+	// (fluid.go); empty unless Cfg.Fluid is set and flows were created.
+	fluidFlows []*FluidFlow
+
 	// Tracer, if set, observes every packet arrival at a node (debugging
 	// and assertion hooks in tests). Attaching a tracer disables packet
 	// recycling so traced packets may be retained. Tracing is serial-only:
@@ -121,10 +132,12 @@ func New(g *topo.Graph, cfg Config) *Network {
 		shards := cfg.Shards
 		disableBatch := cfg.DisableBatch
 		staticLookahead := cfg.StaticLookahead
+		fluid := cfg.Fluid
 		cfg = DefaultConfig()
 		cfg.Shards = shards
 		cfg.DisableBatch = disableBatch
 		cfg.StaticLookahead = staticLookahead
+		cfg.Fluid = fluid
 	}
 	n := &Network{
 		Eng:      eventsim.New(cfg.Seed),
@@ -334,6 +347,12 @@ func (n *Network) Run(horizon time.Duration) {
 		if n.Tracer != nil {
 			panic("netsim: Tracer is serial-only; windowed runs would invoke it from shard goroutines")
 		}
+		// Setup code runs in coordinator context outside any barrier, so
+		// hand-offs it emitted (cross-cut traffic injection, fluid rate
+		// programs) are still sitting in the rings, invisible to the
+		// window-bound computation. Drain them into their destination
+		// engines first — the main goroutine owns every engine here.
+		n.exchange()
 		n.group.Run(horizon)
 		return
 	}

@@ -133,12 +133,18 @@ func (sh *shardState) putCtx(ctx *dataplane.Context) {
 
 // handoff is a packet crossing a shard boundary: it must appear in the
 // destination engine at exactly (at, rank), the same position it would
-// occupy in any other partitioning of the same simulation.
+// occupy in any other partitioning of the same simulation. A nil pkt marks
+// a fluid rate update instead (fluid.go): link is then the update's target
+// link and fci/frate carry the contribution index and new rate, so both
+// substrates cross cuts through the same rings under the same barrier
+// protocol.
 type handoff struct {
-	at   time.Duration
-	rank uint64
-	link topo.LinkID
-	pkt  *packet.Packet
+	at    time.Duration
+	rank  uint64
+	link  topo.LinkID
+	pkt   *packet.Packet
+	fci   int32
+	frate float64
 }
 
 // handoffRing is a single-producer/single-consumer ring for one directed
@@ -220,6 +226,17 @@ func (n *Network) exchange() {
 			}
 			dst := n.shards[d]
 			ring.drain(func(h handoff) {
+				if h.pkt == nil {
+					// Fluid rate update crossing the cut: schedule the
+					// application at its exact (at, rank) like any packet
+					// hand-off. Updates are rate-change-frequency events,
+					// so the closure allocation is off the hot path.
+					link, ci, rate := h.link, int(h.fci), h.frate
+					dst.eng.ScheduleRank(h.at, h.rank, func() {
+						n.applyFluidRate(link, ci, rate)
+					})
+					return
+				}
 				var a *arrivalEvent
 				if ln := len(dst.arrFree); ln > 0 {
 					a = dst.arrFree[ln-1]

@@ -50,7 +50,7 @@ func Partition(g *Graph, k int) *Shards {
 		return s
 	}
 
-	seeds := spreadSeeds(g, sw, k)
+	seeds := chooseSeeds(g, sw, k)
 	counts := make([]int, k)
 	for i, sd := range seeds {
 		of[sd] = i
@@ -125,14 +125,54 @@ func Partition(g *Graph, k int) *Shards {
 	return s
 }
 
-// spreadSeeds picks k switches by farthest-point sampling on delay-weighted
-// shortest-path distance: the first seed is the lowest-ID switch, each
-// subsequent seed maximizes its distance to the nearest existing seed (ties
-// to the lowest ID). Unreachable switches sort as infinitely far, so
-// disconnected components get seeds before any connected region is split.
-func spreadSeeds(g *Graph, sw []NodeID, k int) []NodeID {
-	seeds := []NodeID{sw[0]}
-	minDist := delayDistances(g, sw[0])
+// chooseSeeds picks the k growth seeds, honoring the graph's partition
+// hints when present. With at most k hints every hinted region gets its own
+// seed before farthest-point sampling fills the remainder; with more hints
+// than shards, farthest-point sampling restricted to the hint set keeps the
+// chosen subset maximally spread. Hints that are not switches are ignored.
+func chooseSeeds(g *Graph, sw []NodeID, k int) []NodeID {
+	var hints []NodeID
+	for _, h := range g.PartitionHints {
+		if int(h) < len(g.Nodes) && g.Nodes[h].Kind == Switch {
+			hints = append(hints, h)
+		}
+	}
+	if len(hints) == 0 {
+		return spreadSeeds(g, sw, k, nil)
+	}
+	if len(hints) <= k {
+		// One seed per hinted region, then spread the rest over all
+		// switches (covers graphs with more shards than regions).
+		return spreadSeeds(g, sw, k, hints)
+	}
+	// More regions than shards: spread-sample the hints themselves so the
+	// k chosen regions are mutually far apart.
+	return spreadSeeds(g, hints, k, hints[:1])
+}
+
+// spreadSeeds picks k switches from pool by farthest-point sampling on
+// delay-weighted shortest-path distance, starting from the given initial
+// seeds (the lowest-ID pool switch when none): each subsequent seed
+// maximizes its distance to the nearest existing seed (ties to the lowest
+// ID). Unreachable switches sort as infinitely far, so disconnected
+// components get seeds before any connected region is split.
+func spreadSeeds(g *Graph, pool []NodeID, k int, initial []NodeID) []NodeID {
+	if len(initial) == 0 {
+		initial = pool[:1]
+	}
+	if len(initial) > k {
+		initial = initial[:k]
+	}
+	seeds := append([]NodeID(nil), initial...)
+	minDist := delayDistances(g, seeds[0])
+	for _, sd := range seeds[1:] {
+		for n, d := range delayDistances(g, sd) {
+			if d < minDist[n] {
+				minDist[n] = d
+			}
+		}
+	}
+	sw := pool
 	for len(seeds) < k {
 		best, bestD := NodeID(-1), int64(-1)
 		for _, n := range sw {

@@ -143,3 +143,113 @@ func TestMultiRegionShape(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionPlanetScaleHints: on the skewed planet-scale topology the
+// published hints keep every region whole (cuts only on the 5 ms backbone)
+// and the shard sizes reasonably balanced despite 4:1 region skew.
+func TestPartitionPlanetScaleHints(t *testing.T) {
+	m := NewPlanetScale(6, 4) // ring sizes 4,8,16,4,8,16
+	g := m.Graph()
+	k := len(m.Regions) + 1 // one shard per region plus the victim area
+	s := Partition(g, k)
+	if s.K != k {
+		t.Fatalf("K = %d, want %d", s.K, k)
+	}
+	if s.MinCutDelayNS != BackboneDelay {
+		t.Fatalf("MinCutDelayNS = %d, want backbone delay %d (a region got split)",
+			s.MinCutDelayNS, BackboneDelay)
+	}
+	// Every ring stays in one shard, and distinct rings in distinct shards.
+	seen := make(map[int]bool)
+	for ri, ring := range m.Regions {
+		sh := s.Of[ring[0]]
+		for _, n := range ring {
+			if s.Of[n] != sh {
+				t.Fatalf("region %d split: switch %d in shard %d, ring[0] in %d",
+					ri, n, s.Of[n], sh)
+			}
+		}
+		if seen[sh] {
+			t.Fatalf("two regions share shard %d", sh)
+		}
+		seen[sh] = true
+	}
+	// Balance: the greedy pass cannot fix 4:1 ring skew once regions are
+	// atomic, but no shard may exceed the largest-region size bound.
+	counts := make([]int, s.K)
+	for _, sw := range g.Switches() {
+		counts[s.Of[sw]]++
+	}
+	maxC, minC := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c > maxC {
+			maxC = c
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if minC == 0 {
+		t.Fatal("empty shard")
+	}
+	if ratio := float64(maxC) / float64(minC); ratio > 4.5 {
+		t.Fatalf("switch balance ratio %.2f, want <= 4.5 (counts %v)", ratio, counts)
+	}
+}
+
+// TestPartitionHintsFewerThanShards: hints seed their regions and
+// farthest-point sampling fills the remaining shards.
+func TestPartitionHintsFewerThanShards(t *testing.T) {
+	m := NewPlanetScale(3, 4)
+	g := m.Graph()
+	s := Partition(g, 6) // 4 hints (victim + 3 regions), 6 shards
+	if s.K != 6 {
+		t.Fatalf("K = %d, want 6", s.K)
+	}
+	counts := make([]int, s.K)
+	for _, sw := range g.Switches() {
+		counts[s.Of[sw]]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d empty (counts %v)", i, counts)
+		}
+	}
+}
+
+// TestPartitionHintsMoreThanShards: with more hinted regions than shards,
+// the sampled hint subset still yields a valid, non-empty partition with
+// backbone-only cuts.
+func TestPartitionHintsMoreThanShards(t *testing.T) {
+	m := NewPlanetScale(6, 4)
+	g := m.Graph()
+	s := Partition(g, 3)
+	if s.K != 3 {
+		t.Fatalf("K = %d, want 3", s.K)
+	}
+	if s.MinCutDelayNS != BackboneDelay {
+		t.Fatalf("MinCutDelayNS = %d, want backbone delay %d", s.MinCutDelayNS, BackboneDelay)
+	}
+}
+
+// TestPartitionSkewWithoutHints documents the failure mode hints exist
+// for. A planet-sized region's internal diameter can exceed the backbone
+// distance to its neighbors (a 128-switch ring spans 6.4 ms of 0.1 ms hops,
+// more than the 5 ms backbone), so farthest-point sampling drops a second
+// seed inside it and the cut lands on a ring link — collapsing the sharded
+// lookahead 50x. With the builder's hints the same partition keeps every
+// cut on the backbone.
+func TestPartitionSkewWithoutHints(t *testing.T) {
+	m := NewPlanetScale(2, 64) // ring sizes 64 and 128
+	g := m.Graph()
+	hinted := Partition(g, 3)
+	if hinted.MinCutDelayNS != BackboneDelay {
+		t.Fatalf("hinted min cut delay = %d, want backbone %d", hinted.MinCutDelayNS, BackboneDelay)
+	}
+	g.PartitionHints = nil
+	unhinted := Partition(g, 3)
+	if unhinted.MinCutDelayNS != RegionLinkDelay {
+		t.Fatalf("unhinted min cut delay = %d, expected the intra-region cut (%d) hints guard against",
+			unhinted.MinCutDelayNS, RegionLinkDelay)
+	}
+}

@@ -60,6 +60,48 @@ func NewMultiRegion(regions, ringSize int) *MultiRegion {
 	return m
 }
 
+// NewPlanetScale builds the planet-scale variant of the multi-region
+// topology: `regions` remote rings whose sizes are deliberately skewed
+// (cycling 1×, 2×, 4× baseRing) the way real ISP footprints are, each
+// dual-homed to the victim cores over 5 ms backbone links. Real hosts stay
+// sparse — the population lives in fluid background flows entering at the
+// ingress switches (netsim.FluidFlow carries a modeled-host weight), which
+// is what lets a single process claim 10^5-10^6 modeled hosts.
+//
+// The skew is the point: farthest-point seeding alone would drop several
+// shard seeds into the 4× region and split it across 0.1 ms ring links,
+// collapsing the sharded lookahead from 5 ms to 0.1 ms. PlanetScale
+// therefore publishes PartitionHints — one gateway per region plus a
+// victim core — so Partition keeps every region whole and cuts only the
+// backbone.
+func NewPlanetScale(regions, baseRing int) *MultiRegion {
+	if regions < 1 {
+		panic(fmt.Sprintf("topo: planet-scale needs ≥ 1 remote region, got %d", regions))
+	}
+	if baseRing < 3 {
+		panic(fmt.Sprintf("topo: planet-scale base ring must be ≥ 3, got %d", baseRing))
+	}
+	m := &MultiRegion{Victim: NewFigure2()}
+	g := m.Victim.G
+	g.PartitionHints = []NodeID{m.Victim.CoreA}
+	for r := 0; r < regions; r++ {
+		size := baseRing << uint(r%3) // 1×, 2×, 4×, 1×, ...
+		ring := make([]NodeID, size)
+		for i := range ring {
+			ring[i] = g.AddNode(Switch, fmt.Sprintf("p%ds%d", r, i))
+		}
+		for i := range ring {
+			g.AddDuplex(ring[i], ring[(i+1)%size], DefaultLinkBPS, RegionLinkDelay)
+		}
+		g.AddDuplex(ring[0], m.Victim.CoreA, BackboneBPS, BackboneDelay)
+		g.AddDuplex(ring[1], m.Victim.CoreB, BackboneBPS, BackboneDelay)
+		m.Regions = append(m.Regions, ring)
+		m.Ingresses = append(m.Ingresses, ring[2:]...)
+		g.PartitionHints = append(g.PartitionHints, ring[0])
+	}
+	return m
+}
+
 // Graph returns the underlying topology graph.
 func (m *MultiRegion) Graph() *Graph { return m.Victim.G }
 

@@ -59,6 +59,16 @@ type Graph struct {
 	// where a slice index beats a map probe.
 	out [][]LinkID
 	in  [][]LinkID
+
+	// PartitionHints optionally names one switch per natural region of the
+	// topology. Builders that know their region structure (NewPlanetScale)
+	// set it so Partition seeds one shard inside each region before the
+	// greedy growth pass — farthest-point sampling alone lands multiple
+	// seeds in one oversized region when region sizes are heavily skewed,
+	// and the greedy pass then splits regions across short intra-region
+	// links, collapsing the cut delay. Empty means pure farthest-point
+	// seeding (the previous behavior, byte-identical partitions).
+	PartitionHints []NodeID
 }
 
 // NewGraph returns an empty graph.
