@@ -29,13 +29,18 @@ const (
 )
 
 // statsByID reduces each experiment's non-failed runs to the two gated
-// statistics: min wall ms and mean allocated MB.
-func statsByID(exps []experimentReport) (minWall, meanAlloc map[string]float64) {
+// statistics: min wall ms and mean allocated MB. allocExact reports
+// whether every run contributing to the alloc mean was measured with the
+// worker pool to itself (alloc_exact); inexact means carry cross-worker
+// bleed and are reported but never gated.
+func statsByID(exps []experimentReport) (minWall, meanAlloc map[string]float64, allocExact map[string]bool) {
 	minWall = make(map[string]float64, len(exps))
 	meanAlloc = make(map[string]float64, len(exps))
+	allocExact = make(map[string]bool, len(exps))
 	for _, er := range exps {
 		var allocSum float64
 		n := 0
+		exact := true
 		for _, r := range er.Runs {
 			if r.Error != "" {
 				continue
@@ -44,19 +49,21 @@ func statsByID(exps []experimentReport) (minWall, meanAlloc map[string]float64) 
 				minWall[er.ID] = r.WallMS
 			}
 			allocSum += r.AllocMB
+			exact = exact && r.AllocExact
 			n++
 		}
 		if n > 0 {
 			meanAlloc[er.ID] = allocSum / float64(n)
+			allocExact[er.ID] = exact
 		}
 	}
-	return minWall, meanAlloc
+	return minWall, meanAlloc, allocExact
 }
 
 // currentStats renders this run's results into the same experimentReport
 // shape the JSON report uses, so baseline and current reductions share one
 // code path.
-func currentStats(results []experiment.RunResult) (minWall, meanAlloc map[string]float64) {
+func currentStats(results []experiment.RunResult) (minWall, meanAlloc map[string]float64, allocExact map[string]bool) {
 	byID := make(map[string]*experimentReport)
 	var order []string
 	for _, rr := range results {
@@ -67,8 +74,9 @@ func currentStats(results []experiment.RunResult) (minWall, meanAlloc map[string
 			order = append(order, rr.ID)
 		}
 		run := runReport{
-			WallMS:  float64(rr.Wall.Microseconds()) / 1e3,
-			AllocMB: float64(rr.AllocBytes) / (1 << 20),
+			WallMS:     float64(rr.Wall.Microseconds()) / 1e3,
+			AllocMB:    float64(rr.AllocBytes) / (1 << 20),
+			AllocExact: rr.AllocExact,
 		}
 		if rr.Err != nil {
 			run.Error = rr.Err.Error()
@@ -99,8 +107,8 @@ func compareBaseline(path string, thresholdPct, allocThresholdPct float64,
 	if err := json.Unmarshal(data, &base); err != nil {
 		return false, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	baseWall, baseAlloc := statsByID(base.Experiments)
-	curWall, curAlloc := currentStats(results)
+	baseWall, baseAlloc, baseExact := statsByID(base.Experiments)
+	curWall, curAlloc, curExact := currentStats(results)
 	var offenders []string
 
 	fmt.Printf("-- min wall / mean alloc vs %s (wall %+.0f%%, alloc %+.0f%%) --\n",
@@ -138,11 +146,15 @@ func compareBaseline(path string, thresholdPct, allocThresholdPct float64,
 			}
 		}
 		if allocDelta > allocThresholdPct && ba >= compareMinAllocMB {
-			regressed = true
-			mark += "  ALLOC REGRESSION"
-			offenders = append(offenders, fmt.Sprintf(
-				"%s: mean alloc %.2f MB -> %.2f MB (%+.1f%%, threshold %+.0f%%)",
-				d.ID, ba, ca, allocDelta, allocThresholdPct))
+			if baseExact[d.ID] && curExact[d.ID] {
+				regressed = true
+				mark += "  ALLOC REGRESSION"
+				offenders = append(offenders, fmt.Sprintf(
+					"%s: mean alloc %.2f MB -> %.2f MB (%+.1f%%, threshold %+.0f%%)",
+					d.ID, ba, ca, allocDelta, allocThresholdPct))
+			} else {
+				mark += "  (alloc inexact, not gated)"
+			}
 		}
 		fmt.Printf("  %-10s %12.1f %12.1f %+7.1f%% %11.2f %11.2f %+7.1f%%%s\n",
 			d.ID, b, c, wallDelta, ba, ca, allocDelta, mark)

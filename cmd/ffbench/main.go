@@ -21,6 +21,7 @@
 //	ffbench -json               # write BENCH_ffbench.json
 //	ffbench -short              # cut-down horizons (CI smoke)
 //	ffbench -shards 4           # sharded parallel engine (0 = serial)
+//	ffbench -nowarm             # cold-build every run (no warm-fabric reuse)
 //	ffbench -check              # exit 1 if shape checks fail
 //	ffbench -compare BENCH_ffbench.json   # exit 1 on wall-time or alloc regression
 //	ffbench -cpuprofile cpu.pb.gz         # pprof CPU profile of the whole run
@@ -62,9 +63,20 @@ type experimentReport struct {
 }
 
 type runReport struct {
-	Seed    int64   `json:"seed"`
-	WallMS  float64 `json:"wall_ms"`
-	AllocMB float64 `json:"alloc_mb"`
+	Seed   int64   `json:"seed"`
+	WallMS float64 `json:"wall_ms"`
+	// SetupWallMS + SimWallMS split WallMS: setup is topology and fabric
+	// construction (or a warm-fabric reset) plus scenario wiring, sim is
+	// everything from the engine starting onward. Zero for experiments
+	// that don't instrument the split (the fixed-size table experiments).
+	SetupWallMS float64 `json:"setup_wall_ms,omitempty"`
+	SimWallMS   float64 `json:"sim_wall_ms,omitempty"`
+	AllocMB     float64 `json:"alloc_mb"`
+	// AllocExact reports whether AllocMB came from a run with the worker
+	// pool to itself: TotalAlloc is process-wide, so concurrent workers
+	// bleed into each other's deltas and only -parallel 1 runs measure
+	// exactly. The -compare alloc gate only trusts exact runs.
+	AllocExact bool `json:"alloc_exact"`
 	// Events/Packets are deterministic workload counters (simulation
 	// events fired, switch pipeline passes); the *PerSec rates divide
 	// them by this run's wall time, so only the rates vary run to run.
@@ -103,6 +115,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	shards := flag.Int("shards", 0, "engine shard count for simulations (0 = serial engine)")
+	nowarm := flag.Bool("nowarm", false, "disable warm-fabric reuse across runs (every run cold-builds)")
 	flag.Parse()
 	experiment.DefaultShards = *shards
 
@@ -142,7 +155,7 @@ func main() {
 
 	specs := experiment.Specs(defs, seedList, *short)
 	start := time.Now()
-	results := (&experiment.Runner{Workers: *parallel}).Run(specs)
+	results := (&experiment.Runner{Workers: *parallel, NoWarm: *nowarm}).Run(specs)
 	totalWall := time.Since(start)
 	agg := experiment.Aggregate(results)
 
@@ -223,7 +236,7 @@ func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
 	printed := false
 	for _, d := range defs {
 		var events, packets, hosts uint64
-		var wall time.Duration
+		var wall, setup time.Duration
 		for _, rr := range results {
 			if rr.ID != d.ID || rr.Err != nil || rr.Result == nil {
 				continue
@@ -232,6 +245,7 @@ func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
 			packets += rr.Result.Packets
 			hosts += rr.Result.ModeledHosts
 			wall += rr.Wall
+			setup += rr.Result.SetupWall
 		}
 		if events == 0 || wall <= 0 {
 			continue
@@ -245,6 +259,9 @@ func printThroughput(defs []experiment.Def, results []experiment.RunResult) {
 			d.ID, events, packets, float64(events)/secs/1e6, float64(packets)/secs/1e6)
 		if hosts > 0 {
 			fmt.Printf("   %d modeled hosts, %.1f ev/host", hosts, float64(events)/float64(hosts))
+		}
+		if setup > 0 {
+			fmt.Printf("   setup %.0f%% of wall", 100*setup.Seconds()/secs)
 		}
 		fmt.Println()
 	}
@@ -321,9 +338,14 @@ func writeReport(defs []experiment.Def, seeds []int64, workers int, short bool,
 				continue
 			}
 			run := runReport{
-				Seed:    rr.Seed,
-				WallMS:  float64(rr.Wall.Microseconds()) / 1e3,
-				AllocMB: float64(rr.AllocBytes) / (1 << 20),
+				Seed:       rr.Seed,
+				WallMS:     float64(rr.Wall.Microseconds()) / 1e3,
+				AllocMB:    float64(rr.AllocBytes) / (1 << 20),
+				AllocExact: rr.AllocExact,
+			}
+			if rr.Result != nil && rr.Result.SetupWall > 0 {
+				run.SetupWallMS = float64(rr.Result.SetupWall.Microseconds()) / 1e3
+				run.SimWallMS = float64((rr.Wall - rr.Result.SetupWall).Microseconds()) / 1e3
 			}
 			if rr.Result != nil && rr.Result.Events > 0 {
 				run.Events = rr.Result.Events

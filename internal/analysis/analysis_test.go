@@ -171,6 +171,34 @@ func TestDeterminismFluidReachability(t *testing.T) {
 	}
 }
 
+// TestDeterminismResetReachability pins the warm-reuse reset surface's
+// entry into the proof: (*Fabric).Reset is an entrypoint, so map-ordered
+// clearing below it is flagged with the Reset -> rewind chain, while a
+// (*Network).Reset rewinding dense index-ordered slices is silent.
+func TestDeterminismResetReachability(t *testing.T) {
+	checkFixture(t, "fastflex/internal/core", "det_reach_reset_bad.go", Determinism)
+	checkFixture(t, "fastflex/internal/netsim", "det_reach_reset_ok.go", Determinism)
+	diags := runFixture(t, "fastflex/internal/core", "det_reach_reset_bad.go", Determinism)
+	var chain []string
+	for _, d := range diags {
+		if strings.Contains(d.Message, "map iteration") {
+			chain = d.Chain
+		}
+	}
+	want := []string{
+		"internal/core.(*Fabric).Reset",
+		"internal/core.(*Fabric).rewind",
+	}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+}
+
 // TestDeterminismReachabilityChain asserts the diagnostic carries the
 // shortest entrypoint-to-sink call chain.
 func TestDeterminismReachabilityChain(t *testing.T) {

@@ -128,6 +128,13 @@ func defaultDetConfig() detConfig {
 			"internal/netsim.(*FluidFlow).Start",
 			"internal/netsim.(*FluidFlow).SetRate",
 			"internal/netsim.(*FluidFlow).Stop",
+			// The warm-reuse reset surface: everything Reset touches must
+			// restore state a later run consumes, so a nondeterministic
+			// reset (map-ordered clearing into ordered structures, wall
+			// clock, ambient rand) breaks reset-vs-fresh byte identity just
+			// like a nondeterministic run loop would.
+			"internal/core.(*Fabric).Reset",
+			"internal/netsim.(*Network).Reset",
 		},
 		exempt: map[string]bool{
 			// The windowed shard runtime: worker lifecycle and the
@@ -140,6 +147,7 @@ func defaultDetConfig() detConfig {
 			// drains them at the barrier.
 			"internal/netsim.(*handoffRing).push":  true,
 			"internal/netsim.(*handoffRing).drain": true,
+			"internal/netsim.(*handoffRing).reset": true,
 			"internal/netsim.(*Network).exchange":  true,
 		},
 	}

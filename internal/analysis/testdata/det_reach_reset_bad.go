@@ -1,0 +1,27 @@
+package core
+
+// Reset-path reachability fixture: (*Fabric).Reset is a determinism
+// entrypoint — everything it touches is state the next run consumes, so
+// clearing per-switch state in map order breaks reset-vs-fresh byte
+// identity exactly like map order inside the run loop would. The real
+// reset code iterates dense slices and clears maps wholesale to avoid
+// this shape.
+
+type Fabric struct {
+	switches map[int]*swState
+}
+
+type swState struct {
+	pending []int
+}
+
+func (f *Fabric) Reset(seed int64) error {
+	f.rewind()
+	return nil
+}
+
+func (f *Fabric) rewind() {
+	for _, sw := range f.switches { // want determinism "map iteration on a simulation path"
+		sw.pending = sw.pending[:0]
+	}
+}

@@ -1,0 +1,26 @@
+package netsim
+
+// Reset-path reachability twin: (*Network).Reset is a determinism
+// entrypoint too, but rewinding per-link state through dense,
+// index-ordered slices is replay-safe, so the proof stays silent. This
+// is the shape the real reset code uses.
+
+type Network struct {
+	links []*linkState
+}
+
+type linkState struct {
+	queued []int
+	count  uint64
+}
+
+func (n *Network) Reset(seed int64) {
+	for _, ls := range n.links {
+		ls.reset()
+	}
+}
+
+func (ls *linkState) reset() {
+	ls.queued = ls.queued[:0]
+	ls.count = 0
+}

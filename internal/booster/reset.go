@@ -1,0 +1,98 @@
+package booster
+
+// Run-reset support: every booster PPM implements dataplane.RunResettable so
+// a warm switch can rewind to its just-built state between simulation runs
+// (dataplane.Switch.ResetRun, driven by core.Fabric.Reset). The invariant
+// each method maintains: state derived from the constructor's configuration
+// survives (protected prefixes, thresholds, wired callbacks like Alarm and
+// ExternalEvidence — the fabric installs those once, at build), while
+// everything a run's traffic mutates — tables, epochs, lease clocks, and
+// counters — clears, leaving the module indistinguishable from a freshly
+// constructed one.
+
+// ResetRun implements dataplane.RunResettable. ACL rules clear: they are
+// installed by scenario code after the fabric is built, so they are run
+// state, not construction state.
+func (a *AccessControl) ResetRun() {
+	a.rules = a.rules[:0]
+	a.Denied, a.Tagged, a.Matched = 0, 0, 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (h *HeavyHitter) ResetRun() {
+	h.pipe.Reset()
+	clear(h.banned)
+	h.epochEnds = 0
+	h.lastAssert = 0
+	h.active = false
+	h.Alarms, h.Clears, h.Flagged = 0, 0, 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (f *HopCountFilter) ResetRun() {
+	clear(f.learned)
+	f.learnEnd = 0
+	f.Learned = 0
+	f.Mismatches, f.Dropped = 0, 0
+}
+
+// ResetRun implements dataplane.RunResettable. The suspicion slice keeps
+// its capacity (zeroed values are equivalent to absent ones: lookups bound-
+// check and treat 0 as unsuspicious) so re-runs do not re-grow it.
+func (d *LFADetector) ResetRun() {
+	d.flows.Reset()
+	for i := range d.suspSrc {
+		d.suspSrc[i] = 0
+	}
+	d.lastEval = 0
+	d.calmSince = 0
+	d.lastAssert = 0
+	d.lastEvidence = 0
+	d.attackActive = false
+	d.marked = false
+	d.raiseTimes = d.raiseTimes[:0]
+	d.Alarms, d.Clears = 0, 0
+	d.Suspicious = 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (d *Dropper) ResetRun() {
+	d.DroppedHigh, d.Limited = 0, 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (n *Normalizer) ResetRun() {
+	n.Rewritten = 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (o *Obfuscator) ResetRun() {
+	o.Fabricated = 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (g *GlobalRateLimit) ResetRun() {
+	g.windowStart = 0
+	g.windowBytes = 0
+	g.lastWindow = 0
+	g.throttling = false
+	g.dropFrac = 0
+	g.debt = 0
+	g.Dropped, g.Throttled = 0, 0
+}
+
+// ResetRun implements dataplane.RunResettable.
+func (r *Reroute) ResetRun() {
+	clear(r.table)
+	r.lastProbe = 0
+	r.seq = 0
+	r.flowlets.reset()
+	r.Rerouted, r.Probes, r.Flowlets = 0, 0, 0
+}
+
+// reset empties the flowlet table in place, keeping its backing arrays.
+func (t *flowletTable) reset() {
+	clear(t.slots)
+	t.entries = t.entries[:0]
+	t.free = t.free[:0]
+}

@@ -401,3 +401,15 @@ func (c *TEController) Stop() {
 		c.ticker = nil
 	}
 }
+
+// ResetRun rewinds the controller for a warm re-run after the engine has
+// been reset: the ticker handle is discarded WITHOUT Stop (its pending
+// event was already dropped by the engine reset; cancelling a stale handle
+// would corrupt the rebuilt calendar), counters zero, and the OnReconfig
+// hook detaches. The caller reinstalls static routes afterwards, exactly
+// as a fresh build does.
+func (c *TEController) ResetRun() {
+	c.ticker = nil
+	c.Reconfigs = 0
+	c.OnReconfig = nil
+}

@@ -77,6 +77,20 @@ type Fabric struct {
 	// on its internal buckets even with distinct keys); the ModeEvents
 	// accessor merges the logs into one (At, Switch)-ordered view.
 	modeLog [][]ModeEvent
+
+	// heartbeat is the telemetry ticker New arms (nil for DefenseOff
+	// fabrics, which have none); Reset re-arms it so its event lands in
+	// the same coordinator sequence slot a fresh build would give it.
+	heartbeat *eventsim.Ticker
+	// buildEpochs snapshots each switch's install epoch (in G.Switches()
+	// order) when New finishes. Reset refuses fabrics whose program sets
+	// changed since — it can rewind run state, not reconfiguration.
+	buildEpochs []uint64
+	// buildFIBs snapshots each switch router's FIB mutation version (same
+	// order) after New's route install. Reset skips the clear-and-reinstall
+	// for a run that never touched the FIBs — the tables still hold exactly
+	// the deterministic static install, so skipping is byte-identical.
+	buildFIBs []uint64
 }
 
 // ModeEvent is one applied mode transition at one switch.
@@ -131,6 +145,7 @@ func New(g *topo.Graph, cfg Config) (*Fabric, error) {
 	f.Scaler = state.NewRepurposer(n)
 
 	if cfg.DefenseOff {
+		f.snapshotBuildEpochs()
 		return f, nil
 	}
 
@@ -171,7 +186,7 @@ func New(g *topo.Graph, cfg Config) (*Fabric, error) {
 	// so time-gated PPM logic (detector epochs, alarm clears) advances
 	// even on switches that momentarily carry no traffic. This models the
 	// switch-local timers real hardware drives register evaluation with.
-	eventsim.NewTicker(n.Eng, 100*time.Millisecond, func() {
+	f.heartbeat = eventsim.NewTicker(n.Eng, 100*time.Millisecond, func() {
 		for _, sw := range g.Switches() {
 			hb := &packet.Packet{
 				Src: packet.RouterAddr(int(sw)), Dst: packet.RouterAddr(int(sw)),
@@ -182,6 +197,7 @@ func New(g *topo.Graph, cfg Config) (*Fabric, error) {
 			n.OriginateAt(sw, hb)
 		}
 	})
+	f.snapshotBuildEpochs()
 	return f, nil
 }
 

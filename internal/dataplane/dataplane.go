@@ -99,6 +99,18 @@ type Stateful interface {
 	Restore([]byte) error
 }
 
+// RunResettable is implemented by PPMs that can rewind to their just-built
+// state in place, which is what lets a warm switch be reused across
+// simulation runs (Switch.ResetRun) instead of rebuilt. ResetRun must clear
+// everything a run mutates — tables, counters, lease clocks — and keep
+// everything construction derived from configuration, so that a reset
+// module is indistinguishable from a freshly constructed one.
+type RunResettable interface {
+	PPM
+	// ResetRun rewinds the module to its just-built state.
+	ResetRun()
+}
+
 // Program is an installed PPM plus its gating and ordering metadata.
 type Program struct {
 	PPM PPM
@@ -268,6 +280,38 @@ func (s *Switch) Process(ctx *Context) Verdict {
 		}
 	}
 	return Continue
+}
+
+// ResetRun rewinds the switch to its just-built state so a warm fabric can
+// be re-run: every installed PPM resets, the mode set drops back to the
+// default, probe dedup and sequence state clear, and the per-run counters
+// zero. The compiled-pipeline cache and install epoch survive — compiled
+// pipelines depend only on the installed program set and ModeSet, never on
+// a run's traffic — so re-activating a mode on the next run reuses the
+// compilation instead of repeating it.
+//
+// It fails (mutating nothing) if any installed PPM does not implement
+// RunResettable, since such a module could leak one run's state into the
+// next; callers fall back to a fresh build.
+func (s *Switch) ResetRun() error {
+	for _, p := range s.programs {
+		if _, ok := p.PPM.(RunResettable); !ok {
+			return fmt.Errorf("dataplane: switch %d: program %q is not run-resettable",
+				s.Node, p.PPM.Name())
+		}
+	}
+	for _, p := range s.programs {
+		p.PPM.(RunResettable).ResetRun()
+	}
+	if s.modes != 0 {
+		s.modes = 0
+		s.recompile()
+	}
+	s.seq = 0
+	s.seen.reset()
+	s.Reconfiguring = false
+	s.Processed, s.Dropped = 0, 0
+	return nil
 }
 
 // modeMatch reports whether a program gated on the given modes should run:

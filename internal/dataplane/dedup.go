@@ -35,6 +35,18 @@ type dedupTable struct {
 // Evictions returns how many keys FIFO replacement has pushed out.
 func (d *dedupTable) Evictions() uint64 { return d.evictions }
 
+// reset empties the table in place. Marking every slot unused is enough:
+// keys and ring entries become unreachable, and the backing arrays are
+// reused by the next run.
+func (d *dedupTable) reset() {
+	if d.n == 0 && d.evictions == 0 {
+		return
+	}
+	clear(d.used)
+	d.head, d.n = 0, 0
+	d.evictions = 0
+}
+
 func newDedupTable() *dedupTable {
 	return &dedupTable{
 		keys: make([]packet.DedupKey, seenTableSize),

@@ -34,6 +34,7 @@ type Router struct {
 	fibLink []topo.LinkID // -1 = empty slot
 	fibAddr []packet.Addr
 	routes  int
+	version uint64 // bumped by every SetRoute/ClearRoutes; owners diff it to skip reinstall
 }
 
 // NewRouter returns the routing PPM for a switch.
@@ -67,6 +68,7 @@ func (r *Router) SetRoute(dst packet.Addr, link topo.LinkID) {
 	}
 	r.fibLink[idx] = link
 	r.fibAddr[idx] = dst
+	r.version++
 }
 
 // ClearRoutes empties the FIB (controller reconfiguration). The backing
@@ -77,7 +79,24 @@ func (r *Router) ClearRoutes() {
 		r.fibAddr[i] = 0
 	}
 	r.routes = 0
+	r.version++
 }
+
+// FIBVersion is the count of mutations (SetRoute/ClearRoutes) this FIB has
+// absorbed. The fabric snapshots it after build-time route install; an
+// unchanged version at Reset proves the table still holds exactly that
+// install, so the clear-and-reinstall can be skipped.
+func (r *Router) FIBVersion() uint64 { return r.version }
+
+// ResetRun implements RunResettable as a no-op: the FIB is populated by the
+// centralized controller after build, and whether it must be torn down and
+// reinstalled is the controller's owner's call, not the switch's —
+// core.Fabric.Reset diffs FIBVersion against its post-build snapshot and
+// reinstalls only routers the run actually mutated (a reactive TE cycle).
+// Clearing here unconditionally would force every reset to re-pay the
+// dominant install cost for tables that are already byte-identical to a
+// fresh build's.
+func (r *Router) ResetRun() {}
 
 // Lookup returns the installed egress for dst, or -1. This is the
 // per-packet FIB access: one dense array read plus an exact-address

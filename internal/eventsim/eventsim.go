@@ -159,6 +159,40 @@ func New(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed)), curEnd: bucketWidth}
 }
 
+// Reset returns the engine to its just-built state, reseeding the RNG, so
+// a warm engine can host a fresh run without reconstruction. The clock,
+// sequence counter, calendar ring, far buffer, and fired count all return
+// to zero; ranked mode and the event free list survive (recycled events
+// carry no state between runs). Pending events are dropped to the garbage
+// collector rather than recycled: callers may still hold their handles
+// (tickers, retransmission timers), and recycling would redirect those
+// stale handles at unrelated future events. Tickers that should survive a
+// reset must be re-armed afterwards with Rearm, in the same order they were
+// created, so the seq numbering of a reset engine replays a fresh build's.
+func (e *Engine) Reset(seed int64) {
+	for b := range e.buckets {
+		e.buckets[b] = nil
+		e.tails[b] = nil
+	}
+	for i := range e.occ {
+		e.occ[i] = 0
+	}
+	e.nearCount = 0
+	e.cur = 0
+	e.curEnd = bucketWidth
+	for i := range e.far {
+		e.far[i] = farEntry{}
+	}
+	e.far = e.far[:0]
+	e.farLive = 0
+	e.split = 0
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.stopped = false
+	e.rng.Seed(seed)
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
@@ -697,4 +731,16 @@ func (t *Ticker) Stop() {
 		t.eng.Cancel(t.pending)
 		t.pending = nil
 	}
+}
+
+// Rearm restarts the ticker after its engine has been Reset. The old
+// pending handle is dropped without cancellation — its event vanished with
+// the queue, and cancelling through the stale handle could corrupt the
+// rebuilt ring — and a fresh first fire is scheduled one period from now,
+// consuming one seq exactly as NewTicker does. Calling Rearm on a ticker
+// whose engine was NOT just reset double-arms it; don't.
+func (t *Ticker) Rearm() {
+	t.pending = nil
+	t.stopped = false
+	t.arm()
 }

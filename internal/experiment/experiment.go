@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"fastflex/internal/metrics"
 )
@@ -32,6 +33,15 @@ type Result struct {
 	// experiments that predate the hybrid substrate; ffbench reports it
 	// (and events per modeled host) when set.
 	ModeledHosts uint64
+
+	// SetupWall is the wall-clock time the run spent before its first
+	// simulated event: topology build, fabric construction (or warm-fabric
+	// reset), and scenario wiring, summed over every network the experiment
+	// drove. It is a wall-clock observation, NOT part of the deterministic
+	// output contract — String() never renders it; only the harness reports
+	// (ffbench JSON, throughput block) consume it. Zero for experiments
+	// that have not been instrumented.
+	SetupWall time.Duration
 }
 
 // Workload accumulates the deterministic work counters of one simulated

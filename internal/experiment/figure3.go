@@ -93,6 +93,15 @@ type Figure3Config struct {
 	// is strictly read-only during a run, so one Prebuilt value may back
 	// any number of concurrent runs.
 	Prebuilt *Fig3Topology
+	// Fabrics, when non-nil, lets the run check a fully built warm fabric
+	// out instead of cold-building one (and check its own fabric back in
+	// afterwards). The run resets the checked-out fabric to its seed —
+	// byte-identical to a fresh build by the reset contract
+	// (core.(*Fabric).Reset, pinned by the reset-vs-fresh goldens) — and
+	// silently falls back to a cold build when the source has nothing or
+	// the reset is refused. The Runner passes each worker's private cache
+	// here; ffserved passes its lease pool.
+	Fabrics FabricSource
 	// LargeRegions, when > 0, swaps the plain Figure-2 topology for the
 	// ISP-scale multi-region variant with that many remote regions of
 	// RegionSize switches each. Attack and user traffic then enters the
@@ -205,6 +214,23 @@ func (c Figure3Config) TopologyKey() string {
 	return fmt.Sprintf("figure2/u%d.b%d.s%d", c.Users, c.Bots, c.Servers)
 }
 
+// FabricKey is a canonical fingerprint of everything a config's fabric
+// build consumes except the seed (after defaults): the topology shape
+// plus every knob core.New reads — whether the defense is fielded,
+// booster ablations, reroute override, and the engine configuration.
+// Two configs with equal keys build interchangeable fabrics, and a reset
+// rebinds the one build-time input not in the key (the seed), so a warm
+// fabric under this key can serve any seed of the same scenario shape.
+// DefenseNone and DefenseBaseline share a key on purpose: the baseline
+// SDN controller is scenario wiring layered on a defense-off fabric.
+func (c Figure3Config) FabricKey() string {
+	c.fillDefaults()
+	return fmt.Sprintf("%s/off%t.ob%t.dr%t.ra%t.k%d.nb%t.sl%t",
+		c.TopologyKey(), c.Defense != DefenseFastFlex,
+		c.DisableObfuscation, c.DisableDropper, c.RerouteAllOverride,
+		c.Shards, c.DisableBatch, c.StaticLookahead)
+}
+
 // Figure3Result extends Result with the headline numbers EXPERIMENTS.md
 // records.
 type Figure3Result struct {
@@ -228,12 +254,53 @@ type Figure3Result struct {
 // user flows under a rolling link-flooding attack, for one defense arm.
 func Figure3(cfg Figure3Config) *Figure3Result {
 	cfg.fillDefaults()
-	bt := cfg.Prebuilt
-	if bt == nil {
-		bt = BuildFig3Topology(cfg)
-	} else if len(bt.Users) != cfg.Users || len(bt.Bots) != cfg.Bots || len(bt.Servers) != cfg.Servers {
-		panic(fmt.Sprintf("experiment: prebuilt topology has %d/%d/%d users/bots/servers, config wants %d/%d/%d",
-			len(bt.Users), len(bt.Bots), len(bt.Servers), cfg.Users, cfg.Bots, cfg.Servers))
+	setupStart := time.Now()
+
+	// Warm path: check a built fabric out and rewind it to this run's
+	// seed. A refused reset (the fabric was reconfigured since build)
+	// drops the entry and falls through to the cold build.
+	var wf *WarmFabric
+	var fab *core.Fabric
+	var bt *Fig3Topology
+	if cfg.Fabrics != nil {
+		if wf = cfg.Fabrics.Checkout(cfg.FabricKey()); wf != nil {
+			if err := wf.Fab.Reset(cfg.Seed); err != nil {
+				wf = nil
+			} else {
+				bt = wf.Topo.(*Fig3Topology)
+				fab = wf.Fab
+			}
+		}
+	}
+	if fab == nil {
+		bt = cfg.Prebuilt
+		if bt == nil {
+			bt = BuildFig3Topology(cfg)
+		} else if len(bt.Users) != cfg.Users || len(bt.Bots) != cfg.Bots || len(bt.Servers) != cfg.Servers {
+			panic(fmt.Sprintf("experiment: prebuilt topology has %d/%d/%d users/bots/servers, config wants %d/%d/%d",
+				len(bt.Users), len(bt.Bots), len(bt.Servers), cfg.Users, cfg.Bots, cfg.Servers))
+		}
+		var srvAddr []packet.Addr
+		for _, s := range bt.Servers {
+			srvAddr = append(srvAddr, packet.HostAddr(int(s)))
+		}
+		coreCfg := core.Config{
+			Protected:          srvAddr,
+			DefenseOff:         cfg.Defense != DefenseFastFlex,
+			DisableObfuscation: cfg.DisableObfuscation,
+			DisableDropper:     cfg.DisableDropper,
+		}
+		coreCfg.Net = netsim.DefaultConfig()
+		coreCfg.Net.Seed = cfg.Seed
+		coreCfg.Net.Shards = cfg.Shards
+		coreCfg.Net.DisableBatch = cfg.DisableBatch
+		coreCfg.Net.StaticLookahead = cfg.StaticLookahead
+		coreCfg.Reroute.RerouteAllOverride = cfg.RerouteAllOverride
+		var err error
+		fab, err = core.New(bt.G, coreCfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: building fabric: %v", err))
+		}
 	}
 	users := bt.Users
 	bots := bt.Bots
@@ -241,23 +308,6 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 	var srvAddr []packet.Addr
 	for _, s := range servers {
 		srvAddr = append(srvAddr, packet.HostAddr(int(s)))
-	}
-
-	coreCfg := core.Config{
-		Protected:          srvAddr,
-		DefenseOff:         cfg.Defense != DefenseFastFlex,
-		DisableObfuscation: cfg.DisableObfuscation,
-		DisableDropper:     cfg.DisableDropper,
-	}
-	coreCfg.Net = netsim.DefaultConfig()
-	coreCfg.Net.Seed = cfg.Seed
-	coreCfg.Net.Shards = cfg.Shards
-	coreCfg.Net.DisableBatch = cfg.DisableBatch
-	coreCfg.Net.StaticLookahead = cfg.StaticLookahead
-	coreCfg.Reroute.RerouteAllOverride = cfg.RerouteAllOverride
-	fab, err := core.New(bt.G, coreCfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiment: building fabric: %v", err))
 	}
 	n := fab.Net
 
@@ -301,6 +351,7 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 		n.Eng.Schedule(cfg.AttackStop, atk.Stop)
 	}
 
+	setupWall := time.Since(setupStart)
 	fab.Run(cfg.Duration)
 	sampler.Stop()
 
@@ -319,10 +370,21 @@ func Figure3(cfg Figure3Config) *Figure3Result {
 	}
 	res.FractionDegraded = fractionBelowBetween(norm, 0.8, cfg.AttackStart+2*time.Second, cfg.AttackStop)
 	res.Workload(n.EventsFired(), n.PacketsProcessed())
+	res.SetupWall = setupWall
 	res.Name = "Figure 3 (" + cfg.Defense.String() + ")"
 	res.Series = []*metrics.Series{norm}
 	res.Note("stable goodput %.1f Mbps, attack-window mean %.0f%% of stable, %.0f%% of samples degraded below 80%%, attacker rolls %d",
 		stable*8/1e6, 100*res.AttackMean, 100*res.FractionDegraded, atk.Rolls)
+
+	// Hand the now-idle fabric back for the next same-shape run. This is
+	// the run's last touch of the fabric: a shared source (ffserved's
+	// pool) may lease it to another goroutine immediately.
+	if cfg.Fabrics != nil {
+		if wf == nil {
+			wf = &WarmFabric{Key: cfg.FabricKey(), Topo: bt, Fab: fab}
+		}
+		cfg.Fabrics.Checkin(wf)
+	}
 	return res
 }
 
@@ -368,6 +430,7 @@ func Figure3Compare(base Figure3Config) *Result {
 		res.Metric("degraded_"+d.String(), r.FractionDegraded)
 		res.Metric("stable_mbps_"+d.String(), r.StableMean*8/1e6)
 		res.Workload(r.Events, r.Packets)
+		res.SetupWall += r.SetupWall
 	}
 	res.Table = tb
 	return res

@@ -45,6 +45,12 @@ type Figure3fConfig struct {
 	// Shards selects the engine (0 serial, K >= 1 windowed); results are
 	// K-invariant.
 	Shards int
+	// Fabrics, when non-nil, supplies warm fabrics exactly as
+	// Figure3Config.Fabrics does: each arm checks out a built fabric under
+	// its key, resets it to the run's seed, and checks it back in when the
+	// arm finishes. Fluid flows are run state (torn down by the reset), so
+	// the hybrid substrate reuses fabrics as freely as the packet-only one.
+	Fabrics FabricSource
 }
 
 func (c *Figure3fConfig) fillDefaults() {
@@ -80,6 +86,42 @@ func (c *Figure3fConfig) fillDefaults() {
 	}
 }
 
+// Fig3fTopology is a fully built planet-scale topology with its host
+// populations attached: the fig3f analog of Fig3Topology. The builder
+// value is retained because the background-flow layout walks its region
+// rings. Like Fig3Topology, the graph is only mutated during
+// construction; runs read it, so one value backs many runs.
+type Fig3fTopology struct {
+	M                    *topo.MultiRegion
+	G                    *topo.Graph
+	Users, Bots, Servers []topo.NodeID
+}
+
+// buildFig3fTopology constructs the topology a figure3fRun over cfg
+// builds for itself; deterministic, so prebuilt and inline runs are
+// byte-identical.
+func buildFig3fTopology(cfg Figure3fConfig) *Fig3fTopology {
+	m := topo.NewPlanetScale(cfg.Regions, cfg.BaseRing)
+	bt := &Fig3fTopology{M: m}
+	bt.Users = m.AttachUsers(cfg.Users)
+	bt.Bots = m.AttachBots(cfg.Bots)
+	bt.Servers = m.AttachServers(cfg.Servers)
+	bt.G = m.Graph()
+	return bt
+}
+
+// fabricKey fingerprints everything a fig3f arm's fabric build consumes
+// except the seed, in the same spirit as Figure3Config.FabricKey. The
+// "planet/" prefix keeps the key space disjoint from the Figure-3
+// families, so a FabricSource shared across experiments never hands one
+// family the other's topology type.
+func (c Figure3fConfig) fabricKey(defense Defense) string {
+	c.fillDefaults()
+	return fmt.Sprintf("planet/%dx%d/u%d.b%d.s%d/off%t.k%d",
+		c.Regions, c.BaseRing, c.Users, c.Bots, c.Servers,
+		defense != DefenseFastFlex, c.Shards)
+}
+
 // fig3fArm runs one defense arm and reports the foreground series plus the
 // fluid substrate's byte ledger.
 type fig3fArm struct {
@@ -88,27 +130,48 @@ type fig3fArm struct {
 	injected, delivered, dropped, queued float64
 	modeledHosts                         uint64
 	events, packets                      uint64
+	setupWall                            time.Duration
 }
 
 func figure3fRun(cfg Figure3fConfig, defense Defense) fig3fArm {
-	m := topo.NewPlanetScale(cfg.Regions, cfg.BaseRing)
-	users := m.AttachUsers(cfg.Users)
-	bots := m.AttachBots(cfg.Bots)
-	servers := m.AttachServers(cfg.Servers)
-	g := m.Graph()
-
+	setupStart := time.Now()
+	var wf *WarmFabric
+	var fab *core.Fabric
+	var bt *Fig3fTopology
+	if cfg.Fabrics != nil {
+		if wf = cfg.Fabrics.Checkout(cfg.fabricKey(defense)); wf != nil {
+			if err := wf.Fab.Reset(cfg.Seed); err != nil {
+				wf = nil
+			} else {
+				bt = wf.Topo.(*Fig3fTopology)
+				fab = wf.Fab
+			}
+		}
+	}
+	if fab == nil {
+		bt = buildFig3fTopology(cfg)
+		var srvAddr []packet.Addr
+		for _, s := range bt.Servers {
+			srvAddr = append(srvAddr, packet.HostAddr(int(s)))
+		}
+		coreCfg := core.Config{Protected: srvAddr, DefenseOff: defense != DefenseFastFlex}
+		coreCfg.Net = netsim.DefaultConfig()
+		coreCfg.Net.Seed = cfg.Seed
+		coreCfg.Net.Shards = cfg.Shards
+		coreCfg.Net.Fluid = true
+		var err error
+		fab, err = core.New(bt.G, coreCfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: building fig3f fabric: %v", err))
+		}
+	}
+	m := bt.M
+	users := bt.Users
+	bots := bt.Bots
+	servers := bt.Servers
 	var srvAddr []packet.Addr
 	for _, s := range servers {
 		srvAddr = append(srvAddr, packet.HostAddr(int(s)))
-	}
-	coreCfg := core.Config{Protected: srvAddr, DefenseOff: defense != DefenseFastFlex}
-	coreCfg.Net = netsim.DefaultConfig()
-	coreCfg.Net.Seed = cfg.Seed
-	coreCfg.Net.Shards = cfg.Shards
-	coreCfg.Net.Fluid = true
-	fab, err := core.New(g, coreCfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiment: building fig3f fabric: %v", err))
 	}
 	n := fab.Net
 
@@ -157,6 +220,7 @@ func figure3fRun(cfg Figure3fConfig, defense Defense) fig3fArm {
 	})
 	atk.Launch()
 
+	setupWall := time.Since(setupStart)
 	fab.Run(cfg.Duration)
 	sampler.Stop()
 
@@ -178,9 +242,18 @@ func figure3fRun(cfg Figure3fConfig, defense Defense) fig3fArm {
 		modeledHosts: uint64(n.ModeledHosts()),
 		events:       n.EventsFired(),
 		packets:      n.PacketsProcessed(),
+		setupWall:    setupWall,
 	}
 	arm.injected = n.FluidInjectedBytes()
 	arm.fig.FractionDegraded = fractionBelowBetween(norm, 0.8, cfg.AttackStart+2*time.Second, cfg.Duration)
+
+	// Last touch of the fabric: hand it back for the next same-shape arm.
+	if cfg.Fabrics != nil {
+		if wf == nil {
+			wf = &WarmFabric{Key: cfg.fabricKey(defense), Topo: bt, Fab: fab}
+		}
+		cfg.Fabrics.Checkin(wf)
+	}
 	return arm
 }
 
@@ -203,6 +276,7 @@ func Figure3f(cfg Figure3fConfig) *Result {
 		res.Metric("attack_mean_"+d.String(), a.fig.AttackMean)
 		res.Metric("stable_mbps_"+d.String(), a.fig.StableMean*8/1e6)
 		res.Workload(a.events, a.packets)
+		res.SetupWall += a.setupWall
 	}
 	res.Table = tb
 

@@ -19,6 +19,13 @@ type Def struct {
 	// (ffbench -short): same code paths and shape checks, much shorter
 	// simulated horizon.
 	ShortRun func(seed int64) *Result
+	// WarmRun / WarmShortRun, if non-nil, are Run / ShortRun with a
+	// caller-supplied FabricSource the run may check warm fabrics out of.
+	// Results are byte-identical to the cold variants (the reset contract);
+	// only setup wall time changes. Runner workers pass their private
+	// cache; front ends without one use Run/ShortRun.
+	WarmRun      func(seed int64, fabrics FabricSource) *Result
+	WarmShortRun func(seed int64, fabrics FabricSource) *Result
 }
 
 // DefaultShards is the engine shard count experiments use when they are
@@ -74,6 +81,17 @@ func fig3Run(id string, short bool) func(int64) *Result {
 	}
 }
 
+// fig3WarmRun is fig3Run with a fabric source threaded through: the three
+// comparison arms and every subsequent seed on the same worker reuse warm
+// fabrics instead of cold-building.
+func fig3WarmRun(id string, short bool) func(int64, FabricSource) *Result {
+	return func(seed int64, fabrics FabricSource) *Result {
+		cfg, _ := Fig3Scenario(id, seed, short)
+		cfg.Fabrics = fabrics
+		return Figure3Compare(cfg)
+	}
+}
+
 // Registry enumerates every experiment in the order EXPERIMENTS.md
 // presents them. The order is part of the output contract: ffbench prints
 // results in registry order no matter how many workers ran them, so serial
@@ -91,15 +109,24 @@ func Registry() []Def {
 		{ID: "fig1d", Desc: "Figure 1(d): dynamic scaling at runtime",
 			Run: func(int64) *Result { return Figure1dScale() }},
 		{ID: "fig3", Desc: "Figure 3: FastFlex vs baseline under rolling LFA", Seeded: true,
-			Run: fig3Run("fig3", false), ShortRun: fig3Run("fig3", true)},
+			Run: fig3Run("fig3", false), ShortRun: fig3Run("fig3", true),
+			WarmRun: fig3WarmRun("fig3", false), WarmShortRun: fig3WarmRun("fig3", true)},
 		{ID: "fig3x", Desc: "Figure 3 at ISP scale: multi-region topology (sharded engine target)", Seeded: true,
-			Run: fig3Run("fig3x", false), ShortRun: fig3Run("fig3x", true)},
+			Run: fig3Run("fig3x", false), ShortRun: fig3Run("fig3x", true),
+			WarmRun: fig3WarmRun("fig3x", false), WarmShortRun: fig3WarmRun("fig3x", true)},
 		{ID: "fig3f", Desc: "Figure 3 at planet scale: hybrid fluid/packet substrate, 10^5 modeled hosts", Seeded: true,
 			Run: func(seed int64) *Result {
 				return Figure3f(Figure3fConfig{Seed: seed, Shards: DefaultShards})
 			},
 			ShortRun: func(seed int64) *Result {
 				return Figure3f(Figure3fConfig{Seed: seed, Shards: DefaultShards,
+					HostsPerFlow: 250, Duration: 20 * time.Second, AttackStart: 8 * time.Second})
+			},
+			WarmRun: func(seed int64, fabrics FabricSource) *Result {
+				return Figure3f(Figure3fConfig{Seed: seed, Shards: DefaultShards, Fabrics: fabrics})
+			},
+			WarmShortRun: func(seed int64, fabrics FabricSource) *Result {
+				return Figure3f(Figure3fConfig{Seed: seed, Shards: DefaultShards, Fabrics: fabrics,
 					HostsPerFlow: 250, Duration: 20 * time.Second, AttackStart: 8 * time.Second})
 			}},
 		{ID: "a1", Desc: "A1: mode-change latency vs diameter",

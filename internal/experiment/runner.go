@@ -23,12 +23,17 @@ type RunResult struct {
 	Result *Result
 	// Err holds a recovered panic, if the experiment crashed.
 	Err error
-	// Wall is the real (not simulated) execution time of this run.
+	// Wall is the real (not simulated) execution time of this run; its
+	// setup fraction (topology + fabric build or warm reset + scenario
+	// wiring) is Result.SetupWall for instrumented experiments.
 	Wall time.Duration
 	// AllocBytes is the heap allocated during the run, from TotalAlloc
-	// deltas. Exact with one worker; with several, concurrent runs bleed
-	// into each other's deltas, so treat it as indicative only.
+	// deltas. TotalAlloc is process-wide, so with several workers,
+	// concurrent runs bleed into each other's deltas; AllocExact reports
+	// whether this run's delta was free of that bleed (single-worker
+	// pool). Treat non-exact values as indicative only.
 	AllocBytes uint64
+	AllocExact bool
 }
 
 // Runner executes experiment Specs across a pool of worker goroutines.
@@ -40,9 +45,20 @@ type RunResult struct {
 // and RNG from its seed, per-seed results are byte-identical whatever the
 // worker count or completion order; Run returns results indexed by Spec
 // position, so callers iterate them deterministically.
+//
+// Each worker owns a private FabricCache: experiments with a WarmRun
+// variant check finished fabrics back into it, and later seeds of the
+// same shape reset-and-reuse them instead of cold-building
+// (byte-identical by the reset contract). Reuse is strictly worker-local
+// — no simulation object ever crosses a goroutine — so the boundary
+// above holds exactly as before.
 type Runner struct {
 	// Workers is the pool size; 0 or less means runtime.NumCPU().
 	Workers int
+	// NoWarm disables the per-worker fabric caches, forcing every run to
+	// cold-build its fabric (ffbench -nowarm; also how the reuse win is
+	// measured).
+	NoWarm bool
 }
 
 // Run executes all specs and returns one RunResult per spec, in spec
@@ -56,6 +72,7 @@ func (r *Runner) Run(specs []Spec) []RunResult {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	allocExact := workers == 1
 	results := make([]RunResult, len(specs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -63,8 +80,13 @@ func (r *Runner) Run(specs []Spec) []RunResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var cache *FabricCache
+			if !r.NoWarm {
+				cache = NewFabricCache(0)
+			}
 			for i := range jobs {
-				results[i] = runOne(specs[i])
+				results[i] = runOne(specs[i], cache)
+				results[i].AllocExact = allocExact
 			}
 		}()
 	}
@@ -76,7 +98,9 @@ func (r *Runner) Run(specs []Spec) []RunResult {
 	return results
 }
 
-func runOne(spec Spec) (rr RunResult) {
+// runOne executes one spec, preferring the Def's warm variant when the
+// worker has a cache and the Def supports it.
+func runOne(spec Spec, cache *FabricCache) (rr RunResult) {
 	rr.ID = spec.Def.ID
 	rr.Seed = spec.Seed
 	defer func() {
@@ -85,13 +109,19 @@ func runOne(spec Spec) (rr RunResult) {
 		}
 	}()
 	run := spec.Def.Run
+	warm := spec.Def.WarmRun
 	if spec.Short && spec.Def.ShortRun != nil {
 		run = spec.Def.ShortRun
+		warm = spec.Def.WarmShortRun
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	rr.Result = run(spec.Seed)
+	if warm != nil && cache != nil {
+		rr.Result = warm(spec.Seed, cache)
+	} else {
+		rr.Result = run(spec.Seed)
+	}
 	rr.Wall = time.Since(start)
 	runtime.ReadMemStats(&after)
 	rr.AllocBytes = after.TotalAlloc - before.TotalAlloc

@@ -116,6 +116,22 @@ func NewController(self topo.NodeID, setMode func(dataplane.ModeID, bool),
 // Name implements PPM.
 func (c *Controller) Name() string { return fmt.Sprintf("modectl@%d", c.self) }
 
+// ResetRun implements dataplane.RunResettable: leases, budgets, sync views,
+// sequence numbers, and counters rewind to their just-built state. The
+// OnChange hook survives (the fabric wires it once, at build); registered
+// metrics clear, because detectors register them after the fabric exists
+// and will re-register on the next run's setup.
+func (c *Controller) ResetRun() {
+	c.seq = 0
+	clear(c.activatedAt)
+	c.leaseFloor = 0
+	c.changeTimes = c.changeTimes[:0]
+	clear(c.metrics)
+	clear(c.view)
+	c.lastSync = 0
+	c.Activations, c.Clears, c.Suppressed, c.Expired = 0, 0, 0, 0
+}
+
 // Resources implements PPM: probe parsing, a mode register, and dedup state.
 func (c *Controller) Resources() dataplane.Resources {
 	return dataplane.Resources{Stages: 1, SRAMKB: 32, TCAM: 4, ALUs: 1}

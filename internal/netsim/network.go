@@ -117,6 +117,11 @@ type Network struct {
 	// (fluid.go); empty unless Cfg.Fluid is set and flows were created.
 	fluidFlows []*FluidFlow
 
+	// utilTicker is the link-utilization window ticker created by New; it
+	// survives Reset (re-armed there, so its event occupies the same
+	// coordinator sequence slot a fresh build would give it).
+	utilTicker *eventsim.Ticker
+
 	// Tracer, if set, observes every packet arrival at a node (debugging
 	// and assertion hooks in tests). Attaching a tracer disables packet
 	// recycling so traced packets may be retained. Tracing is serial-only:
@@ -171,7 +176,9 @@ func New(g *topo.Graph, cfg Config) *Network {
 	}
 	// One ticker advances all link-utilization windows (coordinator work:
 	// it reads per-link byte counters the shards wrote before the barrier).
-	eventsim.NewTicker(n.Eng, cfg.UtilWindow, func() {
+	// This is the first event ever scheduled on the coordinator engine;
+	// Reset re-arms it first for the same reason.
+	n.utilTicker = eventsim.NewTicker(n.Eng, cfg.UtilWindow, func() {
 		for _, l := range n.links {
 			l.rollWindow(cfg.UtilWindow)
 		}

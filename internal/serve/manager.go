@@ -23,7 +23,7 @@ type Config struct {
 	// DefaultTimeout is the per-job wall-clock ceiling (default 10m). A
 	// request may lower it via timeout_sec, never raise it.
 	DefaultTimeout time.Duration
-	// PoolSize bounds the engine pool's warm topologies (default 32).
+	// PoolSize bounds the engine pool's idle warm fabrics (default 32).
 	PoolSize int
 	// MaxJobs bounds retained finished-job records (default 1024); the
 	// oldest finished jobs are evicted first.
@@ -215,10 +215,11 @@ func (m *Manager) Submit(req JobRequest) (*JobStatus, error) {
 }
 
 // buildDef resolves the job's request to the experiment definition its
-// runs execute. Figure-3 scenarios — inline or the registry's fig3/fig3x
-// — run through the engine pool; other registry experiments run their
-// definition as-is.
+// runs execute. Experiments with a warm variant — inline scenarios and
+// any registry Def carrying WarmRun — lease fabrics from the daemon-wide
+// engine pool; the rest run their definition as-is.
 func (m *Manager) buildDef(j *job) experiment.Def {
+	fx := &jobFabrics{m: m, j: j}
 	if sc := j.req.Scenario; sc != nil {
 		return experiment.Def{
 			ID: "scenario", Desc: "inline scenario", Seeded: true,
@@ -229,7 +230,7 @@ func (m *Manager) buildDef(j *job) experiment.Def {
 					// trip for an admitted job.
 					panic(fmt.Sprintf("serve: translating admitted scenario: %v", err))
 				}
-				cfg.Prebuilt = m.warmFor(j, cfg)
+				cfg.Fabrics = fx
 				return runScenario(cfg, sc.Defense)
 			},
 		}
@@ -241,38 +242,43 @@ func (m *Manager) buildDef(j *job) experiment.Def {
 			break
 		}
 	}
-	if _, isFig3 := experiment.Fig3Scenario(def.ID, 1, false); !isFig3 {
-		return def
-	}
-	id := def.ID
-	fig3At := func(short bool) func(int64) *experiment.Result {
-		return func(seed int64) *experiment.Result {
-			cfg, _ := experiment.Fig3Scenario(id, seed, short)
-			cfg.Prebuilt = m.warmFor(j, cfg)
-			return experiment.Figure3Compare(cfg)
-		}
-	}
+	// Bind the warm variants to the manager's pool and clear them from the
+	// pooled Def: the per-job Runner must execute exactly these closures,
+	// not substitute a worker-local cache of its own.
 	pooled := def
-	pooled.Run = fig3At(false)
-	if def.ShortRun != nil {
-		pooled.ShortRun = fig3At(true)
+	if warm := def.WarmRun; warm != nil {
+		pooled.Run = func(seed int64) *experiment.Result { return warm(seed, fx) }
 	}
+	if warm := def.WarmShortRun; warm != nil {
+		pooled.ShortRun = func(seed int64) *experiment.Result { return warm(seed, fx) }
+	}
+	pooled.WarmRun, pooled.WarmShortRun = nil, nil
 	return pooled
 }
 
-// warmFor fetches (or builds) the warm topology for cfg and books the
-// hit/miss against the job's record.
-func (m *Manager) warmFor(j *job, cfg experiment.Figure3Config) *experiment.Fig3Topology {
-	bt, hit := m.pool.warm(cfg)
-	m.mu.Lock()
-	if hit {
-		j.poolHits++
-	} else {
-		j.poolMisses++
-	}
-	m.mu.Unlock()
-	return bt
+// jobFabrics adapts the manager's engine pool to experiment.FabricSource
+// for one job, booking pool hits and misses against the job's record. The
+// pool is safe for concurrent use, so arms and seeds of one job — and any
+// number of jobs — share it; exclusivity of each leased fabric is the
+// pool's checkout contract.
+type jobFabrics struct {
+	m *Manager
+	j *job
 }
+
+func (f *jobFabrics) Checkout(key string) *experiment.WarmFabric {
+	wf := f.m.pool.Checkout(key)
+	f.m.mu.Lock()
+	if wf != nil {
+		f.j.poolHits++
+	} else {
+		f.j.poolMisses++
+	}
+	f.m.mu.Unlock()
+	return wf
+}
+
+func (f *jobFabrics) Checkin(wf *experiment.WarmFabric) { f.m.pool.Checkin(wf) }
 
 // runJob is a worker's execution of one dequeued job: it runs the specs
 // in a child goroutine and waits for completion, cancellation, or
@@ -332,7 +338,10 @@ func (m *Manager) runJob(j *job) {
 // simulation at a time, recording progress after each. It stops silently
 // if the job was finished under it (cancel or timeout detach).
 func (m *Manager) runSpecs(j *job) {
-	runner := &experiment.Runner{Workers: 1}
+	// NoWarm: warm reuse is the manager pool's job here (buildDef bound it
+	// into the Def), and each spec gets its own Run call — a per-call
+	// worker cache could never hit.
+	runner := &experiment.Runner{Workers: 1, NoWarm: true}
 	results := make([]experiment.RunResult, 0, len(j.specs))
 	for _, spec := range j.specs {
 		m.mu.Lock()

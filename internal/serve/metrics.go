@@ -34,9 +34,12 @@ func (m *Manager) MetricsText() string {
 	counter("ffserved_run_wall_seconds_total", "Wall-clock seconds spent in completed runs.",
 		fmt.Sprintf("%.6f", met.runWallSeconds))
 	counter("ffserved_run_alloc_bytes_total", "Heap bytes allocated by completed runs.", met.runAllocBytes)
-	counter("ffserved_engine_pool_hits_total", "Runs served from a warm pooled topology.", ps.hits)
-	counter("ffserved_engine_pool_misses_total", "Runs that had to cold-build their topology.", ps.misses)
-	counter("ffserved_engine_pool_evictions_total", "Warm topologies evicted by the pool bound.", ps.evictions)
+	counter("ffserved_engine_pool_hits_total", "Fabric checkouts served from a warm pooled fabric.", ps.hits)
+	counter("ffserved_engine_pool_misses_total", "Fabric checkouts that had to cold-build.", ps.misses)
+	counter("ffserved_engine_pool_evictions_total", "Warm fabrics evicted by the pool bound.", ps.evictions)
+	counter("ffserved_engine_pool_resets_total", "Fabrics reset and returned to the pool at checkin.", ps.resets)
+	counter("ffserved_engine_pool_reset_failures_total", "Fabrics dropped at checkin because the reset was refused.", ps.resetFailures)
+	counter("ffserved_engine_pool_lease_busy_total", "Checkout misses while the key's only fabric was leased out (subset of misses).", ps.leaseBusy)
 	counter("ffserved_panics_recovered_total", "Panics recovered from isolated jobs.", met.panicsRecovered)
 	counter("ffserved_runs_detached_total", "Workers detached from a run by cancel or timeout.", met.runsDetached)
 
@@ -44,7 +47,8 @@ func (m *Manager) MetricsText() string {
 	gauge("ffserved_queue_depth", "Jobs queued and not yet running.", queueDepth)
 	gauge("ffserved_queue_capacity", "Configured queue bound.", queueCap)
 	gauge("ffserved_workers", "Configured worker-pool size.", workers)
-	gauge("ffserved_engine_pool_size", "Warm topologies currently pooled.", ps.size)
+	gauge("ffserved_engine_pool_size", "Warm fabrics currently idle in the pool.", ps.size)
+	gauge("ffserved_engine_pool_leased", "Fabric leases outstanding (checkouts, including building misses, not yet checked in).", ps.leased)
 	gauge("ffserved_draining", "1 while the daemon refuses new jobs.", boolGauge(draining))
 	gauge("ffserved_uptime_seconds", "Seconds since the manager started.",
 		fmt.Sprintf("%.3f", uptime.Seconds()))

@@ -6,74 +6,134 @@ import (
 	"fastflex/internal/experiment"
 )
 
-// enginePool caches warm, fully built topologies keyed by their shape
-// (experiment.Figure3Config.TopologyKey), so a daemon serving many tenants
-// does not cold-start the same build per request. This is safe because a
-// Fig3Topology is written only during construction and strictly read
-// during runs: one warm entry can back any number of concurrent
-// simulations, and a run over a pooled topology is byte-identical to one
-// that builds inline (the builders are deterministic).
+// enginePool caches warm, fully built *fabrics* keyed by their build
+// configuration (experiment.Figure3Config.FabricKey and friends), so a
+// daemon serving many tenants does not cold-build switches, routers,
+// dense FIBs, and compiled pipelines per request. Unlike the read-only
+// topologies this pool held before the deterministic-reset layer, a
+// fabric is live simulation state: an entry is exclusively LEASED to one
+// run at a time — checkout removes it from the pool, checkin returns it.
+// Concurrent same-key jobs simply miss and cold-build, exactly as a cold
+// daemon would (their fabrics are all checked in afterwards; the pool
+// keeps one per key and drops the rest).
 //
-// The pool is bounded; when full, the oldest entry is evicted FIFO —
-// long-running daemons serving a rotating scenario population stay at a
-// fixed footprint.
+// On checkin the fabric is reset (core.(*Fabric).Reset), which both
+// validates it is reusable — a reconfigured fabric is refused and
+// dropped, never pooled — and rewinds its run state so checkout-side
+// turnaround is one more cheap reset to the run's seed. Runs over a
+// pooled fabric are byte-identical to cold builds (the reset contract,
+// pinned by experiment's reset-vs-fresh goldens).
+//
+// The idle set is bounded with LRU eviction: under a one-off scan of cold
+// shapes, the repeatedly leased hot shapes stay resident because every
+// checkin refreshes recency; the previous FIFO order evicted them first.
 type enginePool struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*experiment.Fig3Topology
-	order   []string // insertion order, for FIFO eviction
+	idle    map[string]*experiment.WarmFabric
+	order   []string       // LRU order over idle keys: least recently used first
+	leased  map[string]int // checkouts (incl. misses now building) not yet checked in
+	leasedN int            // sum over leased, kept inline for the /metrics gauge
 
 	hits, misses, evictions uint64
+	resets, resetFailures   uint64
+	leaseBusy               uint64 // misses while the key's fabric was leased out
 }
+
+// poolResetSeed is the seed idle fabrics are parked at. Arbitrary: every
+// checkout resets again to the run's own seed.
+const poolResetSeed = 1
 
 func newEnginePool(max int) *enginePool {
 	if max < 1 {
 		max = 1
 	}
-	return &enginePool{max: max, entries: make(map[string]*experiment.Fig3Topology)}
+	return &enginePool{
+		max:    max,
+		idle:   make(map[string]*experiment.WarmFabric),
+		leased: make(map[string]int),
+	}
 }
 
-// warm returns a topology for cfg, reusing a pooled one when the shape is
-// already warm. The build for a miss runs outside the lock: two
-// concurrent first requests for one shape may both build, but only one
-// entry is kept and both results are valid (the builds are structurally
-// identical).
-func (p *enginePool) warm(cfg experiment.Figure3Config) (bt *experiment.Fig3Topology, hit bool) {
-	key := cfg.TopologyKey()
+// checkout leases the warm fabric under key to the caller, or returns nil
+// when none is idle (cold or currently leased) — the caller builds its
+// own and checks it in afterwards.
+func (p *enginePool) Checkout(key string) *experiment.WarmFabric {
 	p.mu.Lock()
-	if bt = p.entries[key]; bt != nil {
-		p.hits++
-		p.mu.Unlock()
-		return bt, true
+	defer p.mu.Unlock()
+	p.leased[key]++
+	p.leasedN++
+	wf := p.idle[key]
+	if wf == nil {
+		p.misses++
+		if p.leased[key] > 1 {
+			p.leaseBusy++
+		}
+		return nil
 	}
-	p.misses++
-	p.mu.Unlock()
+	p.hits++
+	delete(p.idle, key)
+	p.removeLocked(key)
+	return wf
+}
 
-	built := experiment.BuildFig3Topology(cfg)
+// checkin returns a fabric — leased or freshly built — to the idle set.
+// The reset runs before the pool lock is taken: until the entry is
+// published the caller still owns the fabric exclusively. Fabrics that
+// refuse the reset, or lose the one-idle-entry-per-key race, are dropped.
+func (p *enginePool) Checkin(wf *experiment.WarmFabric) {
+	if wf == nil || wf.Fab == nil {
+		return
+	}
+	err := wf.Fab.Reset(poolResetSeed)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if existing := p.entries[key]; existing != nil {
-		return existing, false // lost a build race; keep the first entry
+	if p.leased[wf.Key]--; p.leased[wf.Key] <= 0 {
+		delete(p.leased, wf.Key)
 	}
-	p.entries[key] = built
-	p.order = append(p.order, key)
+	p.leasedN--
+	if err != nil {
+		p.resetFailures++
+		return
+	}
+	p.resets++
+	if _, ok := p.idle[wf.Key]; ok {
+		return // a sibling build already parked one; interchangeable, drop this copy
+	}
+	p.idle[wf.Key] = wf
+	p.order = append(p.order, wf.Key)
 	if len(p.order) > p.max {
-		delete(p.entries, p.order[0])
+		delete(p.idle, p.order[0])
 		p.order = p.order[1:]
 		p.evictions++
 	}
-	return built, false
+}
+
+func (p *enginePool) removeLocked(key string) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			return
+		}
+	}
 }
 
 // poolStats is a consistent snapshot for /metrics.
 type poolStats struct {
 	hits, misses, evictions uint64
-	size                    int
+	resets, resetFailures   uint64
+	leaseBusy               uint64
+	size, leased            int
 }
 
 func (p *enginePool) stats() poolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return poolStats{hits: p.hits, misses: p.misses, evictions: p.evictions, size: len(p.entries)}
+	return poolStats{
+		hits: p.hits, misses: p.misses, evictions: p.evictions,
+		resets: p.resets, resetFailures: p.resetFailures,
+		leaseBusy: p.leaseBusy,
+		size:      len(p.idle), leased: p.leasedN,
+	}
 }

@@ -264,3 +264,10 @@ func (e *EWMA) Observe(v float64) float64 {
 
 // Value returns the current average (0 before any sample).
 func (e *EWMA) Value() float64 { return e.value }
+
+// Reset discards all samples, returning the estimator to its just-built
+// state (the next Observe primes it directly).
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.primed = false
+}

@@ -44,6 +44,16 @@ func NewReceiver(self topo.NodeID, cfg FECConfig) *Receiver {
 // Name implements PPM.
 func (r *Receiver) Name() string { return fmt.Sprintf("state-recv@%d", r.self) }
 
+// ResetRun implements dataplane.RunResettable: in-flight reassembly sessions
+// and the completion counter clear, and the OnComplete hook detaches —
+// core.New leaves it nil, and anything hooked later (a Replicator, a test)
+// is scenario state the next run re-wires.
+func (r *Receiver) ResetRun() {
+	clear(r.sessions)
+	r.OnComplete = nil
+	r.Completed = 0
+}
+
 // Resources implements PPM: reassembly buffers.
 func (r *Receiver) Resources() dataplane.Resources {
 	return dataplane.Resources{Stages: 1, SRAMKB: 64, ALUs: 1}
